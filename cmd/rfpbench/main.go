@@ -1,0 +1,72 @@
+// Command rfpbench regenerates the paper's evaluation: one experiment per
+// figure/table of "RFP: When RPC is Faster than Server-Bypass with RDMA"
+// (EuroSys'17), plus the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	rfpbench -list                 # enumerate experiment ids
+//	rfpbench fig3 fig12 table3     # run selected experiments
+//	rfpbench -all                  # run everything (several minutes)
+//	rfpbench -quick -all           # reduced point sets
+//
+// Each experiment prints the same rows/series the paper plots; absolute
+// values come from the calibrated simulation (see EXPERIMENTS.md for the
+// paper-vs-measured record).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rfp/internal/experiments"
+	"rfp/internal/sim"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		all    = flag.Bool("all", false, "run every experiment")
+		quick  = flag.Bool("quick", false, "reduced sweep point sets")
+		chart  = flag.Bool("chart", false, "render an ASCII chart under each series table")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		window = flag.Duration("window", 1600*time.Microsecond, "virtual measurement window per point")
+		warmup = flag.Duration("warmup", 800*time.Microsecond, "virtual warmup per point")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("%-20s %s\n", id, title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if *all {
+		ids = experiments.IDs()
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "rfpbench: nothing to run; pass experiment ids, -all, or -list")
+		os.Exit(2)
+	}
+
+	o := experiments.DefaultOptions()
+	o.Quick = *quick
+	o.Seed = *seed
+	o.Window = sim.Duration(window.Nanoseconds())
+	o.Warmup = sim.Duration(warmup.Nanoseconds())
+
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rfpbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Render(*chart))
+		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,78 @@
+package rfp_test
+
+// Testable documentation examples. The simulation is deterministic, so
+// these print stable output and run under go test.
+
+import (
+	"fmt"
+
+	"rfp"
+)
+
+// Example shows the complete RFP round trip: a one-thread echo server and
+// a client whose call is delivered by one in-bound RDMA Write (the
+// request) and one in-bound RDMA Read (the client fetching the result out
+// of server memory).
+func Example() {
+	env := rfp.NewEnv(1)
+	defer env.Close()
+	cluster := rfp.NewCluster(env, rfp.ConnectX3(), 1)
+	server := rfp.NewServer(cluster.Server, rfp.ServerConfig{})
+	server.AddThreads(1)
+	client, conn := server.Accept(cluster.Clients[0], rfp.DefaultParams())
+
+	cluster.Server.Spawn("srv", func(p *rfp.Proc) {
+		rfp.Serve(p, []*rfp.Conn{conn}, func(p *rfp.Proc, c *rfp.Conn, req, resp []byte) int {
+			return copy(resp, req)
+		})
+	})
+	cluster.Clients[0].Spawn("cli", func(p *rfp.Proc) {
+		out := make([]byte, 64)
+		n, err := client.Call(p, []byte("ping"), out)
+		if err != nil {
+			fmt.Println("call:", err)
+			return
+		}
+		fmt.Printf("echo: %s\n", out[:n])
+	})
+	env.Run(rfp.Time(rfp.Millisecond))
+	fmt.Printf("fetches: %d, mode: %v\n", client.Stats.FetchReads, client.Mode())
+	// Output:
+	// echo: ping
+	// fetches: 1, mode: fetch
+}
+
+// ExampleCalibrate derives the parameter-selection bounds the paper's
+// Sec. 3.2 enumeration searches, from the hardware profile alone.
+func ExampleCalibrate() {
+	cal := rfp.Calibrate(rfp.ConnectX3(), 16)
+	fmt.Printf("R in [1,%d], F in [%d,%d]\n", cal.N, cal.L, cal.H)
+	// Output:
+	// R in [1,5], F in [256,1024]
+}
+
+// ExampleSelect runs the full selection procedure over pre-run samples: a
+// workload of 32-byte results with sub-microsecond processing picks the
+// smallest useful fetch size.
+func ExampleSelect() {
+	sizes := make([]int, 100)
+	times := make([]int64, 100)
+	for i := range sizes {
+		sizes[i] = 32
+		times[i] = 400
+	}
+	r, f := rfp.Select(rfp.ConnectX3(), 16, sizes, times)
+	fmt.Printf("R=%d F=%d\n", r, f)
+	// Output:
+	// R=1 F=256
+}
+
+// ExampleProfile_Asymmetry prints the headline hardware observation: the
+// in-bound/out-bound IOPS asymmetry RFP exploits.
+func ExampleProfile_Asymmetry() {
+	p := rfp.ConnectX3()
+	fmt.Printf("in-bound %.2f MOPS, out-bound %.2f MOPS, asymmetry %.1fx\n",
+		p.InboundPeakMOPS(32), p.OutboundPeakMOPS(32), p.Asymmetry())
+	// Output:
+	// in-bound 11.24 MOPS, out-bound 2.11 MOPS, asymmetry 5.3x
+}

@@ -1,0 +1,3 @@
+module rfp
+
+go 1.22

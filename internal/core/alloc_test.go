@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rfp/internal/hw"
+	"rfp/internal/rnic"
+	"rfp/internal/sim"
+)
+
+func newAlloc(t *testing.T, size int) (*BufAllocator, func()) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	nic := rnic.New(env, "n", hw.ConnectX3())
+	return NewBufAllocator(nic, size), func() { env.Close() }
+}
+
+func TestMallocBasic(t *testing.T) {
+	a, done := newAlloc(t, 1024)
+	defer done()
+	buf, err := a.MallocBuf(100)
+	if err != nil || len(buf) != 100 {
+		t.Fatalf("MallocBuf: %v len %d", err, len(buf))
+	}
+	if a.LiveAllocs() != 1 {
+		t.Fatal("live allocs")
+	}
+	if err := a.FreeBuf(buf); err != nil {
+		t.Fatalf("FreeBuf: %v", err)
+	}
+	if a.LiveAllocs() != 0 || a.FreeBytes() != 1024 {
+		t.Fatalf("after free: live=%d free=%d", a.LiveAllocs(), a.FreeBytes())
+	}
+}
+
+func TestMallocAlignment(t *testing.T) {
+	a, done := newAlloc(t, 1024)
+	defer done()
+	b1, _ := a.MallocBuf(1)
+	b2, _ := a.MallocBuf(1)
+	off1, ok1 := a.Offset(b1)
+	off2, ok2 := a.Offset(b2)
+	if !ok1 || !ok2 {
+		t.Fatal("Offset lookup failed")
+	}
+	if off1%allocAlign != 0 || off2%allocAlign != 0 {
+		t.Fatalf("offsets %d, %d not aligned", off1, off2)
+	}
+	if off2-off1 != allocAlign {
+		t.Fatalf("adjacent tiny allocs %d apart", off2-off1)
+	}
+}
+
+func TestMallocExhaustion(t *testing.T) {
+	a, done := newAlloc(t, 256)
+	defer done()
+	if _, err := a.MallocBuf(300); err != ErrNoSpace {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	b, _ := a.MallocBuf(256)
+	if _, err := a.MallocBuf(1); err != ErrNoSpace {
+		t.Fatal("second alloc should fail")
+	}
+	_ = a.FreeBuf(b)
+	if _, err := a.MallocBuf(256); err != nil {
+		t.Fatalf("after free: %v", err)
+	}
+}
+
+func TestMallocZeroAndNegative(t *testing.T) {
+	a, done := newAlloc(t, 256)
+	defer done()
+	if _, err := a.MallocBuf(0); err != ErrNoSpace {
+		t.Fatal("zero-size alloc should fail")
+	}
+	if _, err := a.MallocBuf(-4); err != ErrNoSpace {
+		t.Fatal("negative alloc should fail")
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	a, done := newAlloc(t, 256)
+	defer done()
+	b, _ := a.MallocBuf(64)
+	if err := a.FreeBuf(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FreeBuf(b); err != ErrNotAllocated {
+		t.Fatalf("double free err = %v", err)
+	}
+}
+
+func TestFreeForeignBuffer(t *testing.T) {
+	a, done := newAlloc(t, 256)
+	defer done()
+	if err := a.FreeBuf(make([]byte, 10)); err != ErrNotAllocated {
+		t.Fatalf("foreign free err = %v", err)
+	}
+	if err := a.FreeBuf(nil); err != ErrNotAllocated {
+		t.Fatalf("nil free err = %v", err)
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	a, done := newAlloc(t, 1024)
+	defer done()
+	bufs := make([][]byte, 4)
+	for i := range bufs {
+		bufs[i], _ = a.MallocBuf(256 - allocAlign) // leaves room for 4
+	}
+	// Free in shuffled order; spans must coalesce back to one region.
+	for _, i := range []int{2, 0, 3, 1} {
+		if err := a.FreeBuf(bufs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.FreeBytes() != 1024 {
+		t.Fatalf("FreeBytes = %d, want 1024", a.FreeBytes())
+	}
+	if _, err := a.MallocBuf(1000); err != nil {
+		t.Fatalf("full-region alloc after coalesce: %v", err)
+	}
+}
+
+// Property: any sequence of allocs and frees conserves bytes: free bytes +
+// allocated (aligned) bytes == region size, and allocations never overlap.
+func TestAllocatorConservationProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		env := sim.NewEnv(1)
+		defer env.Close()
+		nic := rnic.New(env, "n", hw.ConnectX3())
+		const region = 4096
+		a := NewBufAllocator(nic, region)
+		var live [][]byte
+		used := 0
+		for _, s := range sizes {
+			sz := int(s) + 1
+			if len(live) > 0 && s%3 == 0 {
+				b := live[0]
+				live = live[1:]
+				aligned := (cap(b) + allocAlign - 1) / allocAlign * allocAlign
+				if err := a.FreeBuf(b); err != nil {
+					return false
+				}
+				used -= aligned
+			} else {
+				b, err := a.MallocBuf(sz)
+				if err != nil {
+					continue
+				}
+				live = append(live, b)
+				used += (sz + allocAlign - 1) / allocAlign * allocAlign
+			}
+			if a.FreeBytes()+used != region {
+				return false
+			}
+		}
+		// Overlap check via offsets.
+		offs := map[int]bool{}
+		for _, b := range live {
+			off, ok := a.Offset(b)
+			if !ok || offs[off] {
+				return false
+			}
+			offs[off] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

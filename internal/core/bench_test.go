@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"rfp/internal/fabric"
+	"rfp/internal/hw"
+	"rfp/internal/sim"
+)
+
+// BenchmarkRPCCall measures one full RFP round trip (send + fetch) in
+// virtual execution — the host-side cost of simulating a call.
+func BenchmarkRPCCall(b *testing.B) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	cl := fabric.NewCluster(env, hw.ConnectX3(), 1)
+	srv := NewServer(cl.Server, ServerConfig{MaxRequest: 64, MaxResponse: 64})
+	srv.AddThreads(1)
+	cli, conn := srv.Accept(cl.Clients[0], DefaultParams())
+	cl.Server.Spawn("srv", func(p *sim.Proc) {
+		Serve(p, []*Conn{conn}, func(p *sim.Proc, c *Conn, req, resp []byte) int {
+			return copy(resp, req)
+		})
+	})
+	done := 0
+	cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		req := make([]byte, 32)
+		out := make([]byte, 64)
+		for {
+			if _, err := cli.Call(p, req, out); err != nil {
+				b.Errorf("call: %v", err)
+				return
+			}
+			done++
+		}
+	})
+	b.ResetTimer()
+	for env.Run(env.Now().Add(sim.Duration(50 * sim.Microsecond))); done < b.N; {
+		env.Run(env.Now().Add(sim.Duration(50 * sim.Microsecond)))
+	}
+}
+
+// BenchmarkHeaderCodec measures the wire header encode/decode pair.
+func BenchmarkHeaderCodec(b *testing.B) {
+	buf := make([]byte, HeaderSize)
+	for i := 0; i < b.N; i++ {
+		putHeader(buf, header{valid: true, size: 32, timeUs: 5, seq: uint16(i)})
+		h := parseHeader(buf)
+		if !h.valid {
+			b.Fatal("invalid")
+		}
+	}
+}
+
+// BenchmarkSelectF measures the Sec. 3.2 enumeration over 4k samples.
+func BenchmarkSelectF(b *testing.B) {
+	cal := Calibrate(hw.ConnectX3(), 16)
+	sizes := make([]int, 4096)
+	for i := range sizes {
+		sizes[i] = 32 + (i%64)*32
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SelectF(cal, sizes)
+	}
+}
+
+// BenchmarkMallocFree measures the registered-buffer allocator.
+func BenchmarkMallocFree(b *testing.B) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	m := fabric.NewMachine(env, "m", hw.ConnectX3())
+	a := NewBufAllocator(m.NIC(), 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := a.MallocBuf(512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.FreeBuf(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

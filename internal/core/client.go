@@ -1,0 +1,315 @@
+package core
+
+// Client side of RFP: client_send pushes the request into the server's
+// request buffer with one RDMA Write; client_recv repeatedly fetches the
+// response buffer with RDMA Reads of size F, falling back to server-reply
+// after K consecutive calls overrun the retry threshold R, and switching
+// back once the observed server process time shortens again (paper
+// Sec. 3.2, Discussion).
+
+import (
+	"errors"
+	"fmt"
+
+	"rfp/internal/fabric"
+	"rfp/internal/rnic"
+	"rfp/internal/sim"
+)
+
+// ErrClosed reports use of a closed connection.
+var ErrClosed = errors.New("core: connection closed")
+
+// RetryHistSize bounds the per-call retry histogram; calls with more
+// retries land in the last bucket.
+const RetryHistSize = 32
+
+// ClientStats accumulates per-connection behaviour of the hybrid mechanism.
+type ClientStats struct {
+	Calls           uint64
+	FetchReads      uint64 // RDMA Reads issued while fetching (incl. retries)
+	SecondReads     uint64 // continuation reads because size > F
+	ReplyDeliveries uint64 // calls completed via server-reply
+	Retries         uint64 // total failed fetch attempts
+	MaxRetries      int    // worst single-call failed-attempt count
+	RetryHist       [RetryHistSize]uint64
+	SwitchToReply   uint64
+	SwitchToFetch   uint64
+	IdleNs          int64 // CPU idle time accumulated waiting in reply mode
+
+	// Latency breakdown: virtual time accumulated in each call phase.
+	SendNs      int64 // request delivery (client_send)
+	FetchNs     int64 // remote fetching, including retries
+	ReplyWaitNs int64 // waiting in reply mode (polls + idle)
+}
+
+// Client is the client-side endpoint of one RFP connection. A Client must
+// be driven by a single simulated thread.
+type Client struct {
+	machine *fabric.Machine
+	params  Params
+	qp      *rnic.QP
+	server  rnic.RemoteMR
+	reqOff  int
+	respOff int
+	maxReq  int
+	maxResp int
+	local   *rnic.MR // reply-mode landing buffer
+
+	seq            uint16
+	mode           Mode
+	closed         bool
+	consecOverruns int
+	justSwitched   bool // the in-flight call raced the mode switch
+	tuner          *Tuner
+	stage          []byte
+	fetch          []byte
+
+	Stats ClientStats
+}
+
+// Machine returns the client's machine.
+func (c *Client) Machine() *fabric.Machine { return c.machine }
+
+// Mode returns the connection's current delivery mode as seen by the
+// client.
+func (c *Client) Mode() Mode { return c.mode }
+
+// Params returns the effective parameters.
+func (c *Client) Params() Params { return c.params }
+
+// SetFetchSize changes F at runtime (used by the on-line tuner). The value
+// is clamped to the response buffer.
+func (c *Client) SetFetchSize(f int) {
+	if f > HeaderSize+c.maxResp {
+		f = HeaderSize + c.maxResp
+	}
+	if f < HeaderSize+1 {
+		f = HeaderSize + 1
+	}
+	c.params.F = f
+}
+
+// Send transmits a request payload to the server (client_send): one RDMA
+// Write carrying header and payload, in-bound on the server side.
+func (c *Client) Send(p *sim.Proc, payload []byte) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if len(payload) > c.maxReq {
+		return fmt.Errorf("core: request of %d bytes exceeds limit %d", len(payload), c.maxReq)
+	}
+	start := p.Now()
+	defer func() { c.Stats.SendNs += int64(p.Now().Sub(start)) }()
+	c.seq++
+	// Clear the local landing header so a reply-mode delivery for this
+	// call is unambiguous.
+	putHeader(c.local.Buf, header{})
+	putHeader(c.stage, header{valid: true, size: len(payload), seq: c.seq})
+	copy(c.stage[HeaderSize:], payload)
+	return c.qp.Write(p, c.server, c.reqOff, c.stage[:HeaderSize+len(payload)])
+}
+
+// Recv obtains the response for the last Send (client_recv), returning the
+// number of payload bytes copied into out. It blocks (in virtual time)
+// until the response is delivered through whichever mode the hybrid
+// mechanism is in.
+func (c *Client) Recv(p *sim.Proc, out []byte) (int, error) {
+	if c.closed {
+		return 0, ErrClosed
+	}
+	c.Stats.Calls++
+	if c.mode == ModeReply {
+		return c.recvReply(p, out)
+	}
+	return c.recvFetch(p, out)
+}
+
+// Close tears the connection down: the server-side flag is marked closed
+// (Serve loops drop the connection from their polling sets), and the local
+// reply-landing region is deregistered. Further calls return ErrClosed.
+func (c *Client) Close(p *sim.Proc) error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	err := c.qp.Write(p, c.server, 0, []byte{modeClosed})
+	c.local.Deregister()
+	return err
+}
+
+// Call is the convenience RPC round trip: Send then Recv.
+func (c *Client) Call(p *sim.Proc, req, out []byte) (int, error) {
+	if err := c.Send(p, req); err != nil {
+		return 0, err
+	}
+	return c.Recv(p, out)
+}
+
+// recvFetch repeatedly fetches the server-side response buffer. Each fetch
+// reads F bytes (header + payload prefix); a response longer than F costs
+// one continuation read, which the inline size field makes possible without
+// a separate size-probe round trip.
+func (c *Client) recvFetch(p *sim.Proc, out []byte) (int, error) {
+	start := p.Now()
+	defer func() { c.Stats.FetchNs += int64(p.Now().Sub(start)) }()
+	failed := 0
+	overrun := false
+	for {
+		hdr, n, err := c.fetchOnce(p, out)
+		if err != nil {
+			return 0, err
+		}
+		if hdr.valid && hdr.seq == c.seq {
+			c.recordRetries(failed)
+			if overrun {
+				c.consecOverruns++
+			} else {
+				c.consecOverruns = 0
+			}
+			c.observeCall(hdr)
+			return n, nil
+		}
+		failed++
+		c.Stats.Retries++
+		if failed > c.params.R && !overrun {
+			overrun = true
+			// Only K consecutive overrunning calls trigger the actual
+			// switch, so isolated slow requests don't flap the mode.
+			if !c.params.DisableSwitch && c.consecOverruns+1 >= c.params.K {
+				c.recordRetries(failed)
+				c.consecOverruns = 0
+				if err := c.switchMode(p, ModeReply); err != nil {
+					return 0, err
+				}
+				return c.recvReply(p, out)
+			}
+		}
+	}
+}
+
+// fetchOnce issues one RDMA Read of F bytes and decodes what it saw. If the
+// header announces a payload longer than F, the remainder is fetched with a
+// single continuation read. Under NoInline the first read covers only the
+// header, so every successful fetch costs two reads.
+func (c *Client) fetchOnce(p *sim.Proc, out []byte) (header, int, error) {
+	f := c.params.F
+	if c.params.NoInline {
+		f = HeaderSize
+	}
+	if err := c.qp.Read(p, c.server, c.respOff, c.fetch[:f]); err != nil {
+		return header{}, 0, err
+	}
+	c.Stats.FetchReads++
+	hdr := parseHeader(c.fetch)
+	if !hdr.valid || hdr.seq != c.seq {
+		return hdr, 0, nil
+	}
+	if hdr.size > c.maxResp {
+		return header{}, 0, fmt.Errorf("core: server announced %d-byte response beyond limit %d", hdr.size, c.maxResp)
+	}
+	total := HeaderSize + hdr.size
+	if total > f {
+		if err := c.qp.Read(p, c.server, c.respOff+f, c.fetch[f:total]); err != nil {
+			return header{}, 0, err
+		}
+		c.Stats.FetchReads++
+		c.Stats.SecondReads++
+	}
+	n := copy(out, c.fetch[HeaderSize:total])
+	return hdr, n, nil
+}
+
+// recvReply waits for the server to push the response into the client's
+// local buffer, polling local memory sparsely (cheap for the CPU — this is
+// where reply mode saves client cycles, Fig. 15). For the one call that was
+// in flight when the mode switched, the response may already have been
+// buffered server-side before the mode flag landed; that call alone also
+// issues occasional remote fetches so it cannot strand. Steady-state reply
+// calls never fetch: the server pushes every response once it sees the flag.
+func (c *Client) recvReply(p *sim.Proc, out []byte) (int, error) {
+	start := p.Now()
+	defer func() { c.Stats.ReplyWaitNs += int64(p.Now().Sub(start)) }()
+	prof := c.machine.Profile()
+	fallback := c.justSwitched && !c.params.ForceReply
+	c.justSwitched = false
+	var waited int64
+	nextFallback := c.params.FallbackFetchNs
+	for {
+		hdr := parseHeader(c.local.Buf)
+		if hdr.valid && hdr.seq == c.seq {
+			n := copy(out, c.local.Buf[HeaderSize:HeaderSize+hdr.size])
+			c.Stats.ReplyDeliveries++
+			if err := c.maybeSwitchBack(p, hdr); err != nil {
+				return 0, err
+			}
+			c.observeCall(hdr)
+			return n, nil
+		}
+		if fallback && waited >= nextFallback {
+			nextFallback += c.params.FallbackFetchNs
+			fhdr, n, err := c.fetchOnce(p, out)
+			if err != nil {
+				return 0, err
+			}
+			if fhdr.valid && fhdr.seq == c.seq {
+				c.Stats.ReplyDeliveries++
+				if err := c.maybeSwitchBack(p, fhdr); err != nil {
+					return 0, err
+				}
+				c.observeCall(fhdr)
+				return n, nil
+			}
+		}
+		p.Sleep(sim.Duration(c.params.ReplyPollNs))
+		waited += c.params.ReplyPollNs
+		idle := c.params.ReplyPollNs - prof.LocalPollNs
+		if idle > 0 {
+			c.Stats.IdleNs += idle
+		}
+	}
+}
+
+// maybeSwitchBack returns the connection to fetch mode when the server's
+// reported process time has dropped back below the threshold.
+func (c *Client) maybeSwitchBack(p *sim.Proc, hdr header) error {
+	if c.params.ForceReply || int(hdr.timeUs) > c.params.SwitchBackUs {
+		return nil
+	}
+	return c.switchMode(p, ModeFetch)
+}
+
+// switchMode updates the client-local mode and mirrors it into the
+// server-side flag with a 1-byte RDMA Write (the flag is only ever written
+// by the client, paper Sec. 3.2 Discussion).
+func (c *Client) switchMode(p *sim.Proc, m Mode) error {
+	if c.mode == m {
+		return nil
+	}
+	c.mode = m
+	if m == ModeReply {
+		c.Stats.SwitchToReply++
+		c.justSwitched = true
+	} else {
+		c.Stats.SwitchToFetch++
+	}
+	return c.qp.Write(p, c.server, 0, []byte{byte(m)})
+}
+
+// observeCall feeds the attached tuner, if any, with the completed call's
+// result size and the server-reported process time.
+func (c *Client) observeCall(hdr header) {
+	if c.tuner != nil {
+		c.tuner.observe(c, hdr.size, int64(hdr.timeUs)*1000)
+	}
+}
+
+func (c *Client) recordRetries(failed int) {
+	if failed > c.Stats.MaxRetries {
+		c.Stats.MaxRetries = failed
+	}
+	b := failed
+	if b >= RetryHistSize {
+		b = RetryHistSize - 1
+	}
+	c.Stats.RetryHist[b]++
+}

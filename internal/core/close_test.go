@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"rfp/internal/sim"
+)
+
+func TestCloseStopsClientCalls(t *testing.T) {
+	r := newRig(t, 1, ServerConfig{})
+	cli, conn := r.srv.Accept(r.cluster.Clients[0], DefaultParams())
+	r.srv.AddThreads(1)
+	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {
+		Serve(p, []*Conn{conn}, echoHandler)
+	})
+	var before, after error
+	r.cluster.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		out := make([]byte, 64)
+		_, before = cli.Call(p, []byte("a"), out)
+		if err := cli.Close(p); err != nil {
+			t.Errorf("Close: %v", err)
+			return
+		}
+		_, after = cli.Call(p, []byte("b"), out)
+		if err := cli.Close(p); err != nil { // idempotent
+			t.Errorf("second Close: %v", err)
+		}
+	})
+	r.env.Run(sim.Time(sim.Millisecond))
+	if before != nil {
+		t.Fatalf("call before close: %v", before)
+	}
+	if after != ErrClosed {
+		t.Fatalf("call after close err = %v, want ErrClosed", after)
+	}
+	if !conn.Closed() {
+		t.Fatal("server-side flag not marked closed")
+	}
+}
+
+func TestServeRetiresWhenAllConnsClose(t *testing.T) {
+	r := newRig(t, 2, ServerConfig{})
+	cliA, connA := r.srv.Accept(r.cluster.Clients[0], DefaultParams())
+	cliB, connB := r.srv.Accept(r.cluster.Clients[1], DefaultParams())
+	r.srv.AddThreads(1)
+	served := 0
+	retired := false
+	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {
+		Serve(p, []*Conn{connA, connB}, func(p *sim.Proc, c *Conn, req, resp []byte) int {
+			served++
+			return copy(resp, req)
+		})
+		retired = true
+	})
+	r.cluster.Clients[0].Spawn("cliA", func(p *sim.Proc) {
+		out := make([]byte, 8)
+		_, _ = cliA.Call(p, []byte("a"), out)
+		_ = cliA.Close(p)
+	})
+	r.cluster.Clients[1].Spawn("cliB", func(p *sim.Proc) {
+		out := make([]byte, 8)
+		_, _ = cliB.Call(p, []byte("b"), out)
+		p.Sleep(sim.Micros(50))
+		_ = cliB.Close(p)
+	})
+	r.env.Run(sim.Time(2 * sim.Millisecond))
+	if served != 2 {
+		t.Fatalf("served %d", served)
+	}
+	if !retired {
+		t.Fatal("Serve did not return after all connections closed")
+	}
+}
+
+func TestClosedConnNotPolled(t *testing.T) {
+	// A closed connection must not consume serve cycles — the remaining
+	// client still gets full service.
+	r := newRig(t, 2, ServerConfig{})
+	cliA, connA := r.srv.Accept(r.cluster.Clients[0], DefaultParams())
+	cliB, connB := r.srv.Accept(r.cluster.Clients[1], DefaultParams())
+	r.srv.AddThreads(1)
+	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {
+		Serve(p, []*Conn{connA, connB}, echoHandler)
+	})
+	ok := 0
+	r.cluster.Clients[0].Spawn("cliA", func(p *sim.Proc) {
+		_ = cliA.Close(p)
+	})
+	r.cluster.Clients[1].Spawn("cliB", func(p *sim.Proc) {
+		out := make([]byte, 8)
+		for i := 0; i < 50; i++ {
+			if _, err := cliB.Call(p, []byte{byte(i)}, out); err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			ok++
+		}
+	})
+	r.env.Run(sim.Time(2 * sim.Millisecond))
+	if ok != 50 {
+		t.Fatalf("%d/50 calls after peer closed", ok)
+	}
+}
+
+func TestLatencyBreakdownAccumulates(t *testing.T) {
+	r := newRig(t, 1, ServerConfig{})
+	cli, conn := r.srv.Accept(r.cluster.Clients[0], DefaultParams())
+	r.srv.AddThreads(1)
+	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {
+		Serve(p, []*Conn{conn}, echoHandler)
+	})
+	r.cluster.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		out := make([]byte, 64)
+		for i := 0; i < 20; i++ {
+			_, _ = cli.Call(p, []byte("x"), out)
+		}
+	})
+	r.env.Run(sim.Time(sim.Millisecond))
+	st := cli.Stats
+	if st.SendNs <= 0 || st.FetchNs <= 0 {
+		t.Fatalf("breakdown empty: send=%d fetch=%d", st.SendNs, st.FetchNs)
+	}
+	if st.ReplyWaitNs != 0 {
+		t.Fatalf("fetch-mode calls accumulated reply wait: %d", st.ReplyWaitNs)
+	}
+	// Per-call send ~1.5us, fetch ~1.7us on an idle rig.
+	perSend := float64(st.SendNs) / float64(st.Calls)
+	perFetch := float64(st.FetchNs) / float64(st.Calls)
+	if perSend < 1000 || perSend > 2500 {
+		t.Fatalf("send = %.0f ns/call", perSend)
+	}
+	if perFetch < 1200 || perFetch > 3000 {
+		t.Fatalf("fetch = %.0f ns/call", perFetch)
+	}
+}
+
+func TestBreakdownReplyMode(t *testing.T) {
+	r := newRig(t, 1, ServerConfig{})
+	params := DefaultParams()
+	params.ForceReply = true
+	cli, conn := r.srv.Accept(r.cluster.Clients[0], params)
+	r.srv.AddThreads(1)
+	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {
+		Serve(p, []*Conn{conn}, echoHandler)
+	})
+	r.cluster.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		out := make([]byte, 64)
+		for i := 0; i < 10; i++ {
+			_, _ = cli.Call(p, []byte("x"), out)
+		}
+	})
+	r.env.Run(sim.Time(sim.Millisecond))
+	if cli.Stats.ReplyWaitNs <= 0 {
+		t.Fatal("reply-mode calls should accumulate reply wait")
+	}
+	if cli.Stats.FetchNs != 0 {
+		t.Fatal("ForceReply should never fetch")
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+// Params are the user-set knobs of RFP (paper Sec. 3.2). R and F are the
+// two parameters the paper's selection procedure optimizes; the rest encode
+// secondary policy the paper describes in its Discussion.
+type Params struct {
+	// R is the failed-fetch retry threshold: once a call has issued more
+	// than R unsuccessful remote fetches, the call counts as an overrun and
+	// the hybrid mechanism may fall back to server-reply.
+	R int
+
+	// F is the default fetch size in bytes, covering the 8-byte response
+	// header plus payload. A response whose total size exceeds F costs one
+	// extra RDMA Read for the remainder.
+	F int
+
+	// K is the number of consecutive overrunning calls required before the
+	// client actually switches to server-reply (default 2), so isolated
+	// requests with unexpectedly long process time do not cause needless
+	// mode flapping.
+	K int
+
+	// SwitchBackUs: while in server-reply mode the client watches the
+	// 16-bit process-time field of responses; once it drops to at most this
+	// many microseconds, the client switches back to repeated fetching.
+	SwitchBackUs int
+
+	// ReplyPollNs is the local-memory poll interval while waiting in
+	// server-reply mode. Sparse polling is what lets client CPU utilization
+	// drop in reply mode (paper Fig. 15).
+	ReplyPollNs int64
+
+	// FallbackFetchNs is how often, while waiting in reply mode, the client
+	// additionally issues a remote fetch. This closes the switch race: a
+	// response buffered server-side just before the mode flag arrived is
+	// still collected.
+	FallbackFetchNs int64
+
+	// DisableSwitch pins the connection to repeated remote fetching
+	// regardless of overruns ("Jakiro w/o Switch" in Fig. 14).
+	DisableSwitch bool
+
+	// ForceReply pins the connection to server-reply mode, yielding the
+	// ServerReply baseline from the paper's evaluation.
+	ForceReply bool
+
+	// NoInline disables the inline size mechanism: each successful fetch
+	// first reads only the 8-byte header and then issues a second read for
+	// the payload. This is the strawman Sec. 3.2 rejects ("using an RDMA
+	// operation to get the size separately requires at least two remote
+	// fetches for each RPC call") — kept for the ablation benchmark.
+	NoInline bool
+}
+
+// DefaultParams returns the paper's configuration for the ConnectX-3
+// cluster: R = 5, F = 256, switch after 2 consecutive overruns, switch back
+// when the server process time drops to ~7 us (the crossover of Fig. 9).
+func DefaultParams() Params {
+	return Params{
+		R:               5,
+		F:               256,
+		K:               2,
+		SwitchBackUs:    7,
+		ReplyPollNs:     1000,
+		FallbackFetchNs: 5000,
+	}
+}
+
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.R <= 0 {
+		p.R = d.R
+	}
+	if p.F <= 0 {
+		p.F = d.F
+	}
+	if p.K <= 0 {
+		p.K = d.K
+	}
+	if p.SwitchBackUs <= 0 {
+		p.SwitchBackUs = d.SwitchBackUs
+	}
+	if p.ReplyPollNs <= 0 {
+		p.ReplyPollNs = d.ReplyPollNs
+	}
+	if p.FallbackFetchNs <= 0 {
+		p.FallbackFetchNs = d.FallbackFetchNs
+	}
+	return p
+}
+
+// ServerConfig sizes the per-connection buffers.
+type ServerConfig struct {
+	MaxRequest  int // largest request payload in bytes
+	MaxResponse int // largest response payload in bytes
+}
+
+// DefaultServerConfig allows 1 KB requests and 16 KB responses, enough for
+// the paper's workloads (16 B keys, values up to 8 KB).
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{MaxRequest: 1024, MaxResponse: 16384}
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	d := DefaultServerConfig()
+	if c.MaxRequest <= 0 {
+		c.MaxRequest = d.MaxRequest
+	}
+	if c.MaxResponse <= 0 {
+		c.MaxResponse = d.MaxResponse
+	}
+	return c
+}

@@ -1,0 +1,249 @@
+package core
+
+// Server side of RFP. The server's role is deliberately conventional — it
+// processes every request on its CPU, exactly like a classic RPC server —
+// which is what lets RFP support legacy RPC interfaces without
+// application-specific data structures. The only departure from
+// server-reply is in Conn.Send: results are written into local response
+// buffers for clients to fetch, instead of being pushed with out-bound
+// RDMA, unless the connection's mode flag says the client has fallen back
+// to server-reply.
+
+import (
+	"fmt"
+
+	"rfp/internal/fabric"
+	"rfp/internal/rnic"
+	"rfp/internal/sim"
+)
+
+const connAlign = 64
+
+// Server is an RFP server endpoint on one machine. It accepts connections
+// and hands out Conns; request dispatch across server threads is the
+// caller's choice (the Jakiro store partitions connections EREW-style).
+type Server struct {
+	machine *fabric.Machine
+	cfg     ServerConfig
+	conns   []*Conn
+}
+
+// NewServer creates an RFP server on machine m.
+func NewServer(m *fabric.Machine, cfg ServerConfig) *Server {
+	return &Server{machine: m, cfg: cfg.withDefaults()}
+}
+
+// Machine returns the hosting machine.
+func (s *Server) Machine() *fabric.Machine { return s.machine }
+
+// Conns returns all accepted connections in accept order.
+func (s *Server) Conns() []*Conn { return s.conns }
+
+// AddThreads declares n server threads: they count against the machine's
+// cores and register as NIC issuers (server threads issue out-bound RDMA
+// only in reply mode, but the QP/CQ contention they cause is what limits
+// ServerReply scalability past ~6 threads, paper Fig. 12).
+func (s *Server) AddThreads(n int) {
+	s.machine.AddThreads(n)
+	for i := 0; i < n; i++ {
+		s.machine.NIC().RegisterIssuer()
+	}
+}
+
+// Conn is the server-side endpoint of one RFP connection (one per client
+// thread). Layout of the server-side region (paper Fig. 7):
+//
+//	[mode flag][request header+payload][response header+payload]
+type Conn struct {
+	srv *Server
+	id  int
+
+	region  *rnic.MR // server-side buffers
+	qp      *rnic.QP // server->client endpoint (reply-mode writes)
+	client  rnic.RemoteMR
+	reqOff  int
+	respOff int
+
+	curSeq  uint16
+	recvAt  sim.Time
+	scratch []byte // handler response scratch
+
+	// ServedFetch / ServedReply count responses by delivery mode.
+	ServedFetch uint64
+	ServedReply uint64
+}
+
+// ID returns the connection's accept-order index.
+func (c *Conn) ID() int { return c.id }
+
+// Mode returns the connection's current delivery mode as last written by
+// the client into the server-side flag.
+func (c *Conn) Mode() Mode { return Mode(c.region.Buf[0] & 1) }
+
+// Closed reports whether the client has torn the connection down.
+func (c *Conn) Closed() bool { return c.region.Buf[0]&modeClosed != 0 }
+
+// TryRecv checks the connection's request buffer (server_recv in the
+// paper's API). If a request is present it is consumed and its payload
+// returned; the slice is valid until the next TryRecv on this connection.
+// The poll itself costs server CPU, charged by the caller's serve loop.
+func (c *Conn) TryRecv(p *sim.Proc) ([]byte, bool) {
+	hdr := parseHeader(c.region.Buf[c.reqOff:])
+	if !hdr.valid {
+		return nil, false
+	}
+	// Consume: clear the status bit so the buffer is free for the client's
+	// next request, and charge unpacking cost.
+	putHeader(c.region.Buf[c.reqOff:], header{})
+	c.curSeq = hdr.seq
+	c.recvAt = p.Now()
+	prof := c.srv.machine.Profile()
+	c.srv.machine.ComputeNs(p, prof.LocalPollNs+prof.CopyNs(hdr.size))
+	return c.region.Buf[c.reqOff+HeaderSize : c.reqOff+HeaderSize+hdr.size], true
+}
+
+// Send publishes the response for the request last consumed by TryRecv
+// (server_send in the paper's API). In fetch mode it only writes the
+// server-local response buffer — the client will fetch it remotely. If the
+// client has switched the connection to reply mode, the response is
+// additionally pushed with an out-bound RDMA Write; writing the local
+// buffer too keeps the fallback fetch path alive across mode-switch races.
+func (c *Conn) Send(p *sim.Proc, payload []byte) error {
+	if len(payload) > c.srv.cfg.MaxResponse {
+		return fmt.Errorf("core: response of %d bytes exceeds limit %d", len(payload), c.srv.cfg.MaxResponse)
+	}
+	procNs := int64(p.Now().Sub(c.recvAt))
+	hdr := header{valid: true, size: len(payload), timeUs: clampTimeUs(procNs), seq: c.curSeq}
+	buf := c.region.Buf[c.respOff:]
+	putHeader(buf, hdr)
+	copy(buf[HeaderSize:], payload)
+	c.srv.machine.ComputeNs(p, c.srv.machine.Profile().CopyNs(len(payload)+HeaderSize))
+	if c.Mode() == ModeReply {
+		c.ServedReply++
+		return c.qp.Write(p, c.client, 0, buf[:HeaderSize+len(payload)])
+	}
+	c.ServedFetch++
+	return nil
+}
+
+// RespScratch returns a per-connection scratch buffer of MaxResponse bytes
+// for handlers to build responses in.
+func (c *Conn) RespScratch() []byte { return c.scratch }
+
+// Handler processes one request and writes the response into resp
+// (RespScratch-sized), returning the response length.
+type Handler func(p *sim.Proc, conn *Conn, req []byte, resp []byte) int
+
+// Serve runs a server-thread loop over a set of connections: poll each
+// connection's request buffer, process requests with h, publish responses.
+// The loop runs until the simulation stops it. Both the server threads and
+// the clients poll memory directly, as in Jakiro ("both the server and the
+// client threads directly poll the memory buffers"); an empty sweep charges
+// the sweep's CPU cost in one burst to keep the simulation efficient.
+func Serve(p *sim.Proc, conns []*Conn, h Handler) {
+	if len(conns) == 0 {
+		panic("core: Serve with no connections")
+	}
+	m := conns[0].srv.machine
+	sweepNs := m.Profile().LocalPollNs * int64(len(conns))
+	if sweepNs < 200 {
+		sweepNs = 200
+	}
+	// Consecutive empty sweeps back off geometrically (capped) so an idle
+	// server does not flood the event loop; the at-most ~2 us of extra
+	// pickup latency only ever applies after the connection set has been
+	// quiet for several sweeps, which never happens at the loads the
+	// evaluation measures.
+	backoff := int64(1)
+	live := append([]*Conn(nil), conns...)
+	for {
+		found := false
+		kept := live[:0]
+		for _, c := range live {
+			if c.Closed() {
+				continue // client tore the connection down; stop polling it
+			}
+			kept = append(kept, c)
+			req, ok := c.TryRecv(p)
+			if !ok {
+				continue
+			}
+			found = true
+			n := h(p, c, req, c.scratch)
+			if err := c.Send(p, c.scratch[:n]); err != nil {
+				panic(fmt.Sprintf("core: Serve send: %v", err))
+			}
+		}
+		live = kept
+		if len(live) == 0 {
+			return // every connection closed; the thread retires
+		}
+		if found {
+			backoff = 1
+			continue
+		}
+		idle := sweepNs * backoff
+		if idle > 2000 {
+			idle = 2000
+		} else if backoff < 8 {
+			backoff *= 2
+		}
+		m.ComputeNs(p, idle)
+	}
+}
+
+// Accept establishes an RFP connection from a (thread on a) client machine
+// and returns both endpoints. Buffer locations are exchanged at
+// registration time, exactly once, so the data path never needs further
+// coordination (paper Sec. 3.1).
+func (s *Server) Accept(clientMachine *fabric.Machine, params Params) (*Client, *Conn) {
+	params = params.withDefaults()
+	maxF := HeaderSize + s.cfg.MaxResponse
+	if params.F > maxF {
+		params.F = maxF
+	}
+	if params.F < HeaderSize+1 {
+		params.F = HeaderSize + 1
+	}
+
+	reqOff := connAlign
+	respOff := align(reqOff+HeaderSize+s.cfg.MaxRequest, connAlign)
+	regionSize := align(respOff+HeaderSize+s.cfg.MaxResponse, connAlign)
+
+	region := s.machine.NIC().RegisterMemory(regionSize)
+	qpC, qpS := rnic.Connect(clientMachine.NIC(), s.machine.NIC())
+	clientMR := clientMachine.NIC().RegisterMemory(HeaderSize + s.cfg.MaxResponse)
+
+	conn := &Conn{
+		srv:     s,
+		id:      len(s.conns),
+		region:  region,
+		qp:      qpS,
+		client:  clientMR.Handle(),
+		reqOff:  reqOff,
+		respOff: respOff,
+		scratch: make([]byte, s.cfg.MaxResponse),
+	}
+	s.conns = append(s.conns, conn)
+
+	cli := &Client{
+		machine: clientMachine,
+		params:  params,
+		qp:      qpC,
+		server:  region.Handle(),
+		reqOff:  reqOff,
+		respOff: respOff,
+		maxReq:  s.cfg.MaxRequest,
+		maxResp: s.cfg.MaxResponse,
+		local:   clientMR,
+		stage:   make([]byte, HeaderSize+s.cfg.MaxRequest),
+		fetch:   make([]byte, HeaderSize+s.cfg.MaxResponse),
+	}
+	if params.ForceReply {
+		cli.mode = ModeReply
+		region.Buf[0] = byte(ModeReply) // set during connection setup
+	}
+	return cli, conn
+}
+
+func align(v, a int) int { return (v + a - 1) / a * a }

@@ -1,0 +1,126 @@
+package core
+
+// Throughput-calibration tests: the paper's headline comparison in
+// miniature. These drive the full client/server stack at the paper's
+// topology (1 server + 7 client machines, 35 client threads) and check the
+// saturated rates against Fig. 12's story: RFP ~5.5 MOPS (half the in-bound
+// peak, since each call costs one in-bound write plus ~one in-bound read)
+// versus ServerReply ~2.1 MOPS (the out-bound ceiling).
+
+import (
+	"testing"
+
+	"rfp/internal/fabric"
+	"rfp/internal/hw"
+	"rfp/internal/sim"
+)
+
+// runLoad drives clientThreads closed-loop echo clients for the window and
+// returns achieved MOPS.
+func runLoad(t *testing.T, params Params, clientThreads, serverThreads int, window sim.Duration) (mops float64, clients []*Client) {
+	t.Helper()
+	env := sim.NewEnv(11)
+	defer env.Close()
+	cl := fabric.NewCluster(env, hw.ConnectX3(), 7)
+	srv := NewServer(cl.Server, ServerConfig{MaxRequest: 64, MaxResponse: 64})
+	srv.AddThreads(serverThreads)
+
+	placements := cl.ClientThreads(clientThreads)
+	conns := make([][]*Conn, serverThreads)
+	for i, pl := range placements {
+		cli, conn := srv.Accept(pl.Machine, params)
+		clients = append(clients, cli)
+		conns[i%serverThreads] = append(conns[i%serverThreads], conn)
+		pl := pl
+		cliRef := cli
+		pl.Machine.Spawn("cli", func(p *sim.Proc) {
+			req := make([]byte, 40) // 16B key + 24B framing, ~ paper's requests
+			out := make([]byte, 64)
+			for {
+				if _, err := cliRef.Call(p, req, out); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+			}
+		})
+	}
+	for i := 0; i < serverThreads; i++ {
+		set := conns[i]
+		if len(set) == 0 {
+			continue
+		}
+		srv.Machine().Spawn("srv", func(p *sim.Proc) {
+			Serve(p, set, func(p *sim.Proc, c *Conn, req, resp []byte) int {
+				// ~GET-like processing: hash + slot lookup.
+				srv.Machine().ComputeNs(p, 150)
+				return copy(resp, req[:32])
+			})
+		})
+	}
+	// Warm up, then measure over the window using call counts.
+	env.Run(sim.Time(window / 2))
+	var before uint64
+	for _, c := range clients {
+		before += c.Stats.Calls
+	}
+	start := env.Now()
+	env.Run(start.Add(window))
+	var after uint64
+	for _, c := range clients {
+		after += c.Stats.Calls
+	}
+	return float64(after-before) / window.Seconds() / 1e6, clients
+}
+
+func TestRFPSaturatedThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation run")
+	}
+	mops, clients := runLoad(t, DefaultParams(), 35, 6, 2*sim.Millisecond)
+	if mops < 4.6 || mops > 6.5 {
+		t.Fatalf("RFP saturated throughput = %.2f MOPS, want ~5.5 (Fig. 12)", mops)
+	}
+	// Fetch efficiency: ~1 read per call (paper: 1.005), so total round
+	// trips ~2.005 per call.
+	var calls, reads uint64
+	for _, c := range clients {
+		calls += c.Stats.Calls
+		reads += c.Stats.FetchReads
+	}
+	perCall := float64(reads) / float64(calls)
+	if perCall > 1.35 {
+		t.Fatalf("%.3f fetches per call, want ~1.0 (almost no wasted polls)", perCall)
+	}
+	for _, c := range clients {
+		if c.Mode() != ModeFetch {
+			t.Fatal("clients should remain in fetch mode on a fast server")
+		}
+	}
+}
+
+func TestServerReplySaturatedThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation run")
+	}
+	params := DefaultParams()
+	params.ForceReply = true
+	params.ReplyPollNs = 300
+	mops, _ := runLoad(t, params, 35, 6, 2*sim.Millisecond)
+	if mops < 1.7 || mops > 2.4 {
+		t.Fatalf("ServerReply saturated throughput = %.2f MOPS, want ~2.1 (out-bound ceiling)", mops)
+	}
+}
+
+func TestRFPBeatsServerReplyBy2x(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation run")
+	}
+	rfp, _ := runLoad(t, DefaultParams(), 35, 6, sim.Duration(1500)*sim.Microsecond)
+	params := DefaultParams()
+	params.ForceReply = true
+	params.ReplyPollNs = 300
+	sr, _ := runLoad(t, params, 35, 6, sim.Duration(1500)*sim.Microsecond)
+	if rfp < 2*sr {
+		t.Fatalf("RFP %.2f MOPS vs ServerReply %.2f MOPS: improvement %.2fx, want >= 2x", rfp, sr, rfp/sr)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+// On-line parameter tuning. The paper's Sec. 3.2 offers two ways to gather
+// the M samples its enumeration needs: "pre-running it for a certain time
+// or sampling periodically during its run". Tuner implements the second:
+// attach one to a Client (or share one across the clients of a service)
+// and every call's result size and server process time feed a bounded
+// sample window; every Period observations the enumeration re-runs and the
+// client's F (and R) are updated in place. Workload drift — say, a value-
+// size distribution that grows — is then absorbed without restarting.
+
+// Tuner adapts a connection's R and F from on-line samples.
+type Tuner struct {
+	cal     Calibration
+	sampler *Sampler
+	period  uint64
+	seen    uint64
+	clients []*Client
+
+	// TuneR controls whether the retry threshold is re-selected too
+	// (default true).
+	TuneR bool
+
+	// Retunes counts how many times re-selection changed a parameter.
+	Retunes uint64
+}
+
+// NewTuner creates a tuner with the given sample-window capacity and
+// re-selection period (observations between enumerations). Zero values
+// pick 2048 and 1024.
+func NewTuner(cal Calibration, window, period int) *Tuner {
+	if period <= 0 {
+		period = 1024
+	}
+	return &Tuner{cal: cal, sampler: NewSampler(window), period: uint64(period), TuneR: true}
+}
+
+// Calibration returns the hardware bounds the tuner enumerates within.
+func (t *Tuner) Calibration() Calibration { return t.cal }
+
+// Samples returns the current sample window size.
+func (t *Tuner) Samples() int { return len(t.sampler.Sizes) }
+
+// observe records one completed call and, at period boundaries, re-runs
+// the bounded enumeration and applies any change to every attached client.
+func (t *Tuner) observe(c *Client, respSize int, procNs int64) {
+	t.sampler.Observe(respSize, procNs)
+	t.seen++
+	if t.seen%t.period != 0 {
+		return
+	}
+	// SelectF reasons over result payload sizes (the header is added
+	// internally); Client.SetFetchSize clamps to the connection's buffers.
+	newF := SelectF(t.cal, t.sampler.Sizes)
+	newR := c.params.R
+	if t.TuneR {
+		newR = SelectR(t.cal, t.sampler.ProcTimes)
+	}
+	changed := false
+	for _, cc := range t.clients {
+		if newF != cc.params.F {
+			cc.SetFetchSize(newF)
+			changed = true
+		}
+		if t.TuneR && newR != cc.params.R {
+			cc.params.R = newR
+			changed = true
+		}
+	}
+	if changed {
+		t.Retunes++
+	}
+}
+
+// AttachTuner hooks a tuner into the client's receive path. Passing nil
+// detaches. A single tuner may be attached to many clients: they share one
+// sample window and every re-selection is applied to all of them at once.
+func (c *Client) AttachTuner(t *Tuner) {
+	if c.tuner == t {
+		return
+	}
+	if c.tuner != nil {
+		old := c.tuner
+		for i, cc := range old.clients {
+			if cc == c {
+				old.clients = append(old.clients[:i], old.clients[i+1:]...)
+				break
+			}
+		}
+	}
+	c.tuner = t
+	if t != nil {
+		t.clients = append(t.clients, c)
+	}
+}
+
+// Tuner returns the attached tuner, if any.
+func (c *Client) Tuner() *Tuner { return c.tuner }

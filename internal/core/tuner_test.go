@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"rfp/internal/hw"
+	"rfp/internal/sim"
+)
+
+func TestTunerAdaptsToSizeShift(t *testing.T) {
+	// A service whose results grow from 32 B to 700 B mid-run: the tuner
+	// must raise F past the new size so the second-read tax disappears.
+	r := newRig(t, 1, ServerConfig{MaxResponse: 2048})
+	params := DefaultParams()
+	params.F = 256
+	cli, conn := r.srv.Accept(r.cluster.Clients[0], params)
+	cal := Calibrate(hw.ConnectX3(), 1)
+	tuner := NewTuner(cal, 256, 64)
+	tuner.TuneR = false
+	cli.AttachTuner(tuner)
+	r.srv.AddThreads(1)
+	respSize := 32
+	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {
+		Serve(p, []*Conn{conn}, func(p *sim.Proc, c *Conn, req, resp []byte) int {
+			return respSize
+		})
+	})
+	var secondReadsSmall, secondReadsTail uint64
+	r.cluster.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		out := make([]byte, 2048)
+		for i := 0; i < 300; i++ {
+			if _, err := cli.Call(p, []byte("q"), out); err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+		}
+		secondReadsSmall = cli.Stats.SecondReads
+		respSize = 700 // workload shift
+		for i := 0; i < 400; i++ {
+			if _, err := cli.Call(p, []byte("q"), out); err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+		}
+		secondReadsTail = cli.Stats.SecondReads
+	})
+	r.env.Run(sim.Time(20 * sim.Millisecond))
+	if secondReadsSmall != 0 {
+		t.Fatalf("%d second reads during the small phase", secondReadsSmall)
+	}
+	if cli.Params().F <= 700 {
+		t.Fatalf("F = %d after shift, want > 700 (tuner did not adapt)", cli.Params().F)
+	}
+	if tuner.Retunes == 0 {
+		t.Fatal("tuner never retuned")
+	}
+	// Transitional second reads are expected (until the window fills with
+	// the new size), but they must stop: the last 100 calls of the run
+	// happen after 300 shifted observations >> the 64-call period plus the
+	// 256-sample window turnover.
+	grow := secondReadsTail - secondReadsSmall
+	if grow >= 400 {
+		t.Fatalf("second reads never stopped after retuning (%d)", grow)
+	}
+}
+
+func TestTunerSharedAcrossClients(t *testing.T) {
+	r := newRig(t, 2, ServerConfig{MaxResponse: 2048})
+	params := DefaultParams()
+	cal := Calibrate(hw.ConnectX3(), 1)
+	tuner := NewTuner(cal, 128, 32)
+	cliA, connA := r.srv.Accept(r.cluster.Clients[0], params)
+	cliB, connB := r.srv.Accept(r.cluster.Clients[1], params)
+	cliA.AttachTuner(tuner)
+	cliB.AttachTuner(tuner)
+	r.srv.AddThreads(1)
+	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {
+		Serve(p, []*Conn{connA, connB}, func(p *sim.Proc, c *Conn, req, resp []byte) int {
+			return 600
+		})
+	})
+	for i, cli := range []*Client{cliA, cliB} {
+		cli := cli
+		r.cluster.Clients[i].Spawn("cli", func(p *sim.Proc) {
+			out := make([]byte, 2048)
+			for k := 0; k < 200; k++ {
+				if _, err := cli.Call(p, []byte("q"), out); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+			}
+		})
+	}
+	r.env.Run(sim.Time(20 * sim.Millisecond))
+	if cliA.Params().F < 608 || cliB.Params().F < 608 {
+		t.Fatalf("shared tuner did not converge both clients: F_A=%d F_B=%d",
+			cliA.Params().F, cliB.Params().F)
+	}
+	if tuner.Samples() == 0 {
+		t.Fatal("no samples collected")
+	}
+}
+
+func TestTunerDetach(t *testing.T) {
+	r := newRig(t, 1, ServerConfig{})
+	cli, _ := r.srv.Accept(r.cluster.Clients[0], DefaultParams())
+	cal := Calibrate(hw.ConnectX3(), 1)
+	tuner := NewTuner(cal, 16, 8)
+	cli.AttachTuner(tuner)
+	if cli.Tuner() != tuner {
+		t.Fatal("attach")
+	}
+	cli.AttachTuner(nil)
+	if cli.Tuner() != nil {
+		t.Fatal("detach")
+	}
+}
+
+func TestTunerRSelection(t *testing.T) {
+	// With TuneR enabled and consistently tiny process times, R should be
+	// re-selected down from the default 5.
+	r := newRig(t, 1, ServerConfig{})
+	params := DefaultParams()
+	cli, conn := r.srv.Accept(r.cluster.Clients[0], params)
+	cal := Calibrate(hw.ConnectX3(), 16)
+	tuner := NewTuner(cal, 128, 32)
+	cli.AttachTuner(tuner)
+	r.srv.AddThreads(1)
+	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {
+		Serve(p, []*Conn{conn}, echoHandler)
+	})
+	r.cluster.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		out := make([]byte, 64)
+		for k := 0; k < 100; k++ {
+			if _, err := cli.Call(p, []byte("q"), out); err != nil {
+				t.Errorf("call: %v", err)
+				return
+			}
+		}
+	})
+	r.env.Run(sim.Time(5 * sim.Millisecond))
+	if got := cli.Params().R; got >= 5 {
+		t.Fatalf("R = %d after tuning on a fast server, want < 5", got)
+	}
+}

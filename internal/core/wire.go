@@ -1,0 +1,102 @@
+// Package core implements the Remote Fetching Paradigm (RFP), the RDMA RPC
+// paradigm proposed by the paper: clients send requests into the server's
+// memory with RDMA Write, the server processes them on its CPU and buffers
+// results locally, and clients remotely fetch results with RDMA Read — so
+// the server's RNIC handles only cheap in-bound operations, exploiting the
+// in-bound/out-bound asymmetry while avoiding server-bypass's access
+// amplification.
+//
+// The package provides the paper's Table-2 primitives (client_send,
+// client_recv, server_send, server_recv, malloc_buf, free_buf) as methods on
+// Client and Conn, the hybrid repeated-fetch/server-reply mechanism with its
+// R (retry threshold) and F (fetch size) parameters, and the
+// enumeration-based parameter selection of Sec. 3.2.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// HeaderSize is the size of the request/response buffer header (paper
+// Fig. 7): a 32-bit word holding a 1-bit status flag and a 31-bit size, a
+// 16-bit server process time (response only) and a 16-bit sequence number.
+//
+// The sequence number is an addition over the figure: with only a status
+// bit, a client that issues request N+1 and fetches immediately could
+// mistake the still-buffered response N for its answer. Echoing the request
+// sequence makes stale responses detectable.
+const HeaderSize = 8
+
+// MaxPayload is the largest request or response payload encodable in the
+// 31-bit size field. Practical buffers are far smaller.
+const MaxPayload = 1<<31 - 1
+
+// header is the decoded form of a buffer header.
+type header struct {
+	valid  bool
+	size   int
+	timeUs uint16 // server process time, microseconds (response only)
+	seq    uint16
+}
+
+// putHeader encodes h into buf[0:8].
+func putHeader(buf []byte, h header) {
+	word := uint32(h.size)
+	if h.valid {
+		word |= 1 << 31
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], word)
+	binary.LittleEndian.PutUint16(buf[4:6], h.timeUs)
+	binary.LittleEndian.PutUint16(buf[6:8], h.seq)
+}
+
+// parseHeader decodes buf[0:8].
+func parseHeader(buf []byte) header {
+	word := binary.LittleEndian.Uint32(buf[0:4])
+	return header{
+		valid:  word&(1<<31) != 0,
+		size:   int(word &^ (1 << 31)),
+		timeUs: binary.LittleEndian.Uint16(buf[4:6]),
+		seq:    binary.LittleEndian.Uint16(buf[6:8]),
+	}
+}
+
+// clampTimeUs converts a nanosecond duration to the header's 16-bit
+// microsecond field, saturating at the field's maximum.
+func clampTimeUs(ns int64) uint16 {
+	us := ns / 1000
+	if us > 65535 {
+		return 65535
+	}
+	if us < 0 {
+		return 0
+	}
+	return uint16(us)
+}
+
+// Mode is the per-connection delivery mode of the hybrid mechanism.
+type Mode uint8
+
+// Delivery modes. ModeFetch is the RFP fast path (client RDMA-Reads results
+// from server memory); ModeReply is the traditional server-reply fallback
+// (server RDMA-Writes results to the client).
+const (
+	ModeFetch Mode = 0
+	ModeReply Mode = 1
+)
+
+// modeClosed marks a torn-down connection in the server-side flag byte; it
+// is not a delivery mode (Conn.Mode masks it out, Conn.Closed exposes it).
+const modeClosed byte = 0x80
+
+func (m Mode) String() string {
+	switch m {
+	case ModeFetch:
+		return "fetch"
+	case ModeReply:
+		return "reply"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	buf := make([]byte, HeaderSize)
+	h := header{valid: true, size: 12345, timeUs: 678, seq: 42}
+	putHeader(buf, h)
+	got := parseHeader(buf)
+	if got != h {
+		t.Fatalf("round trip: %+v -> %+v", h, got)
+	}
+}
+
+func TestHeaderInvalidZero(t *testing.T) {
+	buf := make([]byte, HeaderSize)
+	if parseHeader(buf).valid {
+		t.Fatal("zero header should be invalid")
+	}
+}
+
+func TestHeaderStatusBitIndependentOfSize(t *testing.T) {
+	buf := make([]byte, HeaderSize)
+	putHeader(buf, header{valid: false, size: MaxPayload})
+	if parseHeader(buf).valid {
+		t.Fatal("max size leaked into status bit")
+	}
+	if parseHeader(buf).size != MaxPayload {
+		t.Fatal("size truncated")
+	}
+}
+
+func TestClampTimeUs(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want uint16
+	}{
+		{0, 0},
+		{-5, 0},
+		{999, 0},
+		{1000, 1},
+		{7_500, 7},
+		{65_535_000, 65535},
+		{1 << 40, 65535},
+	}
+	for _, c := range cases {
+		if got := clampTimeUs(c.ns); got != c.want {
+			t.Errorf("clampTimeUs(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeFetch.String() != "fetch" || ModeReply.String() != "reply" {
+		t.Fatal("mode strings")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode should still print")
+	}
+}
+
+// Property: any (valid, size, time, seq) tuple survives encoding.
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(valid bool, size uint32, timeUs, seq uint16) bool {
+		h := header{valid: valid, size: int(size &^ (1 << 31)), timeUs: timeUs, seq: seq}
+		buf := make([]byte, HeaderSize)
+		putHeader(buf, h)
+		return parseHeader(buf) == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package cuckoo
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkInsert measures inserts into a table held at ~70% fill.
+func BenchmarkInsert(b *testing.B) {
+	const n = 1 << 14
+	tab := New(make([]byte, NumSlotsFor(n, 0.7)*SlotSize))
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%010d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%n]
+		if i%n == 0 && i > 0 {
+			b.StopTimer()
+			tab = New(make([]byte, NumSlotsFor(n, 0.7)*SlotSize))
+			b.StartTimer()
+		}
+		if _, err := tab.Insert(k, Entry{DataOff: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLookup measures hits in a 70%-filled table.
+func BenchmarkLookup(b *testing.B) {
+	const n = 1 << 14
+	tab := New(make([]byte, NumSlotsFor(n, 0.7)*SlotSize))
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%010d", i))
+		if _, err := tab.Insert(keys[i], Entry{DataOff: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := tab.Lookup(keys[i%n]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkDecodeSlot measures the client-side slot validation path.
+func BenchmarkDecodeSlot(b *testing.B) {
+	buf := make([]byte, SlotSize)
+	EncodeSlot(buf, Entry{KeyFP: 1, DataOff: 2, KeySize: 16, ValSize: 32})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := DecodeSlot(buf); err != nil || !ok {
+			b.Fatal("decode")
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package cuckoo
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func newTable(slots int) *Table {
+	return New(make([]byte, slots*SlotSize))
+}
+
+func TestInsertLookup(t *testing.T) {
+	tab := newTable(64)
+	key := []byte("key-0000000000-1")
+	if _, err := tab.Insert(key, Entry{DataOff: 1234, ValSize: 32}); err != nil {
+		t.Fatal(err)
+	}
+	e, idx, ok := tab.Lookup(key)
+	if !ok {
+		t.Fatal("lookup miss")
+	}
+	if e.DataOff != 1234 || e.ValSize != 32 || e.KeySize != uint16(len(key)) {
+		t.Fatalf("entry = %+v", e)
+	}
+	if idx < 0 || idx >= 64 {
+		t.Fatalf("slot %d", idx)
+	}
+	if tab.Len() != 1 {
+		t.Fatal("Len")
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	tab := newTable(64)
+	if _, _, ok := tab.Lookup([]byte("absent")); ok {
+		t.Fatal("phantom hit")
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	tab := newTable(64)
+	key := []byte("k")
+	tab.Insert(key, Entry{DataOff: 1, Version: 1})
+	tab.Insert(key, Entry{DataOff: 2, Version: 2})
+	e, _, ok := tab.Lookup(key)
+	if !ok || e.DataOff != 2 || e.Version != 2 {
+		t.Fatalf("update: %+v", e)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d after update", tab.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tab := newTable(64)
+	key := []byte("k")
+	tab.Insert(key, Entry{DataOff: 5})
+	if !tab.Delete(key) {
+		t.Fatal("delete miss")
+	}
+	if _, _, ok := tab.Lookup(key); ok {
+		t.Fatal("resurrected")
+	}
+	if tab.Delete(key) {
+		t.Fatal("double delete")
+	}
+	if tab.Len() != 0 {
+		t.Fatal("Len")
+	}
+}
+
+func TestFillTo75Percent(t *testing.T) {
+	// Pilaf's evaluation point: a 75%-filled 3-way table must accept all
+	// inserts and find every key.
+	const n = 10_000
+	tab := New(make([]byte, NumSlotsFor(n, 0.75)*SlotSize))
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%08d", i))
+		if _, err := tab.Insert(key, Entry{DataOff: uint64(i)}); err != nil {
+			t.Fatalf("insert %d at 75%% fill: %v", i, err)
+		}
+	}
+	if tab.Len() != n {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%08d", i))
+		e, _, ok := tab.Lookup(key)
+		if !ok || e.DataOff != uint64(i) {
+			t.Fatalf("lookup %d after displacement: ok=%v e=%+v", i, ok, e)
+		}
+	}
+}
+
+func TestOverfullErrors(t *testing.T) {
+	tab := newTable(8)
+	sawErr := false
+	for i := 0; i < 100; i++ {
+		if _, err := tab.Insert([]byte(fmt.Sprintf("k%d", i)), Entry{}); err == ErrFull {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("over-stuffed table never reported ErrFull")
+	}
+}
+
+func TestSlotRoundTrip(t *testing.T) {
+	buf := make([]byte, SlotSize)
+	e := Entry{KeyFP: 99, DataOff: 1 << 40, KeySize: 16, ValSize: 8192, Version: 7}
+	EncodeSlot(buf, e)
+	got, ok, err := DecodeSlot(buf)
+	if err != nil || !ok {
+		t.Fatalf("decode: ok=%v err=%v", ok, err)
+	}
+	if got != e {
+		t.Fatalf("round trip %+v -> %+v", e, got)
+	}
+}
+
+func TestSlotTornReadDetected(t *testing.T) {
+	buf := make([]byte, SlotSize)
+	EncodeSlot(buf, Entry{KeyFP: 1, DataOff: 2})
+	buf[9] ^= 0xFF // simulate a torn/concurrent write
+	if _, _, err := DecodeSlot(buf); err != ErrBadSlot {
+		t.Fatalf("err = %v, want ErrBadSlot", err)
+	}
+}
+
+func TestClearedSlotIsConsistentEmpty(t *testing.T) {
+	buf := make([]byte, SlotSize)
+	EncodeSlot(buf, Entry{KeyFP: 1})
+	ClearSlot(buf)
+	_, ok, err := DecodeSlot(buf)
+	if err != nil {
+		t.Fatalf("cleared slot unreadable: %v", err)
+	}
+	if ok {
+		t.Fatal("cleared slot still live")
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	if _, _, err := DecodeSlot(make([]byte, 10)); err != ErrTooSmall {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCandidatesStableAndBounded(t *testing.T) {
+	g := DefaultGeometry(1000)
+	key := []byte("some-key")
+	a, b := g.Candidates(key), g.Candidates(key)
+	if a != b {
+		t.Fatal("candidates not deterministic")
+	}
+	for _, c := range a {
+		if c < 0 || c >= 1000 {
+			t.Fatalf("candidate %d out of range", c)
+		}
+	}
+}
+
+func TestFingerprintNeverZero(t *testing.T) {
+	g := DefaultGeometry(10)
+	for i := 0; i < 10000; i++ {
+		if g.Fingerprint([]byte(fmt.Sprintf("k%d", i))) == 0 {
+			t.Fatal("zero fingerprint (reserved for empty)")
+		}
+	}
+}
+
+func TestNumSlotsFor(t *testing.T) {
+	if n := NumSlotsFor(750, 0.75); n < 1000 {
+		t.Fatalf("NumSlotsFor = %d, want >= 1000", n)
+	}
+	if n := NumSlotsFor(100, 0); n < 133 {
+		t.Fatalf("default fill: %d", n)
+	}
+}
+
+func TestSlotOffset(t *testing.T) {
+	if SlotOffset(3) != 192 {
+		t.Fatal("SlotOffset")
+	}
+}
+
+// Property: after inserting any set of distinct keys (within capacity),
+// every key is found with its own entry data.
+func TestInsertAllFoundProperty(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		uniq := map[uint16]bool{}
+		for _, s := range seeds {
+			uniq[s] = true
+		}
+		if len(uniq) > 96 {
+			return true
+		}
+		tab := New(make([]byte, NumSlotsFor(len(uniq), 0.7)*SlotSize))
+		for s := range uniq {
+			if _, err := tab.Insert([]byte(fmt.Sprintf("key-%05d", s)), Entry{DataOff: uint64(s)}); err != nil {
+				return false
+			}
+		}
+		for s := range uniq {
+			e, _, ok := tab.Lookup([]byte(fmt.Sprintf("key-%05d", s)))
+			if !ok || e.DataOff != uint64(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: slot encode/decode round-trips arbitrary entries.
+func TestSlotRoundTripProperty(t *testing.T) {
+	f := func(fp, off uint64, ks uint16, vs, ver uint32) bool {
+		if fp == 0 {
+			fp = 1
+		}
+		e := Entry{KeyFP: fp, DataOff: off, KeySize: ks, ValSize: vs, Version: ver}
+		buf := make([]byte, SlotSize)
+		EncodeSlot(buf, e)
+		got, ok, err := DecodeSlot(buf)
+		return err == nil && ok && got == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,253 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixed(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := Fixed(32)
+	for i := 0; i < 10; i++ {
+		if f.Next(r) != 32 {
+			t.Fatal("Fixed not fixed")
+		}
+	}
+	if f.Max() != 32 {
+		t.Fatal("Max")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	u := Uniform{Lo: 32, Hi: 8192}
+	seenLow, seenHigh := false, false
+	for i := 0; i < 20000; i++ {
+		v := u.Next(r)
+		if v < 32 || v > 8192 {
+			t.Fatalf("out of range: %d", v)
+		}
+		if v < 1000 {
+			seenLow = true
+		}
+		if v > 7000 {
+			seenHigh = true
+		}
+	}
+	if !seenLow || !seenHigh {
+		t.Fatal("uniform draws not spread across range")
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	u := Uniform{Lo: 5, Hi: 5}
+	if u.Next(r) != 5 {
+		t.Fatal("degenerate uniform")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	z := NewZipf(0.99, 1_000_000)
+	// Analytically, theta=0.99 over 1M keys puts ~20% of all draws on the
+	// top 10 ranks (zeta(10)/zeta(1e6)).
+	mass := HeadMass(z, r, 50000, 10)
+	if mass < 0.15 || mass > 0.27 {
+		t.Fatalf("top-10 mass = %.3f; want ~0.20", mass)
+	}
+	if z.Max() != 999_999 {
+		t.Fatal("Max")
+	}
+}
+
+func TestZipfHeadToAverageRatio(t *testing.T) {
+	// The paper: "the most popular key is about 1e5 times more often than
+	// the average key" for Zipf(.99) over its key space.
+	z := NewZipf(0.99, 1_000_000)
+	avg := 1.0 / 1_000_000
+	ratio := z.HeadProbability() / avg
+	if ratio < 3e4 || ratio > 3e5 {
+		t.Fatalf("head/average = %.0f, want ~1e5", ratio)
+	}
+}
+
+func TestZipfRankOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	z := NewZipf(0.99, 1000)
+	counts := make([]int, 1000)
+	for i := 0; i < 200000; i++ {
+		counts[z.Next(r)]++
+	}
+	if !(counts[0] > counts[10] && counts[10] > counts[500]) {
+		t.Fatalf("popularity not rank-ordered: c0=%d c10=%d c500=%d",
+			counts[0], counts[10], counts[500])
+	}
+}
+
+func TestZipfPanicsOnBadTheta(t *testing.T) {
+	for _, theta := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("theta=%v: no panic", theta)
+				}
+			}()
+			NewZipf(theta, 10)
+		}()
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	z := NewZipf(0.99, 100)
+	for i := 0; i < 10000; i++ {
+		v := z.Next(r)
+		if v < 0 || v >= 100 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+	}
+}
+
+func TestZipfDeterminism(t *testing.T) {
+	draw := func() []int {
+		r := rand.New(rand.NewSource(9))
+		z := NewZipf(0.99, 1000)
+		out := make([]int, 50)
+		for i := range out {
+			out[i] = z.Next(r)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("zipf draws not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	m := Mean(Exp{MeanNs: 1000}, r, 200000)
+	if m < 950 || m > 1050 {
+		t.Fatalf("exp mean = %.1f, want ~1000", m)
+	}
+}
+
+func TestExpNonPositiveMean(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	if (Exp{MeanNs: 0}).NextNs(r) != 0 {
+		t.Fatal("zero-mean exp should be 0")
+	}
+}
+
+func TestSpikeTailProbability(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	s := Spike{BaseNs: 500, JitterNs: 100, TailProb: 0.002, TailLoNs: 5000, TailHiNs: 15000}
+	tail := 0
+	n := 500000
+	for i := 0; i < n; i++ {
+		if s.NextNs(r) >= 5000 {
+			tail++
+		}
+	}
+	frac := float64(tail) / float64(n)
+	if frac < 0.001 || frac > 0.004 {
+		t.Fatalf("tail fraction = %.4f, want ~0.002", frac)
+	}
+}
+
+func TestSpikeNeverNegative(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	s := Spike{BaseNs: 10, JitterNs: 50}
+	for i := 0; i < 10000; i++ {
+		if s.NextNs(r) < 0 {
+			t.Fatal("negative duration")
+		}
+	}
+}
+
+func TestFixedDur(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	if FixedDur(777).NextNs(r) != 777 {
+		t.Fatal("FixedDur")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	med := Quantile(FixedDur(42), r, 101, 0.5)
+	if med != 42 {
+		t.Fatalf("median of constant = %d", med)
+	}
+	if Quantile(FixedDur(1), r, 0, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 1, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 1, 3) != 2 {
+		t.Fatal("Clamp")
+	}
+	if ClampF(0.5, 0, 1) != 0.5 || ClampF(2, 0, 1) != 1 {
+		t.Fatal("ClampF")
+	}
+}
+
+// Property: uniform draws always stay within bounds for arbitrary ranges.
+func TestUniformBoundsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := func(lo uint16, span uint16) bool {
+		u := Uniform{Lo: int(lo), Hi: int(lo) + int(span)}
+		for i := 0; i < 50; i++ {
+			v := u.Next(r)
+			if v < u.Lo || v > u.Hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Spike with zero tail probability never exceeds base+jitter.
+func TestSpikeBoundProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	f := func(base, jitter uint16) bool {
+		s := Spike{BaseNs: int64(base), JitterNs: int64(jitter)}
+		for i := 0; i < 30; i++ {
+			v := s.NextNs(r)
+			if v > int64(base)+int64(jitter) || v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixture(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	m := Mixture{A: Fixed(32), B: Fixed(2048), PA: 0.9}
+	small := 0
+	for i := 0; i < 10000; i++ {
+		v := m.Next(r)
+		if v == 32 {
+			small++
+		} else if v != 2048 {
+			t.Fatalf("unexpected draw %d", v)
+		}
+	}
+	if small < 8800 || small > 9200 {
+		t.Fatalf("small fraction %d/10000, want ~9000", small)
+	}
+	if m.Max() != 2048 {
+		t.Fatal("Max")
+	}
+}

@@ -1,0 +1,444 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"rfp/internal/workload"
+)
+
+func quickOpts() Options {
+	o := DefaultOptions()
+	o.Quick = true
+	o.Warmup = 400_000 // 400 us
+	o.Window = 800_000 // 800 us
+	return o
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig3", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"fig20", "table3",
+		"ablation-inline", "ablation-switch", "ablation-selection", "ablation-twosided",
+		"ext-herd", "ext-loss", "ext-scaleout", "ext-tuning",
+		"ext-async", "ext-farm", "ext-ycsb",
+	}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+		if _, ok := Title(id); !ok {
+			t.Errorf("experiment %q has no title", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", DefaultOptions()); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r, err := Run("fig3", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.String()
+	for _, want := range []string{"fig3", "in-bound", "out-bound", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered result missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3Asymmetry(t *testing.T) {
+	r, err := Run("fig3", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, out := r.Series[0], r.Series[1]
+	if p := in.PeakY(); p < 10.5 || p > 12 {
+		t.Fatalf("in-bound peak = %.2f, want ~11.26", p)
+	}
+	if p := out.PeakY(); p < 1.9 || p > 2.3 {
+		t.Fatalf("out-bound peak = %.2f, want ~2.11", p)
+	}
+	if in.PeakY()/out.PeakY() < 4.5 {
+		t.Fatal("asymmetry below 4.5x")
+	}
+}
+
+func TestFig5Convergence(t *testing.T) {
+	r, err := Run("fig5", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, out := r.Series[0], r.Series[1]
+	last := len(in.Y) - 1
+	ratio := in.Y[last] / out.Y[last]
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Fatalf("4KB in/out ratio = %.2f, want ~1 (bandwidth-bound)", ratio)
+	}
+	if in.Y[0]/out.Y[0] < 4.5 {
+		t.Fatal("32B asymmetry missing")
+	}
+}
+
+func TestFig6InverseScaling(t *testing.T) {
+	r, err := Run("fig6", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tput := r.Series[0]
+	first, last := tput.Y[0], tput.Y[len(tput.Y)-1]
+	kFirst, kLast := tput.X[0], tput.X[len(tput.X)-1]
+	wantRatio := kLast / kFirst
+	gotRatio := first / last
+	if math.Abs(gotRatio-wantRatio)/wantRatio > 0.2 {
+		t.Fatalf("throughput ratio %.2f, want ~%.2f (1/k scaling)", gotRatio, wantRatio)
+	}
+}
+
+func TestFig9Crossover(t *testing.T) {
+	r, err := Run("fig9", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetch, reply := r.Series[0], r.Series[1]
+	// At P=1us fetching dominates; by P=15us they are comparable.
+	if fetch.Y[0] < 2*reply.Y[0] {
+		t.Fatalf("P=1us: fetch %.2f vs reply %.2f, want >=2x", fetch.Y[0], reply.Y[0])
+	}
+	last := len(fetch.Y) - 1
+	if fetch.Y[last] > 1.25*reply.Y[last] {
+		t.Fatalf("P=15us: fetch %.2f vs reply %.2f, want comparable", fetch.Y[last], reply.Y[last])
+	}
+}
+
+func TestFig12Hierarchy(t *testing.T) {
+	r, err := Run("fig12", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jk, sr, mc := r.Series[0], r.Series[1], r.Series[2]
+	if jk.PeakY() < 4.5 {
+		t.Fatalf("Jakiro peak %.2f, want ~5.5", jk.PeakY())
+	}
+	if sr.PeakY() < 1.8 || sr.PeakY() > 2.4 {
+		t.Fatalf("ServerReply peak %.2f, want ~2.1", sr.PeakY())
+	}
+	if mc.PeakY() > sr.PeakY() {
+		t.Fatal("RDMA-Memcached should trail ServerReply read-intensive")
+	}
+	// Paper's headline: Jakiro ~160% above ServerReply, ~310% above
+	// RDMA-Memcached.
+	if jk.PeakY()/sr.PeakY() < 2.0 {
+		t.Fatalf("Jakiro/ServerReply = %.2f, want >2", jk.PeakY()/sr.PeakY())
+	}
+	if jk.PeakY()/mc.PeakY() < 3.0 {
+		t.Fatalf("Jakiro/Memcached = %.2f, want >3", jk.PeakY()/mc.PeakY())
+	}
+}
+
+func TestFig13LatencyOrdering(t *testing.T) {
+	r, err := Run("fig13", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jk := r.CDFs[string(KindJakiro)]
+	sr := r.CDFs[string(KindServerReply)]
+	mc := r.CDFs[string(KindMemcached)]
+	if jk.Mean() >= sr.Mean() || jk.Mean() >= mc.Mean() {
+		t.Fatalf("Jakiro mean %.1fus should beat ServerReply %.1fus and Memcached %.1fus",
+			jk.Mean()/1e3, sr.Mean()/1e3, mc.Mean()/1e3)
+	}
+	// The paper's subtlety: ServerReply has LOWER low-quantile latency
+	// (single RDMA write beats a read), but worse high quantiles.
+	if sr.Percentile(0.15) >= jk.Percentile(0.15) {
+		t.Fatal("ServerReply should win the 15th percentile")
+	}
+	if sr.Percentile(0.99) <= jk.Percentile(0.99) {
+		t.Fatal("Jakiro should win the 99th percentile")
+	}
+	// Jakiro's mean should land in the paper's ballpark (5.78us).
+	if jk.Mean() < 4000 || jk.Mean() > 9000 {
+		t.Fatalf("Jakiro mean latency %.2fus, want ~6us", jk.Mean()/1e3)
+	}
+}
+
+func TestFig14SwitchConvergence(t *testing.T) {
+	r, err := Run("fig14", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jk, sr := r.Series[0], r.Series[1]
+	last := len(jk.Y) - 1
+	// At the largest process time the hybrid matches server-reply.
+	if ratio := jk.Y[last] / sr.Y[last]; ratio < 0.85 || ratio > 1.35 {
+		t.Fatalf("P=12us Jakiro/ServerReply = %.2f, want ~1", ratio)
+	}
+	// At P=1us RFP is far ahead (paper: 30%-320% higher below the
+	// crossover).
+	if jk.Y[0] < 1.8*sr.Y[0] {
+		t.Fatalf("P=1us Jakiro %.2f vs ServerReply %.2f", jk.Y[0], sr.Y[0])
+	}
+}
+
+func TestFig15UtilizationDrops(t *testing.T) {
+	r, err := Run("fig15", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := r.Series[0]
+	if util.Y[0] < 95 {
+		t.Fatalf("P=1us client CPU = %.1f%%, want ~100%%", util.Y[0])
+	}
+	last := len(util.Y) - 1
+	if util.Y[last] > 45 {
+		t.Fatalf("P=12us client CPU = %.1f%%, want <45%% after switching", util.Y[last])
+	}
+}
+
+func TestFig16JakiroHoldsUnderWrites(t *testing.T) {
+	r, err := Run("fig16", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jk, _, mc := r.Series[0], r.Series[1], r.Series[2]
+	// Jakiro within 10% across GET mixes.
+	if (jk.PeakY()-jk.Y[len(jk.Y)-1])/jk.PeakY() > 0.1 {
+		t.Fatalf("Jakiro varies too much across GET%%: %v", jk.Y)
+	}
+	// Memcached collapses write-intensive (paper: 14x below Jakiro).
+	ratio := jk.Y[len(jk.Y)-1] / mc.Y[len(mc.Y)-1]
+	if ratio < 8 {
+		t.Fatalf("write-intensive Jakiro/Memcached = %.1f, want >8", ratio)
+	}
+}
+
+func TestFig17BandwidthConvergence(t *testing.T) {
+	r, err := Run("fig17", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jk, sr, _ := r.Series[0], r.Series[1], r.Series[2]
+	last := len(jk.Y) - 1
+	if ratio := jk.Y[last] / sr.Y[last]; ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("8KB Jakiro/ServerReply = %.2f, want ~1 (bandwidth-bound)", ratio)
+	}
+	if jk.Y[0] < 2*sr.Y[0] {
+		t.Fatal("32B: Jakiro should be >=2x ServerReply")
+	}
+}
+
+func TestFig19SkewTolerated(t *testing.T) {
+	r, err := Run("fig19", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jk := r.Series[0]
+	if jk.PeakY() < 4.5 {
+		t.Fatalf("skewed Jakiro peak %.2f, want ~5.5", jk.PeakY())
+	}
+}
+
+func TestTable3RareRetries(t *testing.T) {
+	r, err := Run("table3", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 { // header + 4 workloads
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	out := r.String()
+	if !strings.Contains(out, "uniform/95%GET") || !strings.Contains(out, "skewed/5%GET") {
+		t.Fatalf("table3 rows missing workloads:\n%s", out)
+	}
+}
+
+func TestAblationInlineHalvesIOPS(t *testing.T) {
+	r, err := Run("ablation-inline", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inline, probe := r.Series[0], r.Series[1]
+	if ratio := inline.Y[0] / probe.Y[0]; ratio < 1.3 {
+		t.Fatalf("inline/probe = %.2f at 32B, want >1.3 (second read per call)", ratio)
+	}
+}
+
+func TestAblationTwoSided(t *testing.T) {
+	r, err := Run("ablation-twosided", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows: %v", r.Rows)
+	}
+}
+
+func TestRunKVPilafAmplification(t *testing.T) {
+	out := RunKV(KVRun{
+		Opts: quickOpts(), Kind: KindPilaf, Keys: 20_000,
+		Workload: workload.Config{GetFraction: 0.95},
+	})
+	if out.MOPS <= 0 {
+		t.Fatal("no throughput")
+	}
+	if rpg := out.Pilaf.ReadsPerGet(); rpg < 1.8 || rpg > 3.6 {
+		t.Fatalf("Pilaf reads/GET = %.2f, want 2-3.5", rpg)
+	}
+}
+
+func TestRunKVMissesCounted(t *testing.T) {
+	out := RunKV(KVRun{
+		Opts: quickOpts(), Kind: KindJakiro, Keys: 1000,
+		Workload: workload.Config{Keys: 1000, GetFraction: 1.0},
+	})
+	if out.Misses > out.Agg.Calls/100 {
+		t.Fatalf("%d misses out of %d calls on a fully preloaded store", out.Misses, out.Agg.Calls)
+	}
+}
+
+func TestRunKVMissRateAtStandardLoad(t *testing.T) {
+	// Regression for the partition/bucket hash-aliasing bug: at the
+	// standard 100k-key load the GET miss rate must match the Poisson
+	// bucket-overflow expectation (<2%), not the ~14% aliasing produced.
+	out := RunKV(KVRun{
+		Opts: quickOpts(), Kind: KindJakiro,
+		Workload: workload.Config{GetFraction: 1.0},
+	})
+	rate := float64(out.Misses) / float64(out.Agg.Calls)
+	if rate > 0.02 {
+		t.Fatalf("miss rate %.3f at standard load, want <2%%", rate)
+	}
+}
+
+func TestExtHerdOrdering(t *testing.T) {
+	r, err := Run("ext-herd", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows: %v", r.Rows)
+	}
+}
+
+func TestExtLossDegradesGracefully(t *testing.T) {
+	r, err := Run("ext-loss", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Series[0]
+	// Lossless must beat 1% loss, and both must stay functional.
+	if s.Y[0] <= s.Y[len(s.Y)-1] {
+		t.Fatalf("loss did not cost throughput: %v", s.Y)
+	}
+	if s.Y[len(s.Y)-1] < 0.5*s.Y[0] {
+		t.Fatalf("1%% loss collapsed throughput: %v", s.Y)
+	}
+}
+
+func TestExtScaleoutAdds(t *testing.T) {
+	r, err := Run("ext-scaleout", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Series[0]
+	if s.Y[1] < 1.7*s.Y[0] {
+		t.Fatalf("2 servers = %.2f vs 1 server = %.2f, want ~2x", s.Y[1], s.Y[0])
+	}
+}
+
+func TestExtTuningRecovers(t *testing.T) {
+	r, err := Run("ext-tuning", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows: %v", r.Rows)
+	}
+	// Row 1 is static, row 2 tuned; the tuned post-shift number (last
+	// field) must beat the static one by a sound margin. Parse crudely.
+	var staticPre, staticPost, tunedPre, tunedPost float64
+	if _, err := fmt.Sscanf(strings.ReplaceAll(r.Rows[1], "static F=256", ""), "%f MOPS%f MOPS", &staticPre, &staticPost); err != nil {
+		t.Fatalf("parse static row %q: %v", r.Rows[1], err)
+	}
+	if _, err := fmt.Sscanf(strings.ReplaceAll(r.Rows[2], "on-line tuner", ""), "%f MOPS%f MOPS", &tunedPre, &tunedPost); err != nil {
+		t.Fatalf("parse tuned row %q: %v", r.Rows[2], err)
+	}
+	if tunedPost < 1.2*staticPost {
+		t.Fatalf("tuned post-shift %.2f vs static %.2f, want >=20%% win", tunedPost, staticPost)
+	}
+}
+
+func TestExtAsyncPipeliningWins(t *testing.T) {
+	r, err := Run("ext-async", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows: %v", r.Rows)
+	}
+	var syncRate, pipeRate float64
+	if _, err := fmt.Sscanf(strings.TrimSpace(strings.TrimPrefix(r.Rows[1], "sync (1 thread)")), "%f", &syncRate); err != nil {
+		t.Fatalf("parse %q: %v", r.Rows[1], err)
+	}
+	if _, err := fmt.Sscanf(strings.TrimSpace(strings.TrimPrefix(r.Rows[2], "pipelined (1 thread)")), "%f", &pipeRate); err != nil {
+		t.Fatalf("parse %q: %v", r.Rows[2], err)
+	}
+	if pipeRate < 2.5*syncRate {
+		t.Fatalf("pipelined %.2f vs sync %.2f, want >=2.5x", pipeRate, syncRate)
+	}
+	if pipeRate < 1.8 || pipeRate > 2.3 {
+		t.Fatalf("pipelined rate %.2f, want the ~2.11 engine ceiling", pipeRate)
+	}
+}
+
+func TestExtFarmCrossover(t *testing.T) {
+	r, err := Run("ext-farm", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	farm, jk := r.Series[0], r.Series[1]
+	// Small values: the wide read wins raw lookups (the paper concedes
+	// FaRM's higher lookup rate). Large values: N-fold bandwidth waste
+	// collapses it below Jakiro.
+	if farm.Y[0] < jk.Y[0] {
+		t.Fatalf("32B: FaRM-style %.2f should beat Jakiro %.2f on raw lookups", farm.Y[0], jk.Y[0])
+	}
+	last := len(farm.Y) - 1
+	if farm.Y[last] > 0.6*jk.Y[last] {
+		t.Fatalf("512B: FaRM-style %.2f vs Jakiro %.2f — bandwidth waste missing", farm.Y[last], jk.Y[last])
+	}
+}
+
+func TestExtYCSB(t *testing.T) {
+	r, err := Run("ext-ycsb", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows: %v", r.Rows)
+	}
+	jk, sr := r.Series[0], r.Series[1]
+	for i := range jk.Y {
+		if jk.Y[i] < 1.5*sr.Y[i] {
+			t.Fatalf("workload %d: Jakiro %.2f vs ServerReply %.2f", i, jk.Y[i], sr.Y[i])
+		}
+	}
+	// Workload F is 50% read + 50% RMW = 1.5 RPCs per transaction, so its
+	// transaction rate is ~2/3 of workload C's pure-read rate.
+	if ratio := jk.Y[2] / jk.Y[3]; ratio < 1.3 || ratio > 1.8 {
+		t.Fatalf("C/F ratio = %.2f, want ~1.5 (RMW = two RPCs)", ratio)
+	}
+}

@@ -1,0 +1,394 @@
+package experiments
+
+// Extension experiments beyond the paper's evaluation:
+//
+//   - ext-herd: a HERD/FaSST-style RPC over unreliable transports (UC
+//     request writes + UD response sends), the design the paper's Sec. 5
+//     discusses: higher raw reply IOPS than RC server-reply, but loss
+//     handling lands on the application.
+//   - ext-loss: the same HERD harness under injected datagram loss,
+//     measuring the retransmit/duplicate burden reliability-free designs
+//     accept.
+//   - ext-scaleout: Jakiro across multiple server machines — the paper's
+//     Discussion note that RFP's asymmetric choice pays off "if the number
+//     of clients is higher than the number of servers".
+//   - ext-tuning: the on-line tuner reacting to a mid-run value-size
+//     shift, versus a statically configured client.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rfp/internal/core"
+	"rfp/internal/fabric"
+	"rfp/internal/kvstore/jakiro"
+	"rfp/internal/kvstore/kv"
+	"rfp/internal/rnic"
+	"rfp/internal/sim"
+	"rfp/internal/stats"
+	"rfp/internal/workload"
+)
+
+func init() {
+	register("ext-herd", "HERD-style UC/UD RPC vs RFP vs ServerReply (reliable fabric)", extHerd)
+	register("ext-loss", "HERD-style RPC under datagram loss: retransmits and duplicates", extLoss)
+	register("ext-scaleout", "Jakiro aggregate throughput vs number of server machines", extScaleout)
+	register("ext-tuning", "On-line (R,F) tuning across a workload shift", extTuning)
+}
+
+// herdStats aggregates the client-visible cost of unreliability.
+type herdStats struct {
+	Calls       uint64
+	Retransmits uint64
+	Duplicates  uint64 // requests the server executed more than once
+}
+
+// runHerd drives a HERD-style echo service: requests arrive as UC writes
+// into per-client slots; responses leave as UD datagrams. Clients detect
+// loss by timeout and retransmit; servers detect duplicate sequence
+// numbers (re-executions) for accounting.
+func runHerd(o Options, lossProb float64, clientThreads, serverThreads int) (float64, herdStats) {
+	prof := o.Profile
+	prof.LossProb = lossProb
+	env := sim.NewEnv(o.Seed)
+	defer env.Close()
+	cl := fabric.NewCluster(env, prof, 7)
+	cl.Server.AddThreads(serverThreads)
+	for i := 0; i < serverThreads; i++ {
+		cl.Server.NIC().RegisterIssuer()
+	}
+
+	const slotSize = 64
+	placements := cl.ClientThreads(clientThreads)
+	region := cl.Server.NIC().RegisterMemory(slotSize * len(placements))
+	srvUD := NewUDs(cl.Server.NIC(), serverThreads)
+
+	type conn struct {
+		off     int
+		ud      *rnic.UD
+		lastSeq uint32
+	}
+	conns := make([]*conn, len(placements))
+	var st herdStats
+	ops := make([]uint64, len(placements))
+
+	for i, pl := range placements {
+		cliUD := rnic.NewUD(pl.Machine.NIC())
+		conns[i] = &conn{off: i * slotSize, ud: cliUD}
+		uc, _ := rnic.ConnectUC(pl.Machine.NIC(), cl.Server.NIC())
+		i := i
+		h := region.Handle()
+		pl.Machine.Spawn("herd-cli", func(p *sim.Proc) {
+			req := make([]byte, 40)
+			seq := uint32(0)
+			for {
+				seq++
+				binary.LittleEndian.PutUint32(req[0:4], 1) // valid
+				binary.LittleEndian.PutUint32(req[4:8], seq)
+				if err := uc.Write(p, h, conns[i].off, req); err != nil {
+					panic(err)
+				}
+				// Wait for the UD response; on timeout, retransmit — the
+				// "subtle problems" RC spares its users.
+				for {
+					deadline := p.Now().Add(sim.Micros(15))
+					got := false
+					for p.Now() < deadline {
+						if msg, ok := cliUD.TryRecv(p); ok {
+							if binary.LittleEndian.Uint32(msg) == seq {
+								got = true
+								break
+							}
+							continue // stale response from a retransmit
+						}
+						p.Sleep(sim.Duration(200))
+					}
+					if got {
+						break
+					}
+					st.Retransmits++
+					if err := uc.Write(p, h, conns[i].off, req); err != nil {
+						panic(err)
+					}
+				}
+				ops[i]++
+			}
+		})
+	}
+
+	// Server threads poll slot ranges and reply via UD.
+	per := (len(placements) + serverThreads - 1) / serverThreads
+	for t := 0; t < serverThreads; t++ {
+		lo, hi := t*per, (t+1)*per
+		if hi > len(placements) {
+			hi = len(placements)
+		}
+		if lo >= hi {
+			continue
+		}
+		ud := srvUD[t]
+		cl.Server.Spawn("herd-srv", func(p *sim.Proc) {
+			resp := make([]byte, 32)
+			for {
+				found := false
+				for i := lo; i < hi; i++ {
+					c := conns[i]
+					slot := region.Buf[c.off : c.off+slotSize]
+					if binary.LittleEndian.Uint32(slot[0:4]) != 1 {
+						continue
+					}
+					seq := binary.LittleEndian.Uint32(slot[4:8])
+					binary.LittleEndian.PutUint32(slot[0:4], 0) // consume
+					found = true
+					if seq == c.lastSeq {
+						st.Duplicates++ // a retransmitted request re-executed
+					}
+					c.lastSeq = seq
+					cl.Server.ComputeNs(p, 150) // request processing
+					binary.LittleEndian.PutUint32(resp[0:4], seq)
+					if err := ud.SendTo(p, c.ud, resp); err != nil {
+						panic(err)
+					}
+				}
+				if !found {
+					cl.Server.ComputeNs(p, int64(40*(hi-lo)))
+				}
+			}
+		})
+	}
+
+	env.Run(sim.Time(o.Warmup))
+	before := sumU64(ops)
+	start := env.Now()
+	env.Run(start.Add(o.Window))
+	mops := stats.MOPS(sumU64(ops)-before, int64(o.Window))
+	st.Calls = sumU64(ops)
+	return mops, st
+}
+
+// NewUDs creates n datagram endpoints on one NIC.
+func NewUDs(n *rnic.NIC, count int) []*rnic.UD {
+	out := make([]*rnic.UD, count)
+	for i := range out {
+		out[i] = rnic.NewUD(n)
+	}
+	return out
+}
+
+func extHerd(o Options) Result {
+	herd, _ := runHerd(o, 0, 35, 6)
+	rfpOut := RunEcho(EchoRun{Opts: o, Params: core.DefaultParams(), ProcNs: 150, RespSize: 32, ServerThreads: 6})
+	srParams := core.DefaultParams()
+	srParams.ForceReply = true
+	srParams.ReplyPollNs = 300
+	srOut := RunEcho(EchoRun{Opts: o, Params: srParams, ProcNs: 150, RespSize: 32, ServerThreads: 6})
+	rows := []string{
+		fmt.Sprintf("%-24s%10s", "paradigm", "MOPS"),
+		fmt.Sprintf("%-24s%10.3f", "RFP (RC)", rfpOut.MOPS),
+		fmt.Sprintf("%-24s%10.3f", "HERD-style (UC+UD)", herd),
+		fmt.Sprintf("%-24s%10.3f", "server-reply (RC)", srOut.MOPS),
+	}
+	return Result{
+		ID: "ext-herd", Title: "unreliable-transport RPC vs RFP (lossless fabric)",
+		Rows: rows,
+		Notes: []string{
+			"UD replies are ~2x cheaper to issue than RC writes, lifting HERD-style RPC above RC server-reply (paper Sec. 5)",
+			"RFP still leads: its replies cost the server only in-bound operations",
+		},
+	}
+}
+
+func extLoss(o Options) Result {
+	probs := []float64{0, 1e-4, 1e-3, 1e-2}
+	tput := &stats.Series{Label: "MOPS", XLabel: "loss probability", YLabel: "MOPS"}
+	rows := []string{fmt.Sprintf("%-14s%10s%14s%14s", "loss prob", "MOPS", "retransmits", "re-executes")}
+	for _, pr := range probs {
+		mops, st := runHerd(o, pr, 35, 6)
+		tput.Add(pr, mops)
+		rows = append(rows, fmt.Sprintf("%-14g%10.3f%14d%14d", pr, mops, st.Retransmits, st.Duplicates))
+	}
+	return Result{
+		ID: "ext-loss", Title: "HERD-style RPC under datagram loss",
+		Series: []*stats.Series{tput},
+		Rows:   rows,
+		Notes: []string{
+			"every lost datagram costs a full timeout; duplicated executions must be tolerated by the application — the burden RC (and hence RFP) carries in hardware",
+		},
+	}
+}
+
+func extScaleout(o Options) Result {
+	counts := o.pick([]int{1, 2, 3, 4}, []int{1, 2, 4})
+	s := &stats.Series{Label: "aggregate", XLabel: "server machines", YLabel: "MOPS"}
+	for _, n := range counts {
+		s.Add(float64(n), runScaleout(o, n))
+	}
+	return Result{
+		ID: "ext-scaleout", Title: "Jakiro across multiple server machines (70 clients on 14 machines)",
+		Series: []*stats.Series{s},
+		Notes:  []string{"in-bound capacity adds per server machine until the clients' issue capacity binds"},
+	}
+}
+
+// runScaleout shards Jakiro across n server machines with 70 client
+// threads over 14 client machines.
+func runScaleout(o Options, nServers int) float64 {
+	env := sim.NewEnv(o.Seed)
+	defer env.Close()
+	cl := fabric.NewCluster(env, o.Profile, 14)
+	servers := make([]*jakiro.Server, nServers)
+	serverMachines := make([]*fabric.Machine, nServers)
+	cfg := jakiro.Config{Threads: 4, BucketsPerPartition: 8192, MaxValue: 64}
+	const keys = 100_000
+	for i := range servers {
+		m := cl.Server
+		if i > 0 {
+			m = fabric.NewMachine(env, fmt.Sprintf("server%d", i), o.Profile)
+		}
+		serverMachines[i] = m
+		servers[i] = jakiro.NewServer(m, cfg)
+	}
+	// Shard keys across servers with the same decorrelated hash family the
+	// stores use internally.
+	kbuf := make([]byte, workload.KeySize)
+	val := make([]byte, 32)
+	for k := uint64(0); k < keys; k++ {
+		key := workload.EncodeKey(kbuf, k)
+		workload.FillValue(val, k, 0)
+		srv := servers[serverFor(key, nServers)]
+		srv.Partition(kv.PartitionFor(key, cfg.Threads)).Put(key, val)
+	}
+
+	placements := cl.ClientThreads(70)
+	type multiClient struct{ per []*jakiro.Client }
+	clients := make([]multiClient, len(placements))
+	for i, pl := range placements {
+		mc := multiClient{per: make([]*jakiro.Client, nServers)}
+		for sidx, srv := range servers {
+			mc.per[sidx] = srv.NewClient(pl.Machine)
+		}
+		clients[i] = mc
+	}
+	for _, srv := range servers {
+		srv.Start()
+	}
+	ops := make([]uint64, len(placements))
+	for i, pl := range placements {
+		i := i
+		mc := clients[i]
+		gen := workload.NewGenerator(workload.Config{Keys: keys, GetFraction: 0.95}, o.Seed*100+int64(i))
+		pl.Machine.Spawn("load", func(p *sim.Proc) {
+			scratch := make([]byte, 128)
+			kb := make([]byte, workload.KeySize)
+			for {
+				op := gen.Next()
+				srv := serverFor(workload.EncodeKey(kb, op.Key), nServers)
+				if _, err := mc.per[srv].Do(p, op, scratch); err != nil {
+					panic(err)
+				}
+				ops[i]++
+			}
+		})
+	}
+	env.Run(sim.Time(o.Warmup))
+	before := sumU64(ops)
+	start := env.Now()
+	env.Run(start.Add(o.Window))
+	return stats.MOPS(sumU64(ops)-before, int64(o.Window))
+}
+
+// serverFor shards a key across server machines with yet another hash mix,
+// independent of both the partition and bucket hashes.
+func serverFor(key []byte, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := kv.HashKey(key)
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 31
+	return int(h % uint64(n))
+}
+
+// extTuning drives an echo service whose result size shifts from 32 B to
+// 384 B mid-run, with and without the on-line tuner attached. After the
+// shift a static F=256 client pays a continuation read on every call; the
+// tuner re-selects F from its sampling window and recovers the single-read
+// fast path (for 384 B results the covering read is still engine-bound, so
+// one big read strictly beats two small ones).
+func extTuning(o Options) Result {
+	const preSize, postSize = 32, 384
+	run := func(tuned bool) (preMOPS, postMOPS float64, retunes uint64, finalF int) {
+		env := sim.NewEnv(o.Seed)
+		defer env.Close()
+		cl := fabric.NewCluster(env, o.Profile, 7)
+		srv := core.NewServer(cl.Server, core.ServerConfig{MaxRequest: 64, MaxResponse: 2048})
+		const serverThreads = 6
+		srv.AddThreads(serverThreads)
+		respSize := preSize
+		placements := cl.ClientThreads(35)
+		conns := make([][]*core.Conn, serverThreads)
+		clients := make([]*core.Client, len(placements))
+		cal := core.Calibrate(o.Profile, serverThreads)
+		tuner := core.NewTuner(cal, 2048, 512)
+		tuner.TuneR = false
+		for i, pl := range placements {
+			cli, conn := srv.Accept(pl.Machine, core.DefaultParams())
+			clients[i] = cli
+			if tuned {
+				cli.AttachTuner(tuner)
+			}
+			conns[i%serverThreads] = append(conns[i%serverThreads], conn)
+		}
+		for t := 0; t < serverThreads; t++ {
+			set := conns[t]
+			cl.Server.Spawn("svc", func(p *sim.Proc) {
+				core.Serve(p, set, func(p *sim.Proc, c *core.Conn, req, resp []byte) int {
+					cl.Server.ComputeNs(p, 150)
+					return respSize
+				})
+			})
+		}
+		ops := make([]uint64, len(clients))
+		for i, pl := range placements {
+			i := i
+			cli := clients[i]
+			pl.Machine.Spawn("load", func(p *sim.Proc) {
+				req := make([]byte, 16)
+				out := make([]byte, 2048)
+				for {
+					if _, err := cli.Call(p, req, out); err != nil {
+						panic(err)
+					}
+					ops[i]++
+				}
+			})
+		}
+		env.Run(sim.Time(o.Warmup))
+		b1 := sumU64(ops)
+		start := env.Now()
+		env.Run(start.Add(o.Window))
+		preMOPS = stats.MOPS(sumU64(ops)-b1, int64(o.Window))
+		respSize = postSize                  // the workload shift
+		env.Run(env.Now().Add(2 * o.Window)) // settle: window turnover + retune period
+		b2 := sumU64(ops)
+		start = env.Now()
+		env.Run(start.Add(o.Window))
+		postMOPS = stats.MOPS(sumU64(ops)-b2, int64(o.Window))
+		return preMOPS, postMOPS, tuner.Retunes, clients[0].Params().F
+	}
+	staticPre, staticPost, _, _ := run(false)
+	tunedPre, tunedPost, retunes, finalF := run(true)
+	rows := []string{
+		fmt.Sprintf("%-18s%14s%14s", "client", "pre-shift", "post-shift"),
+		fmt.Sprintf("%-18s%10.3f MOPS%10.3f MOPS", "static F=256", staticPre, staticPost),
+		fmt.Sprintf("%-18s%10.3f MOPS%10.3f MOPS", "on-line tuner", tunedPre, tunedPost),
+		fmt.Sprintf("tuner retunes: %d, final F: %d", retunes, finalF),
+	}
+	return Result{
+		ID: "ext-tuning", Title: "on-line parameter adaptation across a 32B->384B result shift",
+		Rows: rows,
+		Notes: []string{
+			"the paper collects selection samples \"by pre-running ... or sampling periodically during its run\"; this is the second mode in action",
+		},
+	}
+}

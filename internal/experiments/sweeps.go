@@ -1,0 +1,98 @@
+package experiments
+
+// Process-time sweeps: Fig. 9 (repeated remote fetching vs server-reply on
+// a bare RPC service), Fig. 14 (Jakiro variants vs request process time)
+// and Fig. 15 (client CPU utilization across the same sweep).
+
+import (
+	"rfp/internal/core"
+	"rfp/internal/sim"
+	"rfp/internal/stats"
+	"rfp/internal/workload"
+)
+
+func init() {
+	register("fig9", "Repeated remote fetching vs server-reply vs server process time", fig9)
+	register("fig14", "Jakiro/ServerReply/Jakiro-w/o-Switch vs request process time", fig14)
+	register("fig15", "Client CPU utilization vs request process time", fig15)
+}
+
+func fig9(o Options) Result {
+	ps := o.pick([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}, []int{1, 4, 7, 11, 15})
+	fetch := &stats.Series{Label: "remote-fetching", XLabel: "server process time (us)", YLabel: "MOPS"}
+	reply := &stats.Series{Label: "server-reply"}
+	for _, p := range ps {
+		fp := core.DefaultParams()
+		fp.DisableSwitch = true // pure repeated remote fetching
+		fetch.Add(float64(p), RunEcho(EchoRun{Opts: o, Params: fp, ProcNs: int64(p) * 1000}).MOPS)
+
+		rp := core.DefaultParams()
+		rp.ForceReply = true
+		rp.ReplyPollNs = 300
+		reply.Add(float64(p), RunEcho(EchoRun{Opts: o, Params: rp, ProcNs: int64(p) * 1000}).MOPS)
+	}
+	return Result{
+		ID: "fig9", Title: "fetching vs reply across process times (F=S=1B, 16 server threads)",
+		Series: []*stats.Series{fetch, reply},
+		Notes:  []string{"crossover where server processing itself becomes the bottleneck defines the retry bound N"},
+	}
+}
+
+// fig14run drives Jakiro (or a variant) with a controlled request process
+// time, the paper's "for loop + RDTSC" methodology.
+func fig14run(o Options, procUs int, forceReply, noSwitch bool) KVOut {
+	kind := KindJakiro
+	if forceReply {
+		kind = KindServerReply
+	}
+	// The hybrid mechanism needs K consecutive overruns on each of a
+	// client's per-partition connections before all of them settle in
+	// reply mode; give the adaptation room before measuring.
+	if o.Warmup < 2*sim.Millisecond {
+		o.Warmup = 2 * sim.Millisecond
+	}
+	return RunKV(KVRun{
+		Opts:          o,
+		Kind:          kind,
+		ServerThreads: 16, // paper: 16 server threads, 35 client threads
+		Workload:      workload.Config{GetFraction: 0.95},
+		ExtraProcNs:   int64(procUs) * 1000,
+		DisableSwitch: noSwitch,
+		DisableSpikes: true,
+	})
+}
+
+func fig14(o Options) Result {
+	ps := o.pick([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, []int{1, 5, 9, 12})
+	jk := &stats.Series{Label: "Jakiro", XLabel: "request process time (us)", YLabel: "MOPS"}
+	sr := &stats.Series{Label: "ServerReply"}
+	ns := &stats.Series{Label: "Jakiro-w/o-Switch"}
+	for _, p := range ps {
+		jk.Add(float64(p), fig14run(o, p, false, false).MOPS)
+		sr.Add(float64(p), fig14run(o, p, true, false).MOPS)
+		ns.Add(float64(p), fig14run(o, p, false, true).MOPS)
+	}
+	return Result{
+		ID: "fig14", Title: "throughput vs request process time",
+		Series: []*stats.Series{jk, sr, ns},
+		Notes: []string{
+			"for large process times Jakiro auto-switches to server-reply and matches it",
+		},
+	}
+}
+
+func fig15(o Options) Result {
+	ps := o.pick([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, []int{1, 5, 9, 12})
+	util := &stats.Series{Label: "client-CPU%", XLabel: "request process time (us)", YLabel: "%"}
+	for _, p := range ps {
+		out := fig14run(o, p, false, false)
+		util.Add(float64(p), 100*out.ClientUtil)
+	}
+	return Result{
+		ID: "fig15", Title: "client CPU utilization vs request process time (Jakiro)",
+		Series: []*stats.Series{util},
+		Notes: []string{
+			"100% while repeatedly fetching; drops sharply once the hybrid mechanism settles in server-reply mode",
+		},
+	}
+}

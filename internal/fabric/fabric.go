@@ -1,0 +1,145 @@
+// Package fabric assembles simulated machines and NICs into clusters. It
+// owns the CPU-side of the model: core counts, oversubscription dilation,
+// and helpers to spawn machine-bound threads — complementing package rnic,
+// which owns the network side.
+package fabric
+
+import (
+	"fmt"
+
+	"rfp/internal/hw"
+	"rfp/internal/rnic"
+	"rfp/internal/sim"
+)
+
+// Machine is one host: a CPU complex plus one RNIC.
+type Machine struct {
+	env     *sim.Env
+	name    string
+	prof    hw.Profile
+	nic     *rnic.NIC
+	threads int
+
+	// BusyNs accumulates CPU time charged through Compute, for coarse
+	// utilization accounting.
+	BusyNs int64
+}
+
+// NewMachine creates a machine with a fresh NIC.
+func NewMachine(env *sim.Env, name string, prof hw.Profile) *Machine {
+	return &Machine{
+		env:  env,
+		name: name,
+		prof: prof,
+		nic:  rnic.New(env, name+"/nic0", prof),
+	}
+}
+
+// Name returns the machine name.
+func (m *Machine) Name() string { return m.name }
+
+// NIC returns the machine's RNIC.
+func (m *Machine) NIC() *rnic.NIC { return m.nic }
+
+// Profile returns the machine's hardware profile.
+func (m *Machine) Profile() hw.Profile { return m.prof }
+
+// Env returns the simulation environment.
+func (m *Machine) Env() *sim.Env { return m.env }
+
+// Threads returns the number of declared threads.
+func (m *Machine) Threads() int { return m.threads }
+
+// CPUFactor returns the time dilation applied to CPU bursts: 1 while the
+// machine has at least as many cores as threads, threads/cores beyond that.
+func (m *Machine) CPUFactor() float64 {
+	if m.prof.Cores <= 0 || m.threads <= m.prof.Cores {
+		return 1
+	}
+	return float64(m.threads) / float64(m.prof.Cores)
+}
+
+// AddThreads declares n more runnable threads on the machine, updating the
+// NIC's CPU dilation. Threads that issue RDMA operations should additionally
+// be registered with NIC().RegisterIssuer.
+func (m *Machine) AddThreads(n int) {
+	m.threads += n
+	m.nic.SetCPUFactor(m.CPUFactor())
+}
+
+// Compute charges d of CPU work to the calling process, dilated by
+// oversubscription.
+func (m *Machine) Compute(p *sim.Proc, d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	eff := sim.Duration(float64(d) * m.CPUFactor())
+	m.BusyNs += int64(eff)
+	p.Sleep(eff)
+}
+
+// ComputeNs is Compute for a raw nanosecond count.
+func (m *Machine) ComputeNs(p *sim.Proc, ns int64) {
+	m.Compute(p, sim.Duration(ns))
+}
+
+// Spawn starts a process logically bound to this machine.
+func (m *Machine) Spawn(name string, fn func(*sim.Proc)) {
+	m.env.Go(m.name+"/"+name, fn)
+}
+
+// Cluster is the paper's topology: one server machine plus a set of client
+// machines on a single switch.
+type Cluster struct {
+	Env     *sim.Env
+	Server  *Machine
+	Clients []*Machine
+}
+
+// NewCluster builds a cluster with nClients client machines, all using prof.
+func NewCluster(env *sim.Env, prof hw.Profile, nClients int) *Cluster {
+	c := &Cluster{
+		Env:    env,
+		Server: NewMachine(env, "server", prof),
+	}
+	for i := 0; i < nClients; i++ {
+		c.Clients = append(c.Clients, NewMachine(env, fmt.Sprintf("client%d", i), prof))
+	}
+	return c
+}
+
+// Connect establishes a reliable connection between two machines and
+// returns the endpoints (a's first).
+func Connect(a, b *Machine) (*rnic.QP, *rnic.QP) {
+	return rnic.Connect(a.NIC(), b.NIC())
+}
+
+// ClientThreads distributes total threads round-robin across the client
+// machines and returns (machine, thread-index-on-machine) pairs in spawn
+// order. It also declares the threads on their machines and registers them
+// as NIC issuers.
+func (c *Cluster) ClientThreads(total int) []Placement {
+	out := make([]Placement, 0, total)
+	perMachine := make([]int, len(c.Clients))
+	for i := 0; i < total; i++ {
+		mi := i % len(c.Clients)
+		out = append(out, Placement{Machine: c.Clients[mi], Index: perMachine[mi], Global: i})
+		perMachine[mi]++
+	}
+	for mi, n := range perMachine {
+		if n > 0 {
+			c.Clients[mi].AddThreads(n)
+			for j := 0; j < n; j++ {
+				c.Clients[mi].NIC().RegisterIssuer()
+			}
+		}
+	}
+	return out
+}
+
+// Placement locates one logical thread on a machine.
+type Placement struct {
+	Machine *Machine
+	Index   int // thread index within the machine
+	Global  int // global thread index across the cluster
+}

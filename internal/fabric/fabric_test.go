@@ -1,0 +1,150 @@
+package fabric
+
+import (
+	"testing"
+
+	"rfp/internal/hw"
+	"rfp/internal/sim"
+)
+
+func TestNewClusterTopology(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	c := NewCluster(env, hw.ConnectX3(), 7)
+	if c.Server == nil || len(c.Clients) != 7 {
+		t.Fatalf("cluster = server %v, %d clients", c.Server, len(c.Clients))
+	}
+	if c.Server.Name() != "server" {
+		t.Fatal("server name")
+	}
+	seen := map[string]bool{}
+	for _, m := range c.Clients {
+		if seen[m.Name()] {
+			t.Fatalf("duplicate machine name %q", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+}
+
+func TestCPUFactorOversubscription(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	m := NewMachine(env, "m", hw.ConnectX3()) // 16 cores
+	m.AddThreads(16)
+	if f := m.CPUFactor(); f != 1 {
+		t.Fatalf("factor at 16/16 = %v, want 1", f)
+	}
+	m.AddThreads(16)
+	if f := m.CPUFactor(); f != 2 {
+		t.Fatalf("factor at 32/16 = %v, want 2", f)
+	}
+}
+
+func TestComputeDilation(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	m := NewMachine(env, "m", hw.ConnectX3())
+	m.AddThreads(32) // 2x oversubscribed
+	var elapsed sim.Duration
+	m.Spawn("w", func(p *sim.Proc) {
+		start := p.Now()
+		m.Compute(p, sim.Micros(1))
+		elapsed = p.Now().Sub(start)
+	})
+	env.RunAll()
+	if elapsed != sim.Micros(2) {
+		t.Fatalf("1us burst took %v under 2x oversubscription, want 2us", elapsed)
+	}
+	if m.BusyNs != int64(sim.Micros(2)) {
+		t.Fatalf("BusyNs = %d", m.BusyNs)
+	}
+}
+
+func TestComputeNonPositive(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	m := NewMachine(env, "m", hw.ConnectX3())
+	m.Spawn("w", func(p *sim.Proc) {
+		m.Compute(p, 0)
+		m.Compute(p, -5)
+	})
+	env.RunAll()
+	if m.BusyNs != 0 {
+		t.Fatal("non-positive compute should charge nothing")
+	}
+}
+
+func TestClientThreadsPlacement(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	c := NewCluster(env, hw.ConnectX3(), 7)
+	pl := c.ClientThreads(35)
+	if len(pl) != 35 {
+		t.Fatalf("%d placements", len(pl))
+	}
+	perMachine := map[*Machine]int{}
+	for _, p := range pl {
+		perMachine[p.Machine]++
+	}
+	for _, m := range c.Clients {
+		if perMachine[m] != 5 {
+			t.Fatalf("machine %s got %d threads, want 5", m.Name(), perMachine[m])
+		}
+		if m.Threads() != 5 {
+			t.Fatalf("declared threads = %d", m.Threads())
+		}
+		if m.NIC().Issuers() != 5 {
+			t.Fatalf("issuers = %d", m.NIC().Issuers())
+		}
+	}
+	// Global indices are unique and dense.
+	seen := map[int]bool{}
+	for _, p := range pl {
+		if seen[p.Global] {
+			t.Fatal("duplicate global index")
+		}
+		seen[p.Global] = true
+	}
+}
+
+func TestClientThreadsUneven(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	c := NewCluster(env, hw.ConnectX3(), 7)
+	pl := c.ClientThreads(10)
+	if len(pl) != 10 {
+		t.Fatal("placements")
+	}
+	counts := map[string]int{}
+	for _, p := range pl {
+		counts[p.Machine.Name()]++
+	}
+	// 10 threads over 7 machines: three machines get 2, four get 1.
+	twos, ones := 0, 0
+	for _, n := range counts {
+		switch n {
+		case 2:
+			twos++
+		case 1:
+			ones++
+		default:
+			t.Fatalf("machine with %d threads", n)
+		}
+	}
+	if twos != 3 || ones != 4 {
+		t.Fatalf("distribution %v", counts)
+	}
+}
+
+func TestConnectEndpoints(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	c := NewCluster(env, hw.ConnectX3(), 1)
+	qa, qb := Connect(c.Clients[0], c.Server)
+	if qa.Local() != c.Clients[0].NIC() || qa.Remote() != c.Server.NIC() {
+		t.Fatal("endpoint a wiring")
+	}
+	if qb.Local() != c.Server.NIC() || qb.Remote() != c.Clients[0].NIC() {
+		t.Fatal("endpoint b wiring")
+	}
+}

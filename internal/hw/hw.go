@@ -1,0 +1,230 @@
+// Package hw defines hardware cost profiles for the simulated cluster: RNIC
+// engine rates, link bandwidth, per-post CPU overheads, contention
+// coefficients and CPU core counts.
+//
+// The default profile is calibrated against the measurements reported in the
+// RFP paper (EuroSys'17, Sec. 2) for a Mellanox ConnectX-3 (MT27500,
+// 40 Gbps) on dual 8-core Xeon E5-2640 v2 machines:
+//
+//   - out-bound one-sided peak ≈ 2.11 MOPS for 32 B payloads (Fig. 3),
+//     reached with ~4 issuing threads;
+//   - in-bound one-sided peak ≈ 11.26 MOPS (Fig. 3), ~5.3x the out-bound
+//     peak, because the responder side is handled purely by NIC hardware;
+//   - in-bound and out-bound IOPS converge once payloads exceed ~2 KB, where
+//     link bandwidth becomes the bottleneck (Fig. 5);
+//   - client-side software (driver lock) and hardware (QP/CQ) contention
+//     degrade issuing efficiency as threads per machine grow (Fig. 4).
+package hw
+
+// Profile describes one machine+NIC configuration. All times are in
+// nanoseconds of virtual time; rates derive from them.
+type Profile struct {
+	Name string
+
+	// LinkGbps is the line rate of the NIC port (each direction).
+	LinkGbps float64
+
+	// OutEngineNs is the initiator-side NIC engine occupancy per one-sided
+	// work request: WQE fetch, doorbell handling, DMA setup and completion
+	// generation. Its reciprocal is the out-bound IOPS ceiling for small
+	// payloads (474 ns ≈ 2.11 MOPS).
+	OutEngineNs int64
+
+	// InEngineNs is the responder-side engine occupancy per in-bound
+	// one-sided operation (89 ns ≈ 11.26 MOPS).
+	InEngineNs int64
+
+	// ReadRespExtraNs is extra responder work for RDMA Read (it must
+	// generate a response packet carrying data, unlike Write whose ack is
+	// trivial); this is why a single RDMA Write has slightly lower latency
+	// than a single RDMA Read (paper Sec. 4.4.2, also observed by HERD).
+	ReadRespExtraNs int64
+
+	// PropagationNs is the one-way wire + switch latency between any two
+	// machines (single-switch cluster).
+	PropagationNs int64
+
+	// PostNs is initiator CPU time to build and post a work request.
+	// PollNs is initiator CPU time to reap a completion from the CQ.
+	// PostJitterNs adds uniform [0, PostJitterNs) noise per post — real
+	// hosts never run in exact lockstep, and without this a deterministic
+	// simulation can phase-lock concurrent request loops (e.g. a reader
+	// sampling a writer's torn window on every probe, forever).
+	// PostBatchNs is the marginal CPU cost of each additional work request
+	// posted under one doorbell (the batching optimization the paper sets
+	// aside as orthogonal).
+	PostNs       int64
+	PollNs       int64
+	PostJitterNs int64
+	PostBatchNs  int64
+
+	// QPContention, QPContentionFree and QPContentionCap model the Fig. 4
+	// effect, which is specific to issuing RDMA *Reads*: the initiator must
+	// keep per-read response state, and with more than QPContentionFree
+	// concurrently issuing threads on one machine the per-read engine time
+	// inflates by QPContention per extra thread (driver mutex plus
+	// multi-QP/CQ hardware contention), saturating at QPContentionCap.
+	// Writes carry no response state and show no such degradation — the
+	// paper's out-bound Write rate stays flat through 16 threads (Fig. 3)
+	// while its in-bound Read study degrades past ~35 client threads
+	// (Fig. 4).
+	QPContention     float64
+	QPContentionFree int
+	QPContentionCap  float64
+	// Unreliable-transport extension (paper Sec. 5): UC Writes and UD Sends
+	// carry no reliability state, so their initiator engine cost is lower
+	// than RC's OutEngineNs; LossProb is the probability a UC/UD message is
+	// silently dropped (0 on a healthy IB fabric; raise it to study the
+	// "message lost, reorder and duplication" burden UD designs accept).
+	UCWriteEngineNs int64
+	UDSendEngineNs  int64
+	LossProb        float64
+
+	LocalPollNs       int64 // CPU per local-memory poll iteration
+	CopyNsPerByte     float64
+	Cores             int
+	HeaderBytes       int   // per-message wire overhead (headers/CRCs)
+	MemPollIntervalNs int64 // server-side request-buffer scan granularity
+}
+
+// ConnectX3 returns the default calibrated profile (40 Gbps, Fig. 3/5
+// numbers).
+func ConnectX3() Profile {
+	return Profile{
+		Name:              "ConnectX-3 40Gbps",
+		LinkGbps:          40,
+		OutEngineNs:       474,
+		InEngineNs:        89,
+		ReadRespExtraNs:   120,
+		PropagationNs:     300,
+		PostNs:            150,
+		PollNs:            150,
+		PostJitterNs:      40,
+		PostBatchNs:       40,
+		QPContention:      0.09,
+		QPContentionFree:  6,
+		QPContentionCap:   1.42,
+		UCWriteEngineNs:   400,
+		UDSendEngineNs:    240,
+		LocalPollNs:       40,
+		CopyNsPerByte:     0.05,
+		Cores:             16,
+		HeaderBytes:       36,
+		MemPollIntervalNs: 60,
+	}
+}
+
+// ConnectX2 returns a 20 Gbps profile approximating the NICs in the Pilaf
+// paper's testbed (used for the Fig. 11 comparison).
+func ConnectX2() Profile {
+	p := ConnectX3()
+	p.Name = "ConnectX-2 20Gbps"
+	p.LinkGbps = 20
+	p.OutEngineNs = 560
+	p.InEngineNs = 95
+	return p
+}
+
+// ConnectX4 returns a 100 Gbps EDR-generation profile. The paper repeated
+// its asymmetry study "with all the three kinds of RNICs we have (i.e.,
+// ConnectX-2, ConnectX-3, and ConnectX-4), and the results show that this
+// asymmetry appears on all these different versions of hardware": engines
+// get faster, the ratio stays around 5x, and the bandwidth knee moves out
+// with the line rate.
+func ConnectX4() Profile {
+	p := ConnectX3()
+	p.Name = "ConnectX-4 100Gbps"
+	p.LinkGbps = 100
+	p.OutEngineNs = 320 // ~3.1 MOPS out-bound
+	p.InEngineNs = 62   // ~16 MOPS in-bound
+	p.ReadRespExtraNs = 90
+	p.PropagationNs = 250
+	p.UCWriteEngineNs = 270
+	p.UDSendEngineNs = 160
+	return p
+}
+
+// BytesPerSecond returns the usable link bandwidth in bytes/second. A small
+// efficiency factor accounts for framing overhead beyond HeaderBytes.
+func (p Profile) BytesPerSecond() float64 {
+	return p.LinkGbps / 8 * 1e9
+}
+
+// WireNs returns the serialization time of a payload of the given size on
+// the link, including per-message header overhead.
+func (p Profile) WireNs(payload int) int64 {
+	if payload < 0 {
+		payload = 0
+	}
+	bytes := float64(payload + p.HeaderBytes)
+	return int64(bytes / p.BytesPerSecond() * 1e9)
+}
+
+// OutEngineTimeNs returns the initiator engine occupancy for one operation
+// when activeThreads threads on the machine are concurrently issuing.
+// isRead applies the read-state contention model (see QPContention).
+func (p Profile) OutEngineTimeNs(activeThreads int, isRead bool) int64 {
+	if !isRead {
+		return p.OutEngineNs
+	}
+	extra := activeThreads - p.QPContentionFree
+	if extra < 0 {
+		extra = 0
+	}
+	factor := 1 + p.QPContention*float64(extra)
+	if p.QPContentionCap > 1 && factor > p.QPContentionCap {
+		factor = p.QPContentionCap
+	}
+	return int64(float64(p.OutEngineNs) * factor)
+}
+
+// CopyNs returns the CPU cost of copying n bytes.
+func (p Profile) CopyNs(n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(float64(n) * p.CopyNsPerByte)
+}
+
+// OutboundPeakMOPS returns the analytic out-bound IOPS ceiling (millions of
+// ops/s) for the given payload size: the max of engine occupancy and wire
+// serialization, whichever is slower.
+func (p Profile) OutboundPeakMOPS(payload int) float64 {
+	per := p.OutEngineNs
+	if w := p.WireNs(payload); w > per {
+		per = w
+	}
+	return 1e3 / float64(per)
+}
+
+// InboundPeakMOPS returns the analytic in-bound IOPS ceiling (millions of
+// ops/s) for the given payload size.
+func (p Profile) InboundPeakMOPS(payload int) float64 {
+	per := p.InEngineNs
+	if w := p.WireNs(payload); w > per {
+		per = w
+	}
+	return 1e3 / float64(per)
+}
+
+// Asymmetry returns the in-bound/out-bound peak ratio for small payloads —
+// about 5.3 for the default profile, the paper's headline observation.
+func (p Profile) Asymmetry() float64 {
+	return float64(p.OutEngineNs) / float64(p.InEngineNs)
+}
+
+// FetchBounds returns the [L, H] byte range within which the RFP fetch size
+// F must lie for this hardware (paper Sec. 3.2): below L the per-operation
+// engine cost dominates, so fetching less buys nothing; above H bandwidth
+// dominates and IOPS decay so steeply that large default fetches only waste
+// the link. L is the largest power of two still engine-bound
+// (WireNs(L) <= InEngineNs); H follows the paper's observed 4x span
+// (L = 256, H = 1024 on the 40 Gbps NIC).
+func (p Profile) FetchBounds() (l, h int) {
+	maxEngineBound := int(float64(p.InEngineNs)/1e9*p.BytesPerSecond()) - p.HeaderBytes
+	l = 1
+	for l*2 <= maxEngineBound {
+		l *= 2
+	}
+	return l, 4 * l
+}

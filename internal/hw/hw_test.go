@@ -1,0 +1,179 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConnectX3HeadlineRates(t *testing.T) {
+	p := ConnectX3()
+	out := p.OutboundPeakMOPS(32)
+	if math.Abs(out-2.11) > 0.05 {
+		t.Fatalf("out-bound peak = %.2f MOPS, want ~2.11", out)
+	}
+	in := p.InboundPeakMOPS(32)
+	if math.Abs(in-11.26) > 0.1 {
+		t.Fatalf("in-bound peak = %.2f MOPS, want ~11.26", in)
+	}
+}
+
+func TestAsymmetryRatio(t *testing.T) {
+	p := ConnectX3()
+	if a := p.Asymmetry(); a < 4.5 || a > 6 {
+		t.Fatalf("asymmetry = %.2f, want ~5x", a)
+	}
+}
+
+func TestLargePayloadsConverge(t *testing.T) {
+	// Paper Fig. 5: above ~2 KB bandwidth dominates and in-bound equals
+	// out-bound IOPS.
+	p := ConnectX3()
+	for _, size := range []int{2048, 4096, 8192} {
+		in, out := p.InboundPeakMOPS(size), p.OutboundPeakMOPS(size)
+		if math.Abs(in-out)/out > 0.15 {
+			t.Fatalf("size %d: in=%.2f out=%.2f, want converged", size, in, out)
+		}
+	}
+}
+
+func TestSmallPayloadsAsymmetric(t *testing.T) {
+	p := ConnectX3()
+	for _, size := range []int{32, 64, 128, 256} {
+		in, out := p.InboundPeakMOPS(size), p.OutboundPeakMOPS(size)
+		if in < 4*out {
+			t.Fatalf("size %d: in=%.2f out=%.2f, want >=4x asymmetry", size, in, out)
+		}
+	}
+}
+
+func TestInboundFlatUpTo256(t *testing.T) {
+	// Below L, IOPS should be engine-bound (flat).
+	p := ConnectX3()
+	if p.InboundPeakMOPS(32) != p.InboundPeakMOPS(256) {
+		t.Fatalf("in-bound IOPS not flat below L: %v vs %v",
+			p.InboundPeakMOPS(32), p.InboundPeakMOPS(256))
+	}
+	if p.InboundPeakMOPS(512) >= p.InboundPeakMOPS(256) {
+		t.Fatal("in-bound IOPS should decline past 256B+headers")
+	}
+}
+
+func TestFetchBounds(t *testing.T) {
+	l, h := ConnectX3().FetchBounds()
+	if l != 256 || h != 1024 {
+		t.Fatalf("FetchBounds = (%d, %d), want (256, 1024)", l, h)
+	}
+}
+
+func TestWireNs(t *testing.T) {
+	p := ConnectX3()
+	if p.WireNs(0) <= 0 {
+		t.Fatal("zero payload should still pay header time")
+	}
+	if p.WireNs(-5) != p.WireNs(0) {
+		t.Fatal("negative payload should clamp to 0")
+	}
+	// 5 GB/s -> 1 KB + 36 B header ~ 207 ns.
+	got := p.WireNs(1024)
+	if got < 190 || got > 225 {
+		t.Fatalf("WireNs(1024) = %d, want ~207", got)
+	}
+}
+
+func TestOutEngineContention(t *testing.T) {
+	p := ConnectX3()
+	base := p.OutEngineTimeNs(1, true)
+	if base != p.OutEngineNs {
+		t.Fatalf("no contention expected at 1 thread, got %d", base)
+	}
+	if p.OutEngineTimeNs(p.QPContentionFree, true) != p.OutEngineNs {
+		t.Fatal("no contention expected at the contention-free count")
+	}
+	if p.OutEngineTimeNs(10, true) <= base {
+		t.Fatal("read contention should inflate engine time")
+	}
+	if p.OutEngineTimeNs(10, true) >= p.OutEngineTimeNs(20, true) &&
+		p.OutEngineTimeNs(20, true) != int64(float64(p.OutEngineNs)*p.QPContentionCap) {
+		t.Fatal("contention should grow until the cap")
+	}
+	// Writes keep no response state: no contention at any thread count
+	// (paper Fig. 3's out-bound curve stays flat through 16 threads).
+	if p.OutEngineTimeNs(16, false) != p.OutEngineNs {
+		t.Fatal("write issuance must not degrade with thread count")
+	}
+}
+
+func TestCopyNs(t *testing.T) {
+	p := ConnectX3()
+	if p.CopyNs(0) != 0 || p.CopyNs(-1) != 0 {
+		t.Fatal("copy of nothing should be free")
+	}
+	if p.CopyNs(8192) <= p.CopyNs(32) {
+		t.Fatal("copy cost should grow with size")
+	}
+}
+
+func TestConnectX2Slower(t *testing.T) {
+	x2, x3 := ConnectX2(), ConnectX3()
+	if x2.BytesPerSecond() >= x3.BytesPerSecond() {
+		t.Fatal("ConnectX-2 should have lower bandwidth")
+	}
+	if x2.OutboundPeakMOPS(32) >= x3.OutboundPeakMOPS(32) {
+		t.Fatal("ConnectX-2 should have lower out-bound IOPS")
+	}
+	// Asymmetry is preserved across generations (paper observed it on
+	// ConnectX-2, -3 and -4 alike).
+	if x2.Asymmetry() < 4.5 {
+		t.Fatalf("ConnectX-2 asymmetry = %.2f, want ~5x", x2.Asymmetry())
+	}
+}
+
+// Property: peak IOPS are monotonically non-increasing in payload size.
+func TestPeakMonotoneProperty(t *testing.T) {
+	p := ConnectX3()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return p.InboundPeakMOPS(x) >= p.InboundPeakMOPS(y) &&
+			p.OutboundPeakMOPS(x) >= p.OutboundPeakMOPS(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: wire time is additive-monotone and engine contention factor
+// never shrinks with more threads.
+func TestWireMonotoneProperty(t *testing.T) {
+	p := ConnectX3()
+	f := func(a uint16, extra uint8) bool {
+		return p.WireNs(int(a)+int(extra)) >= p.WireNs(int(a)) &&
+			p.OutEngineTimeNs(int(a)+int(extra), true) >= p.OutEngineTimeNs(int(a), true)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectX4Generation(t *testing.T) {
+	x4, x3 := ConnectX4(), ConnectX3()
+	if x4.InboundPeakMOPS(32) <= x3.InboundPeakMOPS(32) {
+		t.Fatal("CX4 should serve more in-bound IOPS than CX3")
+	}
+	if x4.OutboundPeakMOPS(32) <= x3.OutboundPeakMOPS(32) {
+		t.Fatal("CX4 should issue more out-bound IOPS than CX3")
+	}
+	// The paper: the asymmetry appears on all hardware generations.
+	if a := x4.Asymmetry(); a < 4.5 || a > 6 {
+		t.Fatalf("CX4 asymmetry = %.2f, want ~5x", a)
+	}
+	// Faster links push the bandwidth knee (and thus L/H) outward.
+	l3, h3 := x3.FetchBounds()
+	l4, h4 := x4.FetchBounds()
+	if l4 <= l3 || h4 <= h3 {
+		t.Fatalf("CX4 bounds (%d,%d) should exceed CX3's (%d,%d)", l4, h4, l3, h3)
+	}
+}

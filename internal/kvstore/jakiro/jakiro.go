@@ -1,0 +1,404 @@
+// Package jakiro implements Jakiro, the paper's RFP-based in-memory
+// key-value store (Sec. 4.1): GET/PUT RPC interfaces over RFP, an in-memory
+// structure of 8-slot buckets with strict per-bucket LRU eviction,
+// partitioned EREW across server threads (each thread only ever touches its
+// own partition, so no locks exist on the data path).
+//
+// The ServerReply baseline of the evaluation is this same store with
+// Params.ForceReply set — "ServerReply ... is extended from Jakiro and
+// differs in that the server thread directly sends the result back through
+// RDMA Write".
+package jakiro
+
+import (
+	"errors"
+	"fmt"
+
+	"rfp/internal/core"
+	"rfp/internal/fabric"
+	"rfp/internal/kvstore/kv"
+	"rfp/internal/sim"
+	"rfp/internal/workload"
+)
+
+// ErrBadResponse reports a malformed server response.
+var ErrBadResponse = errors.New("jakiro: malformed response")
+
+// Config parameterizes a Jakiro deployment.
+type Config struct {
+	// Threads is the number of server threads == EREW partitions.
+	Threads int
+	// BucketsPerPartition sizes each partition (capacity = buckets * 8).
+	BucketsPerPartition int
+	// MaxValue caps value sizes (and sizes the RFP response buffers).
+	MaxValue int
+	// Params are the RFP connection parameters for new clients.
+	Params core.Params
+	// ExtraProcNs adds synthetic CPU work to every request — the "request
+	// process time" knob of Fig. 14/15.
+	ExtraProcNs int64
+	// SpikeProb/SpikeLoNs/SpikeHiNs inject the rare "unexpectedly long"
+	// process times of Sec. 3.2 (defaults 0.04%, 5-15 us; a slow request
+	// also delays queued neighbours on its thread, so the observed
+	// multi-retry rate lands near the paper's ~0.1-0.2%). Set SpikeProb
+	// negative to disable.
+	SpikeProb            float64
+	SpikeLoNs, SpikeHiNs int64
+}
+
+// DefaultConfig returns the evaluation's standard server: 6 threads, room
+// for ~1M pairs, 8 KB max values, paper parameters (R=5, F=256).
+func DefaultConfig() Config {
+	return Config{
+		Threads:             6,
+		BucketsPerPartition: 32768,
+		MaxValue:            8192,
+		Params:              core.DefaultParams(),
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Threads <= 0 {
+		c.Threads = d.Threads
+	}
+	if c.BucketsPerPartition <= 0 {
+		c.BucketsPerPartition = d.BucketsPerPartition
+	}
+	if c.MaxValue <= 0 {
+		c.MaxValue = d.MaxValue
+	}
+	if c.SpikeProb == 0 {
+		c.SpikeProb = 0.0004
+		c.SpikeLoNs = 5_000
+		c.SpikeHiNs = 15_000
+	}
+	if c.SpikeProb < 0 {
+		c.SpikeProb = 0
+	}
+	return c
+}
+
+// Server is a Jakiro server instance.
+type Server struct {
+	cfg     Config
+	machine *fabric.Machine
+	rfp     *core.Server
+	parts   []*kv.BucketStore
+	conns   [][]*core.Conn // per partition/thread
+	started bool
+}
+
+// NewServer creates a Jakiro server on machine m.
+func NewServer(m *fabric.Machine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		machine: m,
+		rfp: core.NewServer(m, core.ServerConfig{
+			MaxRequest:  1 + workload.KeySize + cfg.MaxValue,
+			MaxResponse: 1 + cfg.MaxValue,
+		}),
+		conns: make([][]*core.Conn, cfg.Threads),
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		s.parts = append(s.parts, kv.NewBucketStore(cfg.BucketsPerPartition))
+	}
+	s.rfp.AddThreads(cfg.Threads)
+	return s
+}
+
+// Machine returns the hosting machine.
+func (s *Server) Machine() *fabric.Machine { return s.machine }
+
+// Config returns the effective configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Partition returns partition i's store (for tests and preloading).
+func (s *Server) Partition(i int) *kv.BucketStore { return s.parts[i] }
+
+// Preload inserts all keys directly (no simulated time), with values
+// derived from workload.FillValue at version 0.
+func (s *Server) Preload(keys []uint64, valueSize int) {
+	kbuf := make([]byte, workload.KeySize)
+	val := make([]byte, valueSize)
+	for _, k := range keys {
+		key := workload.EncodeKey(kbuf, k)
+		workload.FillValue(val, k, 0)
+		s.parts[kv.PartitionFor(key, s.cfg.Threads)].Put(key, val)
+	}
+}
+
+// NewClient connects a client thread on machine cm: one RFP connection per
+// server thread, so requests can be routed to the partition that owns each
+// key (EREW never forwards between threads).
+func (s *Server) NewClient(cm *fabric.Machine) *Client {
+	if s.started {
+		panic("jakiro: NewClient after Start")
+	}
+	c := &Client{srv: s, reqBuf: make([]byte, 1+workload.KeySize+s.cfg.MaxValue),
+		respBuf: make([]byte, 1+s.cfg.MaxValue)}
+	for t := 0; t < s.cfg.Threads; t++ {
+		cli, conn := s.rfp.Accept(cm, s.cfg.Params)
+		c.conns = append(c.conns, cli)
+		s.conns[t] = append(s.conns[t], conn)
+	}
+	return c
+}
+
+// Start spawns the server threads. All clients must be connected first.
+func (s *Server) Start() {
+	if s.started {
+		panic("jakiro: double Start")
+	}
+	s.started = true
+	for t := 0; t < s.cfg.Threads; t++ {
+		if len(s.conns[t]) == 0 {
+			continue
+		}
+		part := s.parts[t]
+		conns := s.conns[t]
+		s.machine.Spawn(fmt.Sprintf("jakiro-%d", t), func(p *sim.Proc) {
+			core.Serve(p, conns, s.handler(part))
+		})
+	}
+}
+
+// handler processes GET/PUT against one partition, charging a CPU cost
+// model: fixed dispatch overhead, per-byte copy cost, the optional
+// synthetic extra processing, and the rare heavy-tail spike.
+func (s *Server) handler(part *kv.BucketStore) core.Handler {
+	prof := s.machine.Profile()
+	return func(p *sim.Proc, conn *core.Conn, req, resp []byte) int {
+		s.charge(p)
+		if len(req) > 0 && req[0] == kv.OpMultiGet {
+			keys, err := kv.DecodeMultiGet(req)
+			if err != nil {
+				return kv.EncodeResponse(resp, kv.StatusError, nil)
+			}
+			resp[0] = kv.StatusOK
+			off := 1
+			for _, key := range keys {
+				v, ok := part.Get(key)
+				if off+2+len(v) > len(resp) {
+					// The batch's values overflow the response buffer; the
+					// client must use smaller batches.
+					return kv.EncodeResponse(resp, kv.StatusError, nil)
+				}
+				if ok {
+					s.machine.ComputeNs(p, prof.CopyNs(len(v)))
+				}
+				off = kv.AppendMultiGetValue(resp, off, v, ok)
+			}
+			return off
+		}
+		r, err := kv.DecodeRequest(req)
+		if err != nil {
+			return kv.EncodeResponse(resp, kv.StatusError, nil)
+		}
+		switch r.Op {
+		case kv.OpGet:
+			v, ok := part.Get(r.Key)
+			if !ok {
+				return kv.EncodeResponse(resp, kv.StatusNotFound, nil)
+			}
+			s.machine.ComputeNs(p, prof.CopyNs(len(v)))
+			return kv.EncodeResponse(resp, kv.StatusOK, v)
+		case kv.OpPut:
+			s.machine.ComputeNs(p, prof.CopyNs(len(r.Value)))
+			part.Put(r.Key, r.Value)
+			return kv.EncodeResponse(resp, kv.StatusOK, nil)
+		case kv.OpDelete:
+			if part.Delete(r.Key) {
+				return kv.EncodeResponse(resp, kv.StatusOK, nil)
+			}
+			return kv.EncodeResponse(resp, kv.StatusNotFound, nil)
+		default:
+			return kv.EncodeResponse(resp, kv.StatusError, nil)
+		}
+	}
+}
+
+// charge applies the per-request CPU model shared by both ops.
+func (s *Server) charge(p *sim.Proc) {
+	ns := int64(150) + s.cfg.ExtraProcNs // dispatch, hash, slot scan
+	if s.cfg.SpikeProb > 0 && p.Rand().Float64() < s.cfg.SpikeProb {
+		ns += s.cfg.SpikeLoNs + p.Rand().Int63n(s.cfg.SpikeHiNs-s.cfg.SpikeLoNs+1)
+	}
+	s.machine.ComputeNs(p, ns)
+}
+
+// Client is one client thread's handle to a Jakiro server.
+type Client struct {
+	srv     *Server
+	conns   []*core.Client // one per server thread
+	reqBuf  []byte
+	respBuf []byte
+}
+
+// connFor routes a key to the connection of the owning partition.
+func (c *Client) connFor(key []byte) *core.Client {
+	return c.conns[kv.PartitionFor(key, len(c.conns))]
+}
+
+// Get fetches key's value into out, reporting whether it was found. The
+// returned count is the value length.
+func (c *Client) Get(p *sim.Proc, key uint64, out []byte) (int, bool, error) {
+	req := kv.EncodeGet(c.reqBuf, key)
+	conn := c.connFor(req[1 : 1+workload.KeySize])
+	n, err := conn.Call(p, req, c.respBuf)
+	if err != nil {
+		return 0, false, err
+	}
+	status, val, err := kv.DecodeResponse(c.respBuf[:n])
+	if err != nil {
+		return 0, false, err
+	}
+	switch status {
+	case kv.StatusOK:
+		return copy(out, val), true, nil
+	case kv.StatusNotFound:
+		return 0, false, nil
+	default:
+		return 0, false, ErrBadResponse
+	}
+}
+
+// Put stores value under key.
+func (c *Client) Put(p *sim.Proc, key uint64, value []byte) error {
+	if len(value) > c.srv.cfg.MaxValue {
+		return fmt.Errorf("jakiro: value of %d bytes exceeds limit %d", len(value), c.srv.cfg.MaxValue)
+	}
+	req := kv.EncodePut(c.reqBuf, key, value)
+	conn := c.connFor(req[1 : 1+workload.KeySize])
+	n, err := conn.Call(p, req, c.respBuf)
+	if err != nil {
+		return err
+	}
+	status, _, err := kv.DecodeResponse(c.respBuf[:n])
+	if err != nil {
+		return err
+	}
+	if status != kv.StatusOK {
+		return ErrBadResponse
+	}
+	return nil
+}
+
+// Delete removes key, reporting whether it existed.
+func (c *Client) Delete(p *sim.Proc, key uint64) (bool, error) {
+	req := kv.EncodeDelete(c.reqBuf, key)
+	conn := c.connFor(req[1 : 1+workload.KeySize])
+	n, err := conn.Call(p, req, c.respBuf)
+	if err != nil {
+		return false, err
+	}
+	status, _, err := kv.DecodeResponse(c.respBuf[:n])
+	if err != nil {
+		return false, err
+	}
+	switch status {
+	case kv.StatusOK:
+		return true, nil
+	case kv.StatusNotFound:
+		return false, nil
+	default:
+		return false, ErrBadResponse
+	}
+}
+
+// Do executes a generated workload operation (value bytes derived from the
+// key for verifiability) and reports whether it succeeded.
+func (c *Client) Do(p *sim.Proc, op workload.Op, scratch []byte) (bool, error) {
+	switch op.Kind {
+	case workload.Get:
+		_, found, err := c.Get(p, op.Key, scratch)
+		return found, err
+	case workload.ReadModifyWrite:
+		_, found, err := c.Get(p, op.Key, scratch)
+		if err != nil {
+			return false, err
+		}
+		v := scratch[:op.ValueSize]
+		workload.FillValue(v, op.Key, 1)
+		if err := c.Put(p, op.Key, v); err != nil {
+			return false, err
+		}
+		return found, nil
+	default:
+		v := scratch[:op.ValueSize]
+		workload.FillValue(v, op.Key, 0)
+		err := c.Put(p, op.Key, v)
+		return err == nil, err
+	}
+}
+
+// MultiGet fetches a batch of keys with one RPC per involved partition,
+// amortizing round trips (and in-bound operations) across the batch. fn is
+// invoked once per key, in no particular order across partitions.
+func (c *Client) MultiGet(p *sim.Proc, keys []uint64, fn func(key uint64, value []byte, found bool)) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	if 3+len(keys)*workload.KeySize > len(c.reqBuf) {
+		return fmt.Errorf("jakiro: multi-get of %d keys exceeds the request buffer", len(keys))
+	}
+	// Group keys by owning partition.
+	groups := make(map[int][]uint64)
+	kb := make([]byte, workload.KeySize)
+	for _, k := range keys {
+		part := kv.PartitionFor(workload.EncodeKey(kb, k), len(c.conns))
+		groups[part] = append(groups[part], k)
+	}
+	for part, group := range groups {
+		req := kv.EncodeMultiGet(c.reqBuf, group)
+		n, err := c.conns[part].Call(p, req, c.respBuf)
+		if err != nil {
+			return err
+		}
+		status, payload, err := kv.DecodeResponse(c.respBuf[:n])
+		if err != nil {
+			return err
+		}
+		if status != kv.StatusOK {
+			return ErrBadResponse
+		}
+		group := group
+		if err := kv.DecodeMultiGetResponse(payload, len(group), func(i int, v []byte, found bool) {
+			fn(group[i], v, found)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats aggregates the RFP client statistics over all per-thread
+// connections.
+func (c *Client) Stats() core.ClientStats {
+	var agg core.ClientStats
+	for _, conn := range c.conns {
+		s := conn.Stats
+		agg.Calls += s.Calls
+		agg.FetchReads += s.FetchReads
+		agg.SecondReads += s.SecondReads
+		agg.ReplyDeliveries += s.ReplyDeliveries
+		agg.Retries += s.Retries
+		agg.SwitchToReply += s.SwitchToReply
+		agg.SwitchToFetch += s.SwitchToFetch
+		agg.IdleNs += s.IdleNs
+		agg.SendNs += s.SendNs
+		agg.FetchNs += s.FetchNs
+		agg.ReplyWaitNs += s.ReplyWaitNs
+		if s.MaxRetries > agg.MaxRetries {
+			agg.MaxRetries = s.MaxRetries
+		}
+		for i, v := range s.RetryHist {
+			agg.RetryHist[i] += v
+		}
+	}
+	return agg
+}
+
+// Conns exposes the underlying RFP clients (for parameter retuning).
+func (c *Client) Conns() []*core.Client { return c.conns }

@@ -1,0 +1,415 @@
+package jakiro
+
+import (
+	"bytes"
+	"testing"
+
+	"rfp/internal/core"
+	"rfp/internal/fabric"
+	"rfp/internal/hw"
+	"rfp/internal/sim"
+	"rfp/internal/stats"
+	"rfp/internal/workload"
+)
+
+type rig struct {
+	env *sim.Env
+	cl  *fabric.Cluster
+	srv *Server
+}
+
+func newRig(t *testing.T, clients int, cfg Config) *rig {
+	t.Helper()
+	env := sim.NewEnv(21)
+	t.Cleanup(env.Close)
+	cl := fabric.NewCluster(env, hw.ConnectX3(), clients)
+	return &rig{env: env, cl: cl, srv: NewServer(cl.Server, cfg)}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	r := newRig(t, 1, Config{Threads: 2, SpikeProb: -1})
+	cli := r.srv.NewClient(r.cl.Clients[0])
+	r.srv.Start()
+	var got []byte
+	var found bool
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		if err := cli.Put(p, 7, []byte("jakiro-value")); err != nil {
+			t.Errorf("Put: %v", err)
+			return
+		}
+		out := make([]byte, 64)
+		n, ok, err := cli.Get(p, 7, out)
+		if err != nil {
+			t.Errorf("Get: %v", err)
+			return
+		}
+		found = ok
+		got = append([]byte(nil), out[:n]...)
+	})
+	r.env.Run(sim.Time(sim.Millisecond))
+	if !found || string(got) != "jakiro-value" {
+		t.Fatalf("found=%v got=%q", found, got)
+	}
+}
+
+func TestGetMiss(t *testing.T) {
+	r := newRig(t, 1, Config{Threads: 2, SpikeProb: -1})
+	cli := r.srv.NewClient(r.cl.Clients[0])
+	r.srv.Start()
+	var found bool
+	ran := false
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		_, found, _ = cli.Get(p, 999, make([]byte, 64))
+		ran = true
+	})
+	r.env.Run(sim.Time(sim.Millisecond))
+	if !ran || found {
+		t.Fatalf("ran=%v found=%v", ran, found)
+	}
+}
+
+func TestPreloadAndPartitioning(t *testing.T) {
+	r := newRig(t, 1, Config{Threads: 4, SpikeProb: -1})
+	keys := workload.Preload(workload.Config{Keys: 1000})
+	r.srv.Preload(keys, 32)
+	total := 0
+	for i := 0; i < 4; i++ {
+		n := r.srv.Partition(i).Len()
+		if n == 0 {
+			t.Fatalf("partition %d empty — EREW partitioning broken", i)
+		}
+		total += n
+	}
+	if total != 1000 {
+		t.Fatalf("preloaded %d/1000", total)
+	}
+	cli := r.srv.NewClient(r.cl.Clients[0])
+	r.srv.Start()
+	misses := 0
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		out := make([]byte, 64)
+		for k := uint64(0); k < 100; k++ {
+			n, ok, err := cli.Get(p, k, out)
+			if err != nil {
+				t.Errorf("Get %d: %v", k, err)
+				return
+			}
+			if !ok {
+				misses++
+				continue
+			}
+			if !workload.CheckValue(out[:n], k, 0) {
+				t.Errorf("value integrity broken for key %d", k)
+				return
+			}
+		}
+	})
+	r.env.Run(sim.Time(5 * sim.Millisecond))
+	if misses != 0 {
+		t.Fatalf("%d misses after preload", misses)
+	}
+}
+
+func TestUpdateOverwrites(t *testing.T) {
+	r := newRig(t, 1, Config{Threads: 1, SpikeProb: -1})
+	cli := r.srv.NewClient(r.cl.Clients[0])
+	r.srv.Start()
+	var got []byte
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		_ = cli.Put(p, 1, []byte("old"))
+		_ = cli.Put(p, 1, []byte("new-longer-value"))
+		out := make([]byte, 64)
+		n, _, _ := cli.Get(p, 1, out)
+		got = append([]byte(nil), out[:n]...)
+	})
+	r.env.Run(sim.Time(sim.Millisecond))
+	if string(got) != "new-longer-value" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestOversizeValueRejectedClientSide(t *testing.T) {
+	r := newRig(t, 1, Config{Threads: 1, MaxValue: 64, SpikeProb: -1})
+	cli := r.srv.NewClient(r.cl.Clients[0])
+	r.srv.Start()
+	var err error
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		err = cli.Put(p, 1, make([]byte, 65))
+	})
+	r.env.Run(sim.Time(sim.Millisecond))
+	if err == nil {
+		t.Fatal("oversize value accepted")
+	}
+}
+
+func TestDoRunsWorkloadOps(t *testing.T) {
+	r := newRig(t, 1, Config{Threads: 2, SpikeProb: -1})
+	r.srv.Preload(workload.Preload(workload.Config{Keys: 100}), 32)
+	cli := r.srv.NewClient(r.cl.Clients[0])
+	r.srv.Start()
+	gen := workload.NewGenerator(workload.Config{Keys: 100, GetFraction: 0.5}, 9)
+	oks := 0
+	const nOps = 100
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		scratch := make([]byte, 8192)
+		for i := 0; i < nOps; i++ {
+			ok, err := cli.Do(p, gen.Next(), scratch)
+			if err != nil {
+				t.Errorf("Do: %v", err)
+				return
+			}
+			if ok {
+				oks++
+			}
+		}
+	})
+	r.env.Run(sim.Time(20 * sim.Millisecond))
+	if oks != nOps {
+		t.Fatalf("%d/%d ops succeeded", oks, nOps)
+	}
+}
+
+func TestLargeValuesUseSecondRead(t *testing.T) {
+	r := newRig(t, 1, Config{Threads: 1, SpikeProb: -1})
+	cli := r.srv.NewClient(r.cl.Clients[0])
+	r.srv.Start()
+	big := bytes.Repeat([]byte{0x5A}, 4096)
+	var got []byte
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		if err := cli.Put(p, 5, big); err != nil {
+			t.Errorf("Put: %v", err)
+			return
+		}
+		out := make([]byte, 8192)
+		n, ok, err := cli.Get(p, 5, out)
+		if err != nil || !ok {
+			t.Errorf("Get: ok=%v err=%v", ok, err)
+			return
+		}
+		got = append([]byte(nil), out[:n]...)
+	})
+	r.env.Run(sim.Time(2 * sim.Millisecond))
+	if !bytes.Equal(got, big) {
+		t.Fatalf("big value corrupted (%d bytes)", len(got))
+	}
+	if cli.Stats().SecondReads == 0 {
+		t.Fatal("4KB value with F=256 must need a continuation read")
+	}
+}
+
+func TestServerReplyVariant(t *testing.T) {
+	cfg := Config{Threads: 2, SpikeProb: -1}
+	cfg.Params = core.DefaultParams()
+	cfg.Params.ForceReply = true
+	r := newRig(t, 1, cfg)
+	cli := r.srv.NewClient(r.cl.Clients[0])
+	r.srv.Start()
+	var got []byte
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		_ = cli.Put(p, 3, []byte("sr"))
+		out := make([]byte, 16)
+		n, _, _ := cli.Get(p, 3, out)
+		got = append([]byte(nil), out[:n]...)
+	})
+	r.env.Run(sim.Time(sim.Millisecond))
+	if string(got) != "sr" {
+		t.Fatalf("got %q", got)
+	}
+	st := cli.Stats()
+	if st.FetchReads != 0 || st.ReplyDeliveries != 2 {
+		t.Fatalf("ServerReply variant: fetch=%d reply=%d", st.FetchReads, st.ReplyDeliveries)
+	}
+}
+
+func TestSpikesProduceRetriesNotSwitches(t *testing.T) {
+	// Table 3's regime: rare long process times cause occasional multi-retry
+	// calls but (almost) never mode switches.
+	cfg := Config{Threads: 2, SpikeProb: 0.01, SpikeLoNs: 8000, SpikeHiNs: 12000}
+	r := newRig(t, 1, cfg)
+	r.srv.Preload(workload.Preload(workload.Config{Keys: 100}), 32)
+	cli := r.srv.NewClient(r.cl.Clients[0])
+	r.srv.Start()
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		out := make([]byte, 64)
+		for i := 0; i < 3000; i++ {
+			if _, _, err := cli.Get(p, uint64(i%100), out); err != nil {
+				t.Errorf("Get: %v", err)
+				return
+			}
+		}
+	})
+	r.env.Run(sim.Time(100 * sim.Millisecond))
+	st := cli.Stats()
+	if st.Calls != 3000 {
+		t.Fatalf("calls = %d", st.Calls)
+	}
+	if st.MaxRetries == 0 {
+		t.Fatal("1% spikes should cause some retries")
+	}
+	multi := uint64(0)
+	for i := 2; i < core.RetryHistSize; i++ {
+		multi += st.RetryHist[i]
+	}
+	frac := float64(multi) / float64(st.Calls)
+	if frac > 0.03 {
+		t.Fatalf("%.3f of calls needed 2+ retries, want rare", frac)
+	}
+}
+
+func TestNewClientAfterStartPanics(t *testing.T) {
+	r := newRig(t, 1, Config{Threads: 1, SpikeProb: -1})
+	_ = r.srv.NewClient(r.cl.Clients[0])
+	r.srv.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = r.srv.NewClient(r.cl.Clients[0])
+}
+
+func TestThroughputReadIntensive(t *testing.T) {
+	// Fig. 12's headline in miniature: 35 clients, 6 server threads, 32-byte
+	// values, uniform 95% GET -> ~5.5 MOPS.
+	if testing.Short() {
+		t.Skip("saturation run")
+	}
+	r := newRig(t, 7, Config{Threads: 6, BucketsPerPartition: 8192})
+	wcfg := workload.Config{Keys: 200_000, GetFraction: 0.95}
+	r.srv.Preload(workload.Preload(wcfg), 32)
+	placements := r.cl.ClientThreads(35)
+	clients := make([]*Client, len(placements))
+	for i, pl := range placements {
+		clients[i] = r.srv.NewClient(pl.Machine)
+	}
+	r.srv.Start()
+	for i, pl := range placements {
+		cli := clients[i]
+		gen := workload.NewGenerator(wcfg, int64(100+i))
+		pl.Machine.Spawn("cli", func(p *sim.Proc) {
+			scratch := make([]byte, 256)
+			for {
+				if _, err := cli.Do(p, gen.Next(), scratch); err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+			}
+		})
+	}
+	r.env.Run(sim.Time(sim.Millisecond)) // warmup
+	var before uint64
+	for _, c := range clients {
+		before += c.Stats().Calls
+	}
+	start := r.env.Now()
+	window := sim.Duration(2 * sim.Millisecond)
+	r.env.Run(start.Add(window))
+	var after uint64
+	for _, c := range clients {
+		after += c.Stats().Calls
+	}
+	mops := stats.MOPS(after-before, int64(window))
+	if mops < 4.6 || mops > 6.5 {
+		t.Fatalf("Jakiro read-intensive throughput = %.2f MOPS, want ~5.5", mops)
+	}
+}
+
+func TestMultiGet(t *testing.T) {
+	r := newRig(t, 1, Config{Threads: 3, SpikeProb: -1})
+	r.srv.Preload(workload.Preload(workload.Config{Keys: 200}), 32)
+	cli := r.srv.NewClient(r.cl.Clients[0])
+	r.srv.Start()
+	got := map[uint64][]byte{}
+	misses := 0
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		keys := []uint64{1, 5, 9, 50, 120, 199, 5000} // 5000 is absent
+		err := cli.MultiGet(p, keys, func(k uint64, v []byte, found bool) {
+			if !found {
+				misses++
+				return
+			}
+			got[k] = append([]byte(nil), v...)
+		})
+		if err != nil {
+			t.Errorf("MultiGet: %v", err)
+		}
+	})
+	r.env.Run(sim.Time(2 * sim.Millisecond))
+	if misses != 1 {
+		t.Fatalf("misses = %d, want 1 (key 5000)", misses)
+	}
+	if len(got) != 6 {
+		t.Fatalf("got %d values", len(got))
+	}
+	for k, v := range got {
+		if !workload.CheckValue(v, k, 0) {
+			t.Fatalf("key %d value corrupted", k)
+		}
+	}
+}
+
+func TestMultiGetAmortizesRoundTrips(t *testing.T) {
+	// Batching 30 keys over 3 partitions costs <= 3 RPCs instead of 30.
+	r := newRig(t, 1, Config{Threads: 3, SpikeProb: -1})
+	r.srv.Preload(workload.Preload(workload.Config{Keys: 100}), 32)
+	cli := r.srv.NewClient(r.cl.Clients[0])
+	r.srv.Start()
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		keys := make([]uint64, 30)
+		for i := range keys {
+			keys[i] = uint64(i)
+		}
+		if err := cli.MultiGet(p, keys, func(uint64, []byte, bool) {}); err != nil {
+			t.Errorf("MultiGet: %v", err)
+		}
+	})
+	r.env.Run(sim.Time(2 * sim.Millisecond))
+	if calls := cli.Stats().Calls; calls > 3 {
+		t.Fatalf("multi-get used %d RPCs for 30 keys over 3 partitions", calls)
+	}
+}
+
+func TestMultiGetEmptyAndOversize(t *testing.T) {
+	r := newRig(t, 1, Config{Threads: 1, MaxValue: 64, SpikeProb: -1})
+	cli := r.srv.NewClient(r.cl.Clients[0])
+	r.srv.Start()
+	var emptyErr, bigErr error
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		emptyErr = cli.MultiGet(p, nil, nil)
+		big := make([]uint64, 4096)
+		bigErr = cli.MultiGet(p, big, func(uint64, []byte, bool) {})
+	})
+	r.env.Run(sim.Time(sim.Millisecond))
+	if emptyErr != nil {
+		t.Fatalf("empty: %v", emptyErr)
+	}
+	if bigErr == nil {
+		t.Fatal("oversize batch accepted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	r := newRig(t, 1, Config{Threads: 2, SpikeProb: -1})
+	cli := r.srv.NewClient(r.cl.Clients[0])
+	r.srv.Start()
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		if err := cli.Put(p, 8, []byte("ephemeral")); err != nil {
+			t.Errorf("Put: %v", err)
+			return
+		}
+		existed, err := cli.Delete(p, 8)
+		if err != nil || !existed {
+			t.Errorf("Delete: existed=%v err=%v", existed, err)
+			return
+		}
+		if _, ok, _ := cli.Get(p, 8, make([]byte, 16)); ok {
+			t.Error("key survived delete")
+			return
+		}
+		existed, err = cli.Delete(p, 8)
+		if err != nil || existed {
+			t.Errorf("second Delete: existed=%v err=%v", existed, err)
+		}
+	})
+	r.env.Run(sim.Time(2 * sim.Millisecond))
+}

@@ -1,0 +1,59 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkBucketStoreGet measures GET hits at ~50% load.
+func BenchmarkBucketStoreGet(b *testing.B) {
+	const n = 1 << 15
+	s := NewBucketStore(n / 4)
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%012d", i))
+		s.Put(keys[i], []byte("0123456789abcdef0123456789abcdef"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(keys[i%n])
+	}
+}
+
+// BenchmarkBucketStorePut measures updates in place.
+func BenchmarkBucketStorePut(b *testing.B) {
+	const n = 1 << 15
+	s := NewBucketStore(n / 4)
+	keys := make([][]byte, n)
+	val := []byte("0123456789abcdef0123456789abcdef")
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%012d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put(keys[i%n], val)
+	}
+}
+
+// BenchmarkKeyCacheTouch measures the LLC-model hot path.
+func BenchmarkKeyCacheTouch(b *testing.B) {
+	c := NewKeyCache(4096)
+	keys := make([][]byte, 8192)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%012d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Touch(keys[i%len(keys)])
+	}
+}
+
+// BenchmarkProtocolEncode measures request marshaling.
+func BenchmarkProtocolEncode(b *testing.B) {
+	buf := make([]byte, 64)
+	val := []byte("0123456789abcdef0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = EncodePut(buf, uint64(i), val)
+	}
+}

@@ -1,0 +1,322 @@
+// Package memckv models RDMA-Memcached (the OSU server-reply Memcached
+// port the paper compares against, run in memory mode). Its defining
+// characteristics, per the paper's Sec. 4.4:
+//
+//   - server-reply transport: the server pushes results to clients with
+//     out-bound RDMA after processing;
+//   - server threads share the key-value structures and "coordinate with
+//     other threads for sharing data structures (e.g., LRU lists)", so a
+//     global lock serializes part of every request and the system is
+//     CPU-bound rather than NIC-bound;
+//   - PUTs hold the shared lock much longer than GETs (item allocation,
+//     slab bookkeeping, LRU list surgery), which is why its throughput
+//     collapses under write-intensive workloads (Fig. 16);
+//   - skewed workloads make popular items CPU-cache-resident, cutting
+//     per-request cost ("RDMA-Memcached benefits from serving the popular
+//     keys as this makes use of cache locality", Fig. 19).
+//
+// The data structures are real (a shared bucket store and an LLC-modeling
+// key cache); the constants charge the simulated CPU the costs measured for
+// the real system.
+package memckv
+
+import (
+	"errors"
+	"fmt"
+
+	"rfp/internal/core"
+	"rfp/internal/fabric"
+	"rfp/internal/kvstore/kv"
+	"rfp/internal/sim"
+	"rfp/internal/workload"
+)
+
+// ErrBadResponse reports a malformed server response.
+var ErrBadResponse = errors.New("memckv: malformed response")
+
+// Config parameterizes the RDMA-Memcached model.
+type Config struct {
+	Threads  int
+	Buckets  int // shared store size
+	MaxValue int
+
+	// CPU cost model (ns). Get/Put CPU runs outside the lock; LockGet/
+	// LockPut is the serialized critical-section length. HotFactor scales
+	// both for keys found in the shared key cache (LLC model).
+	CPUGetNs, CPUPutNs   int64
+	LockGetNs, LockPutNs int64
+	HotFactor            float64
+	KeyCacheSize         int
+
+	// SharedEndpoints bounds how many NIC issuer slots the server threads
+	// occupy: RDMA-Memcached multiplexes its connections over a shared
+	// endpoint pool, so 16 worker threads do not contend on 16 QPs.
+	SharedEndpoints int
+}
+
+// DefaultConfig returns the calibrated model: ~0.2 MOPS single-threaded,
+// ~1.3 MOPS at 16 threads read-intensive (lock-bound), ~0.4 MOPS
+// write-intensive, out-bound-bound (~2.1 MOPS) under skew.
+func DefaultConfig() Config {
+	return Config{
+		Threads:         16,
+		Buckets:         1 << 17,
+		MaxValue:        8192,
+		CPUGetNs:        4300,
+		CPUPutNs:        4800,
+		LockGetNs:       770,
+		LockPutNs:       2300,
+		HotFactor:       0.35,
+		KeyCacheSize:    4096,
+		SharedEndpoints: 6,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Threads <= 0 {
+		c.Threads = d.Threads
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = d.Buckets
+	}
+	if c.MaxValue <= 0 {
+		c.MaxValue = d.MaxValue
+	}
+	if c.CPUGetNs <= 0 {
+		c.CPUGetNs = d.CPUGetNs
+	}
+	if c.CPUPutNs <= 0 {
+		c.CPUPutNs = d.CPUPutNs
+	}
+	if c.LockGetNs <= 0 {
+		c.LockGetNs = d.LockGetNs
+	}
+	if c.LockPutNs <= 0 {
+		c.LockPutNs = d.LockPutNs
+	}
+	if c.HotFactor <= 0 {
+		c.HotFactor = d.HotFactor
+	}
+	if c.KeyCacheSize <= 0 {
+		c.KeyCacheSize = d.KeyCacheSize
+	}
+	if c.SharedEndpoints <= 0 {
+		c.SharedEndpoints = d.SharedEndpoints
+	}
+	return c
+}
+
+// Server is an RDMA-Memcached-like server.
+type Server struct {
+	cfg     Config
+	machine *fabric.Machine
+	rfp     *core.Server
+	store   *kv.BucketStore // shared across all threads
+	cache   *kv.KeyCache    // models the socket's last-level cache
+	lock    *sim.Resource   // global LRU/hash lock
+	conns   [][]*core.Conn  // round-robin across threads
+	next    int
+	started bool
+}
+
+// NewServer creates the server on machine m.
+func NewServer(m *fabric.Machine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		machine: m,
+		rfp: core.NewServer(m, core.ServerConfig{
+			MaxRequest:  1 + workload.KeySize + cfg.MaxValue,
+			MaxResponse: 1 + cfg.MaxValue,
+		}),
+		store: kv.NewBucketStore(cfg.Buckets),
+		cache: kv.NewKeyCache(cfg.KeyCacheSize),
+		lock:  sim.NewResource(m.Env(), 1),
+		conns: make([][]*core.Conn, cfg.Threads),
+	}
+	// Threads count against cores, but only SharedEndpoints issuer slots
+	// are occupied on the NIC.
+	m.AddThreads(cfg.Threads)
+	for i := 0; i < cfg.SharedEndpoints && i < cfg.Threads; i++ {
+		m.NIC().RegisterIssuer()
+	}
+	return s
+}
+
+// Machine returns the hosting machine.
+func (s *Server) Machine() *fabric.Machine { return s.machine }
+
+// Config returns the effective configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Preload inserts all keys directly (no simulated time).
+func (s *Server) Preload(keys []uint64, valueSize int) {
+	kbuf := make([]byte, workload.KeySize)
+	val := make([]byte, valueSize)
+	for _, k := range keys {
+		key := workload.EncodeKey(kbuf, k)
+		workload.FillValue(val, k, 0)
+		s.store.Put(key, val)
+	}
+}
+
+// NewClient connects one client thread. Connections are spread round-robin
+// across server threads (no key partitioning — the structures are shared).
+func (s *Server) NewClient(cm *fabric.Machine) *Client {
+	if s.started {
+		panic("memckv: NewClient after Start")
+	}
+	params := core.DefaultParams()
+	params.ForceReply = true // server-reply transport
+	params.ReplyPollNs = 300
+	cli, conn := s.rfp.Accept(cm, params)
+	t := s.next % s.cfg.Threads
+	s.next++
+	s.conns[t] = append(s.conns[t], conn)
+	return &Client{
+		srv: s, conn: cli,
+		reqBuf:  make([]byte, 1+workload.KeySize+s.cfg.MaxValue),
+		respBuf: make([]byte, 1+s.cfg.MaxValue),
+	}
+}
+
+// Start spawns the server threads.
+func (s *Server) Start() {
+	if s.started {
+		panic("memckv: double Start")
+	}
+	s.started = true
+	for t := 0; t < s.cfg.Threads; t++ {
+		if len(s.conns[t]) == 0 {
+			continue
+		}
+		conns := s.conns[t]
+		s.machine.Spawn(fmt.Sprintf("memc-%d", t), func(p *sim.Proc) {
+			core.Serve(p, conns, s.handler())
+		})
+	}
+}
+
+func (s *Server) handler() core.Handler {
+	prof := s.machine.Profile()
+	return func(p *sim.Proc, conn *core.Conn, req, resp []byte) int {
+		r, err := kv.DecodeRequest(req)
+		if err != nil {
+			return kv.EncodeResponse(resp, kv.StatusError, nil)
+		}
+		// The key cache models the socket's shared last-level cache: hot
+		// items cost a fraction of the cold-path CPU and lock time.
+		hot := s.cache.Touch(r.Key)
+		factor := 1.0
+		if hot {
+			factor = s.cfg.HotFactor
+		}
+		cpu, lockHold := s.cfg.CPUGetNs, s.cfg.LockGetNs
+		if r.Op == kv.OpPut {
+			cpu, lockHold = s.cfg.CPUPutNs, s.cfg.LockPutNs
+		}
+		// Item parsing, slab lookup, hashing — parallel across threads.
+		s.machine.ComputeNs(p, int64(float64(cpu)*factor))
+		// Critical section: hash chain + LRU list updates under the global
+		// lock, where the store is actually touched.
+		s.lock.Acquire(p)
+		var status byte
+		var val []byte
+		switch r.Op {
+		case kv.OpGet:
+			v, ok := s.store.Get(r.Key)
+			if ok {
+				status, val = kv.StatusOK, v
+			} else {
+				status = kv.StatusNotFound
+			}
+		case kv.OpPut:
+			s.store.Put(r.Key, r.Value)
+			status = kv.StatusOK
+		default:
+			status = kv.StatusError
+		}
+		s.machine.ComputeNs(p, int64(float64(lockHold)*factor))
+		s.lock.Release()
+		s.machine.ComputeNs(p, prof.CopyNs(len(val)))
+		return kv.EncodeResponse(resp, status, val)
+	}
+}
+
+// Client is one client thread's handle.
+type Client struct {
+	srv     *Server
+	conn    *core.Client
+	reqBuf  []byte
+	respBuf []byte
+}
+
+// Get fetches key's value into out.
+func (c *Client) Get(p *sim.Proc, key uint64, out []byte) (int, bool, error) {
+	req := kv.EncodeGet(c.reqBuf, key)
+	n, err := c.conn.Call(p, req, c.respBuf)
+	if err != nil {
+		return 0, false, err
+	}
+	status, val, err := kv.DecodeResponse(c.respBuf[:n])
+	if err != nil {
+		return 0, false, err
+	}
+	switch status {
+	case kv.StatusOK:
+		return copy(out, val), true, nil
+	case kv.StatusNotFound:
+		return 0, false, nil
+	default:
+		return 0, false, ErrBadResponse
+	}
+}
+
+// Put stores value under key.
+func (c *Client) Put(p *sim.Proc, key uint64, value []byte) error {
+	if len(value) > c.srv.cfg.MaxValue {
+		return fmt.Errorf("memckv: value of %d bytes exceeds limit %d", len(value), c.srv.cfg.MaxValue)
+	}
+	req := kv.EncodePut(c.reqBuf, key, value)
+	n, err := c.conn.Call(p, req, c.respBuf)
+	if err != nil {
+		return err
+	}
+	status, _, err := kv.DecodeResponse(c.respBuf[:n])
+	if err != nil {
+		return err
+	}
+	if status != kv.StatusOK {
+		return ErrBadResponse
+	}
+	return nil
+}
+
+// Do executes a generated workload operation.
+func (c *Client) Do(p *sim.Proc, op workload.Op, scratch []byte) (bool, error) {
+	switch op.Kind {
+	case workload.Get:
+		_, found, err := c.Get(p, op.Key, scratch)
+		return found, err
+	case workload.ReadModifyWrite:
+		_, found, err := c.Get(p, op.Key, scratch)
+		if err != nil {
+			return false, err
+		}
+		v := scratch[:op.ValueSize]
+		workload.FillValue(v, op.Key, 1)
+		if err := c.Put(p, op.Key, v); err != nil {
+			return false, err
+		}
+		return found, nil
+	default:
+		v := scratch[:op.ValueSize]
+		workload.FillValue(v, op.Key, 0)
+		err := c.Put(p, op.Key, v)
+		return err == nil, err
+	}
+}
+
+// Stats returns the transport-level statistics.
+func (c *Client) Stats() core.ClientStats { return c.conn.Stats }

@@ -1,0 +1,267 @@
+// Package replica builds a primary-backup replicated key-value service on
+// top of RFP, demonstrating server-to-server composition: the primary is
+// simultaneously an RFP server (for clients) and an RFP client (of its
+// backups). The paper's related work motivates exactly this shape — DARE
+// runs state-machine replication over RDMA, and the paper argues such
+// RPC-structured systems can adopt RFP "without much effort".
+//
+// Write path: PUT arrives at the primary, is applied locally, then
+// forwarded synchronously to every backup over the primary's RFP client
+// connections; the client's ack covers full replication. Reads are served
+// by the primary alone (primary-copy semantics: reads always observe
+// acknowledged writes).
+package replica
+
+import (
+	"errors"
+	"fmt"
+
+	"rfp/internal/core"
+	"rfp/internal/fabric"
+	"rfp/internal/kvstore/kv"
+	"rfp/internal/sim"
+	"rfp/internal/workload"
+)
+
+// Errors.
+var (
+	ErrBadResponse = errors.New("replica: malformed response")
+	ErrReplication = errors.New("replica: backup rejected the write")
+)
+
+// Config parameterizes the replicated service.
+type Config struct {
+	Backups  int // number of backup machines (default 1)
+	Buckets  int // store size per replica
+	MaxValue int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Backups <= 0 {
+		c.Backups = 1
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 1 << 14
+	}
+	if c.MaxValue <= 0 {
+		c.MaxValue = 1024
+	}
+	return c
+}
+
+// backup is one backup replica: a single-threaded RFP KV server.
+type backup struct {
+	machine *fabric.Machine
+	rfp     *core.Server
+	store   *kv.BucketStore
+	conns   []*core.Conn
+}
+
+func newBackup(m *fabric.Machine, cfg Config) *backup {
+	b := &backup{
+		machine: m,
+		rfp: core.NewServer(m, core.ServerConfig{
+			MaxRequest:  1 + workload.KeySize + cfg.MaxValue,
+			MaxResponse: 8,
+		}),
+		store: kv.NewBucketStore(cfg.Buckets),
+	}
+	b.rfp.AddThreads(1)
+	return b
+}
+
+func (b *backup) start() {
+	store := b.store
+	m := b.machine
+	conns := b.conns
+	b.machine.Spawn("backup", func(p *sim.Proc) {
+		core.Serve(p, conns, func(p *sim.Proc, c *core.Conn, req, resp []byte) int {
+			r, err := kv.DecodeRequest(req)
+			if err != nil || r.Op != kv.OpPut {
+				return kv.EncodeResponse(resp, kv.StatusError, nil)
+			}
+			m.ComputeNs(p, 150+m.Profile().CopyNs(len(r.Value)))
+			store.Put(r.Key, r.Value)
+			return kv.EncodeResponse(resp, kv.StatusOK, nil)
+		})
+	})
+}
+
+// Service is the replicated KV deployment: one primary plus backups.
+type Service struct {
+	cfg     Config
+	primary *fabric.Machine
+	rfp     *core.Server
+	store   *kv.BucketStore
+	backups []*backup
+	// repl[i] is the primary's RFP client connection to backup i; owned by
+	// the single primary thread.
+	repl    []*core.Client
+	conns   []*core.Conn
+	fwd     []byte
+	started bool
+
+	// Replicated counts writes acknowledged after full replication.
+	Replicated uint64
+}
+
+// NewService creates the primary on primaryMachine and one backup per
+// backupMachine.
+func NewService(primaryMachine *fabric.Machine, backupMachines []*fabric.Machine, cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if len(backupMachines) != cfg.Backups {
+		return nil, fmt.Errorf("replica: %d backup machines for %d backups", len(backupMachines), cfg.Backups)
+	}
+	s := &Service{
+		cfg:     cfg,
+		primary: primaryMachine,
+		rfp: core.NewServer(primaryMachine, core.ServerConfig{
+			MaxRequest:  1 + workload.KeySize + cfg.MaxValue,
+			MaxResponse: 1 + cfg.MaxValue,
+		}),
+		store: kv.NewBucketStore(cfg.Buckets),
+	}
+	s.rfp.AddThreads(1)
+	for _, bm := range backupMachines {
+		b := newBackup(bm, cfg)
+		// The primary dials each backup exactly like any RFP client; the
+		// forwarding connection's parameters are ordinary defaults.
+		cli, conn := b.rfp.Accept(primaryMachine, core.DefaultParams())
+		b.conns = append(b.conns, conn)
+		s.backups = append(s.backups, b)
+		s.repl = append(s.repl, cli)
+	}
+	// The primary thread issues out-bound operations when forwarding.
+	primaryMachine.NIC().RegisterIssuer()
+	return s, nil
+}
+
+// BackupStore exposes backup i's store for verification.
+func (s *Service) BackupStore(i int) *kv.BucketStore { return s.backups[i].store }
+
+// PrimaryStore exposes the primary's store.
+func (s *Service) PrimaryStore() *kv.BucketStore { return s.store }
+
+// NewClient connects an application client to the primary.
+func (s *Service) NewClient(cm *fabric.Machine) *Client {
+	if s.started {
+		panic("replica: NewClient after Start")
+	}
+	cli, conn := s.rfp.Accept(cm, core.DefaultParams())
+	s.conns = append(s.conns, conn)
+	return &Client{
+		svc: s, conn: cli,
+		reqBuf:  make([]byte, 1+workload.KeySize+s.cfg.MaxValue),
+		respBuf: make([]byte, 1+s.cfg.MaxValue),
+	}
+}
+
+// Start spawns the primary serve loop and the backups.
+func (s *Service) Start() {
+	if s.started {
+		panic("replica: double Start")
+	}
+	s.started = true
+	for _, b := range s.backups {
+		b.start()
+	}
+	s.primary.Spawn("primary", func(p *sim.Proc) {
+		core.Serve(p, s.conns, s.handle)
+	})
+}
+
+// handle applies one request on the primary, forwarding PUTs to every
+// backup before acknowledging.
+func (s *Service) handle(p *sim.Proc, conn *core.Conn, req, resp []byte) int {
+	r, err := kv.DecodeRequest(req)
+	if err != nil {
+		return kv.EncodeResponse(resp, kv.StatusError, nil)
+	}
+	m := s.primary
+	switch r.Op {
+	case kv.OpGet:
+		v, ok := s.store.Get(r.Key)
+		if !ok {
+			return kv.EncodeResponse(resp, kv.StatusNotFound, nil)
+		}
+		m.ComputeNs(p, 150+m.Profile().CopyNs(len(v)))
+		return kv.EncodeResponse(resp, kv.StatusOK, v)
+	case kv.OpPut:
+		m.ComputeNs(p, 150+m.Profile().CopyNs(len(r.Value)))
+		s.store.Put(r.Key, r.Value)
+		// Synchronous chain replication to every backup: the primary acts
+		// as an RFP client here, so each forward is one in-bound write to
+		// the backup plus one fetch of its ack.
+		ack := make([]byte, 8)
+		for _, rc := range s.repl {
+			fwd := kv.EncodePut(s.fwdBuf(), workload.DecodeKey(r.Key), r.Value)
+			n, err := rc.Call(p, fwd, ack)
+			if err != nil {
+				return kv.EncodeResponse(resp, kv.StatusError, nil)
+			}
+			status, _, err := kv.DecodeResponse(ack[:n])
+			if err != nil || status != kv.StatusOK {
+				return kv.EncodeResponse(resp, kv.StatusError, nil)
+			}
+		}
+		s.Replicated++
+		return kv.EncodeResponse(resp, kv.StatusOK, nil)
+	default:
+		return kv.EncodeResponse(resp, kv.StatusError, nil)
+	}
+}
+
+// fwdBuf returns the primary's forwarding scratch (single-threaded primary,
+// so one buffer suffices).
+func (s *Service) fwdBuf() []byte {
+	if s.fwd == nil {
+		s.fwd = make([]byte, 1+workload.KeySize+s.cfg.MaxValue)
+	}
+	return s.fwd
+}
+
+// Client is an application client of the replicated service.
+type Client struct {
+	svc     *Service
+	conn    *core.Client
+	reqBuf  []byte
+	respBuf []byte
+}
+
+// Get reads key from the primary.
+func (c *Client) Get(p *sim.Proc, key uint64, out []byte) (int, bool, error) {
+	req := kv.EncodeGet(c.reqBuf, key)
+	n, err := c.conn.Call(p, req, c.respBuf)
+	if err != nil {
+		return 0, false, err
+	}
+	status, val, err := kv.DecodeResponse(c.respBuf[:n])
+	if err != nil {
+		return 0, false, err
+	}
+	switch status {
+	case kv.StatusOK:
+		return copy(out, val), true, nil
+	case kv.StatusNotFound:
+		return 0, false, nil
+	default:
+		return 0, false, ErrBadResponse
+	}
+}
+
+// Put writes key; the ack means every backup holds the value.
+func (c *Client) Put(p *sim.Proc, key uint64, value []byte) error {
+	req := kv.EncodePut(c.reqBuf, key, value)
+	n, err := c.conn.Call(p, req, c.respBuf)
+	if err != nil {
+		return err
+	}
+	status, _, err := kv.DecodeResponse(c.respBuf[:n])
+	if err != nil {
+		return err
+	}
+	if status != kv.StatusOK {
+		return ErrReplication
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package replica
+
+import (
+	"testing"
+
+	"rfp/internal/fabric"
+	"rfp/internal/hw"
+	"rfp/internal/sim"
+	"rfp/internal/workload"
+)
+
+type rig struct {
+	env *sim.Env
+	cl  *fabric.Cluster
+	svc *Service
+}
+
+func newRig(t *testing.T, backups int) *rig {
+	t.Helper()
+	env := sim.NewEnv(61)
+	t.Cleanup(env.Close)
+	cl := fabric.NewCluster(env, hw.ConnectX3(), 2)
+	bms := make([]*fabric.Machine, backups)
+	for i := range bms {
+		bms[i] = fabric.NewMachine(env, "backup", hw.ConnectX3())
+	}
+	svc, err := NewService(cl.Server, bms, Config{Backups: backups})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{env: env, cl: cl, svc: svc}
+}
+
+func TestReplicatedPutVisibleEverywhere(t *testing.T) {
+	r := newRig(t, 2)
+	cli := r.svc.NewClient(r.cl.Clients[0])
+	r.svc.Start()
+	var got []byte
+	var found bool
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		if err := cli.Put(p, 42, []byte("replicated-value")); err != nil {
+			t.Errorf("Put: %v", err)
+			return
+		}
+		out := make([]byte, 64)
+		n, ok, err := cli.Get(p, 42, out)
+		if err != nil {
+			t.Errorf("Get: %v", err)
+			return
+		}
+		found = ok
+		got = append([]byte(nil), out[:n]...)
+	})
+	r.env.Run(sim.Time(5 * sim.Millisecond))
+	if !found || string(got) != "replicated-value" {
+		t.Fatalf("primary read: found=%v got=%q", found, got)
+	}
+	// The ack implies both backups already hold the value.
+	key := workload.EncodeKey(make([]byte, workload.KeySize), 42)
+	for i := 0; i < 2; i++ {
+		v, ok := r.svc.BackupStore(i).Get(key)
+		if !ok || string(v) != "replicated-value" {
+			t.Fatalf("backup %d: ok=%v v=%q", i, ok, v)
+		}
+	}
+	if r.svc.Replicated != 1 {
+		t.Fatalf("Replicated = %d", r.svc.Replicated)
+	}
+}
+
+func TestAckImpliesDurabilityOrdering(t *testing.T) {
+	// Every acknowledged write must already be on the backup at ack time:
+	// interleave writes and backup-side checks.
+	r := newRig(t, 1)
+	cli := r.svc.NewClient(r.cl.Clients[0])
+	r.svc.Start()
+	key := workload.EncodeKey(make([]byte, workload.KeySize), 7)
+	violations := 0
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		val := make([]byte, 32)
+		for v := uint32(1); v <= 50; v++ {
+			workload.FillValue(val, 7, v)
+			if err := cli.Put(p, 7, val); err != nil {
+				t.Errorf("Put: %v", err)
+				return
+			}
+			// At ack time the backup must hold exactly this version (no
+			// concurrent writers in this test).
+			bv, ok := r.svc.BackupStore(0).Get(key)
+			if !ok || !workload.CheckValue(bv, 7, v) {
+				violations++
+			}
+		}
+	})
+	r.env.Run(sim.Time(10 * sim.Millisecond))
+	if violations != 0 {
+		t.Fatalf("%d acked writes missing from the backup", violations)
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	r := newRig(t, 1)
+	cliA := r.svc.NewClient(r.cl.Clients[0])
+	cliB := r.svc.NewClient(r.cl.Clients[1])
+	r.svc.Start()
+	done := 0
+	for i, cli := range []*Client{cliA, cliB} {
+		i, cli := i, cli
+		r.cl.Clients[i].Spawn("cli", func(p *sim.Proc) {
+			val := make([]byte, 16)
+			out := make([]byte, 32)
+			for k := 0; k < 30; k++ {
+				key := uint64(i*1000 + k)
+				workload.FillValue(val, key, 0)
+				if err := cli.Put(p, key, val); err != nil {
+					t.Errorf("client %d put: %v", i, err)
+					return
+				}
+				n, ok, err := cli.Get(p, key, out)
+				if err != nil || !ok || !workload.CheckValue(out[:n], key, 0) {
+					t.Errorf("client %d get: ok=%v err=%v", i, ok, err)
+					return
+				}
+			}
+			done++
+		})
+	}
+	r.env.Run(sim.Time(20 * sim.Millisecond))
+	if done != 2 {
+		t.Fatalf("%d/2 clients completed", done)
+	}
+	if r.svc.Replicated != 60 {
+		t.Fatalf("Replicated = %d", r.svc.Replicated)
+	}
+}
+
+func TestGetMiss(t *testing.T) {
+	r := newRig(t, 1)
+	cli := r.svc.NewClient(r.cl.Clients[0])
+	r.svc.Start()
+	var found, ran bool
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		_, found, _ = cli.Get(p, 12345, make([]byte, 8))
+		ran = true
+	})
+	r.env.Run(sim.Time(2 * sim.Millisecond))
+	if !ran || found {
+		t.Fatalf("ran=%v found=%v", ran, found)
+	}
+}
+
+func TestBackupCountMismatch(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	cl := fabric.NewCluster(env, hw.ConnectX3(), 1)
+	if _, err := NewService(cl.Server, nil, Config{Backups: 2}); err == nil {
+		t.Fatal("mismatched backup machines accepted")
+	}
+}
+
+func TestReplicationCostVisible(t *testing.T) {
+	// A replicated PUT must take longer than a local GET: it carries two
+	// extra RFP round trips (primary -> backup).
+	r := newRig(t, 1)
+	cli := r.svc.NewClient(r.cl.Clients[0])
+	r.svc.Start()
+	var putLat, getLat sim.Duration
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		val := make([]byte, 32)
+		out := make([]byte, 64)
+		_ = cli.Put(p, 1, val) // warm
+		start := p.Now()
+		_ = cli.Put(p, 1, val)
+		putLat = p.Now().Sub(start)
+		start = p.Now()
+		_, _, _ = cli.Get(p, 1, out)
+		getLat = p.Now().Sub(start)
+	})
+	r.env.Run(sim.Time(5 * sim.Millisecond))
+	if putLat < getLat+sim.Micros(2) {
+		t.Fatalf("replicated put %v vs get %v: replication cost invisible", putLat, getLat)
+	}
+}
+
+// BenchmarkReplicatedPut measures the host-side cost of simulating one
+// fully replicated write (client -> primary -> backup -> ack chain).
+func BenchmarkReplicatedPut(b *testing.B) {
+	env := sim.NewEnv(3)
+	defer env.Close()
+	cl := fabric.NewCluster(env, hw.ConnectX3(), 1)
+	bm := fabric.NewMachine(env, "backup", hw.ConnectX3())
+	svc, err := NewService(cl.Server, []*fabric.Machine{bm}, Config{Backups: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli := svc.NewClient(cl.Clients[0])
+	svc.Start()
+	done := 0
+	cl.Clients[0].Spawn("writer", func(p *sim.Proc) {
+		val := make([]byte, 32)
+		for {
+			if err := cli.Put(p, uint64(done%1000), val); err != nil {
+				b.Errorf("put: %v", err)
+				return
+			}
+			done++
+		}
+	})
+	b.ResetTimer()
+	for done < b.N {
+		env.Run(env.Now().Add(sim.Duration(100 * sim.Microsecond)))
+	}
+}

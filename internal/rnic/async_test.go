@@ -1,0 +1,211 @@
+package rnic
+
+import (
+	"testing"
+
+	"rfp/internal/hw"
+	"rfp/internal/sim"
+)
+
+func TestAsyncWriteCompletes(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	a, b, qa, _ := pair(env)
+	_ = a
+	cq := NewCQ(qa.Local())
+	mr := b.RegisterMemory(64)
+	h := mr.Handle()
+	env.Go("c", func(p *sim.Proc) {
+		qa.Post(p, cq, WR{ID: 7, Op: WRWrite, Remote: h, Roff: 8, Local: []byte("async")})
+		e := cq.Wait(p)
+		if e.ID != 7 || e.Op != WRWrite || e.Err != nil {
+			t.Errorf("cqe = %+v", e)
+		}
+	})
+	env.RunAll()
+	if string(mr.Buf[8:13]) != "async" {
+		t.Fatalf("buf = %q", mr.Buf[8:13])
+	}
+}
+
+func TestAsyncReadCompletes(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	_, b, qa, _ := pair(env)
+	cq := NewCQ(qa.Local())
+	mr := b.RegisterMemory(64)
+	copy(mr.Buf[4:], "remote")
+	h := mr.Handle()
+	got := make([]byte, 6)
+	env.Go("c", func(p *sim.Proc) {
+		qa.Post(p, cq, WR{ID: 1, Op: WRRead, Remote: h, Roff: 4, Local: got})
+		e := cq.Wait(p)
+		if e.Err != nil {
+			t.Errorf("cqe err: %v", e.Err)
+		}
+	})
+	env.RunAll()
+	if string(got) != "remote" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestAsyncValidationErrorsSurface(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	_, b, qa, _ := pair(env)
+	cq := NewCQ(qa.Local())
+	mr := b.RegisterMemory(8)
+	h := mr.Handle()
+	env.Go("c", func(p *sim.Proc) {
+		qa.Post(p, cq, WR{ID: 9, Op: WRRead, Remote: h, Roff: 0, Local: make([]byte, 16)})
+		e := cq.Wait(p)
+		if e.ID != 9 || e.Err != ErrBounds {
+			t.Errorf("cqe = %+v", e)
+		}
+	})
+	env.RunAll()
+}
+
+func TestAsyncPipelineBeatsSync(t *testing.T) {
+	// One thread keeping 16 reads in flight must approach the issue-engine
+	// ceiling (~2.11 MOPS) where a synchronous loop is RTT-bound (~0.6).
+	env := sim.NewEnv(2)
+	defer env.Close()
+	prof := hw.ConnectX3()
+	a, b := New(env, "a", prof), New(env, "b", prof)
+	a.RegisterIssuer()
+	qa, _ := Connect(a, b)
+	mr := b.RegisterMemory(4096)
+	h := mr.Handle()
+	cq := NewCQ(a)
+	done := 0
+	env.Go("pipelined", func(p *sim.Proc) {
+		buf := make([]byte, 32)
+		const depth = 16
+		for i := 0; i < depth; i++ {
+			qa.Post(p, cq, WR{ID: uint64(i), Op: WRRead, Remote: h, Local: buf})
+		}
+		for {
+			e := cq.Wait(p)
+			if e.Err != nil {
+				t.Errorf("cqe: %v", e.Err)
+				return
+			}
+			done++
+			qa.Post(p, cq, WR{ID: e.ID, Op: WRRead, Remote: h, Local: buf})
+		}
+	})
+	window := sim.Duration(2 * sim.Millisecond)
+	env.Run(sim.Time(window))
+	mops := float64(done) / window.Seconds() / 1e6
+	if mops < 1.6 {
+		t.Fatalf("pipelined single-thread rate = %.2f MOPS, want near the 2.11 engine ceiling", mops)
+	}
+}
+
+func TestPostBatchCheaperThanPosts(t *testing.T) {
+	// Doorbell batching: posting N under one doorbell costs less caller CPU
+	// than N separate posts.
+	cost := func(batch bool) sim.Duration {
+		env := sim.NewEnv(1)
+		defer env.Close()
+		prof := hw.ConnectX3()
+		prof.PostJitterNs = 0 // deterministic comparison
+		a, b := New(env, "a", prof), New(env, "b", prof)
+		qa, _ := Connect(a, b)
+		mr := b.RegisterMemory(4096)
+		h := mr.Handle()
+		cq := NewCQ(a)
+		var elapsed sim.Duration
+		env.Go("c", func(p *sim.Proc) {
+			wrs := make([]WR, 16)
+			buf := make([]byte, 32)
+			for i := range wrs {
+				wrs[i] = WR{ID: uint64(i), Op: WRWrite, Remote: h, Local: buf}
+			}
+			start := p.Now()
+			if batch {
+				qa.PostBatch(p, cq, wrs)
+			} else {
+				for _, wr := range wrs {
+					qa.Post(p, cq, wr)
+				}
+			}
+			elapsed = p.Now().Sub(start)
+		})
+		env.Run(sim.Time(sim.Millisecond))
+		return elapsed
+	}
+	batched, separate := cost(true), cost(false)
+	if batched >= separate {
+		t.Fatalf("batched post cost %v >= separate %v", batched, separate)
+	}
+	// 150 + 15*40 = 750ns vs 16*150 = 2400ns.
+	if batched > sim.Duration(1000) || separate < sim.Duration(2000) {
+		t.Fatalf("costs off model: batched=%v separate=%v", batched, separate)
+	}
+}
+
+func TestPostBatchEmpty(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	_, _, qa, _ := pair(env)
+	cq := NewCQ(qa.Local())
+	env.Go("c", func(p *sim.Proc) {
+		qa.PostBatch(p, cq, nil) // must not panic or post anything
+	})
+	env.RunAll()
+	if cq.Depth() != 0 {
+		t.Fatal("phantom completion")
+	}
+}
+
+func TestCQPollNonBlocking(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	_, b, qa, _ := pair(env)
+	cq := NewCQ(qa.Local())
+	mr := b.RegisterMemory(64)
+	h := mr.Handle()
+	env.Go("c", func(p *sim.Proc) {
+		if _, ok := cq.Poll(p); ok {
+			t.Error("empty CQ returned a completion")
+		}
+		qa.Post(p, cq, WR{ID: 1, Op: WRWrite, Remote: h, Local: []byte("x")})
+		polls := 0
+		for {
+			if _, ok := cq.Poll(p); ok {
+				break
+			}
+			polls++
+			if polls > 1_000_000 {
+				t.Error("completion never arrived")
+				return
+			}
+		}
+	})
+	env.RunAll()
+}
+
+func TestAsyncOrderingPerQP(t *testing.T) {
+	// Same-QP writes execute in post order: the last posted write wins.
+	env := sim.NewEnv(1)
+	defer env.Close()
+	_, b, qa, _ := pair(env)
+	cq := NewCQ(qa.Local())
+	mr := b.RegisterMemory(8)
+	h := mr.Handle()
+	env.Go("c", func(p *sim.Proc) {
+		for i := byte(0); i < 10; i++ {
+			qa.Post(p, cq, WR{ID: uint64(i), Op: WRWrite, Remote: h, Local: []byte{i}})
+		}
+		for i := 0; i < 10; i++ {
+			cq.Wait(p)
+		}
+	})
+	env.RunAll()
+	if mr.Buf[0] != 9 {
+		t.Fatalf("final byte = %d, want 9 (post order)", mr.Buf[0])
+	}
+}

@@ -1,0 +1,61 @@
+package rnic
+
+import (
+	"testing"
+
+	"rfp/internal/hw"
+	"rfp/internal/sim"
+)
+
+// BenchmarkRDMARead measures the host-side cost of simulating one RDMA
+// Read (the most common operation in RFP workloads).
+func BenchmarkRDMARead(b *testing.B) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	prof := hw.ConnectX3()
+	a, r := New(env, "a", prof), New(env, "b", prof)
+	qp, _ := Connect(a, r)
+	mr := r.RegisterMemory(4096)
+	h := mr.Handle()
+	done := 0
+	env.Go("reader", func(p *sim.Proc) {
+		buf := make([]byte, 32)
+		for {
+			if err := qp.Read(p, h, 0, buf); err != nil {
+				b.Errorf("read: %v", err)
+				return
+			}
+			done++
+		}
+	})
+	b.ResetTimer()
+	for done < b.N {
+		env.Run(env.Now().Add(sim.Duration(100 * sim.Microsecond)))
+	}
+}
+
+// BenchmarkRDMAWrite measures one simulated RDMA Write.
+func BenchmarkRDMAWrite(b *testing.B) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	prof := hw.ConnectX3()
+	a, r := New(env, "a", prof), New(env, "b", prof)
+	qp, _ := Connect(a, r)
+	mr := r.RegisterMemory(4096)
+	h := mr.Handle()
+	done := 0
+	env.Go("writer", func(p *sim.Proc) {
+		buf := make([]byte, 32)
+		for {
+			if err := qp.Write(p, h, 0, buf); err != nil {
+				b.Errorf("write: %v", err)
+				return
+			}
+			done++
+		}
+	})
+	b.ResetTimer()
+	for done < b.N {
+		env.Run(env.Now().Add(sim.Duration(100 * sim.Microsecond)))
+	}
+}

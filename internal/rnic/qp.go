@@ -1,0 +1,190 @@
+package rnic
+
+// This file implements queue pairs and the data-path verbs. All operations
+// are synchronous from the calling process's point of view — the process
+// blocks until the completion is reaped — matching the paper's measurement
+// methodology ("we always wait for an RDMA operation's completion before
+// starting the next operation", Sec. 2.2).
+
+import (
+	"rfp/internal/sim"
+	"rfp/internal/trace"
+)
+
+// message is a two-sided Send in flight.
+type message struct {
+	data []byte
+}
+
+// QP is one endpoint of a reliable connection between two NICs. One-sided
+// Read/Write operate on RemoteMR handles; two-sided Send/Recv exchange
+// discrete messages. A QP endpoint must only be driven by processes running
+// on its local machine.
+type QP struct {
+	local  *NIC
+	remote *NIC
+	peer   *QP
+	recvQ  *sim.Queue[message]
+	sendQ  *sim.Queue[asyncWR] // async engine input (lazily created)
+}
+
+// Connect establishes a reliable connection between NICs a and b and
+// returns the two endpoints (a's first).
+func Connect(a, b *NIC) (*QP, *QP) {
+	if a.env != b.env {
+		panic("rnic: cannot connect NICs from different environments")
+	}
+	qa := &QP{local: a, remote: b, recvQ: sim.NewQueue[message](a.env)}
+	qb := &QP{local: b, remote: a, recvQ: sim.NewQueue[message](b.env)}
+	qa.peer, qb.peer = qb, qa
+	return qa, qb
+}
+
+// Local returns the NIC this endpoint belongs to.
+func (q *QP) Local() *NIC { return q.local }
+
+// Remote returns the NIC at the other end of the connection.
+func (q *QP) Remote() *NIC { return q.remote }
+
+// issueOneSided walks an operation through the initiator pipeline that both
+// Read and Write share: CPU post (with jitter), out-bound engine (with QP
+// contention).
+func (q *QP) issueOneSided(p *sim.Proc, isRead bool) {
+	n := q.local
+	p.Sleep(n.cpu(n.prof.PostNs) + n.jitter(p))
+	n.outEngine.Use(p, sim.Duration(n.prof.OutEngineTimeNs(n.issuers, isRead)))
+	n.Stats.OutOps++
+}
+
+// completeOneSided models the return path to the initiator: wire
+// propagation of the ack/response plus CPU time to reap the completion.
+func (q *QP) completeOneSided(p *sim.Proc) {
+	n := q.local
+	p.Sleep(sim.Duration(n.prof.PropagationNs) + n.cpu(n.prof.PollNs))
+}
+
+// Write performs a one-sided RDMA Write of local into the remote region at
+// offset roff, blocking until completion. The remote CPU is not involved:
+// only the responder NIC's in-bound engine and RX pipe are charged.
+func (q *QP) Write(p *sim.Proc, remote RemoteMR, roff int, local []byte) error {
+	if err := remote.check(roff, len(local)); err != nil {
+		return err
+	}
+	if remote.mr.nic != q.remote {
+		// The handle must belong to the connected peer; RC QPs address a
+		// single remote endpoint.
+		return ErrBadKey
+	}
+	size := len(local)
+	start := p.Now()
+	q.issueOneSided(p, false)
+	// Serialize the payload onto the local TX pipe, then propagate.
+	q.local.tx.Use(p, sim.Duration(q.local.prof.WireNs(size)))
+	q.local.Stats.OutBytes += uint64(size)
+	p.Sleep(sim.Duration(q.local.prof.PropagationNs))
+	// Responder side: RX pipe + in-bound engine, all in NIC hardware.
+	r := q.remote
+	r.rx.Use(p, sim.Duration(r.prof.WireNs(size)))
+	r.inEngine.Use(p, sim.Duration(r.prof.InEngineNs))
+	copy(remote.mr.Buf[roff:], local)
+	r.Stats.InOps++
+	r.Stats.InBytes += uint64(size)
+	q.completeOneSided(p)
+	q.local.tracer.Record(trace.Event{Start: start, End: p.Now(), Kind: trace.Write,
+		Src: q.local.name, Dst: r.name, Bytes: size})
+	return nil
+}
+
+// Read performs a one-sided RDMA Read of len(local) bytes from the remote
+// region at offset roff into local, blocking until completion. The response
+// payload occupies the responder's TX pipe; the responder CPU is bypassed.
+func (q *QP) Read(p *sim.Proc, remote RemoteMR, roff int, local []byte) error {
+	if err := remote.check(roff, len(local)); err != nil {
+		return err
+	}
+	if remote.mr.nic != q.remote {
+		return ErrBadKey
+	}
+	size := len(local)
+	start := p.Now()
+	q.issueOneSided(p, true)
+	// The read request itself is a small packet.
+	p.Sleep(sim.Duration(q.local.prof.PropagationNs))
+	r := q.remote
+	// The responder engine is only occupied for the base in-bound service
+	// time (its reciprocal is the in-bound IOPS ceiling); assembling the
+	// read response adds pipeline latency without consuming engine
+	// throughput.
+	r.inEngine.Use(p, sim.Duration(r.prof.InEngineNs))
+	p.Sleep(sim.Duration(r.prof.ReadRespExtraNs))
+	// Snapshot the remote bytes at response-generation time. This is where
+	// the data race the paper discusses lives: a torn read of a region
+	// being concurrently modified is returned verbatim; consistency is the
+	// application's problem (CRCs in Pilaf, status bits in RFP).
+	copy(local, remote.mr.Buf[roff:roff+size])
+	r.tx.Use(p, sim.Duration(r.prof.WireNs(size)))
+	r.Stats.InOps++
+	r.Stats.InBytes += uint64(size)
+	q.completeOneSided(p)
+	q.local.tracer.Record(trace.Event{Start: start, End: p.Now(), Kind: trace.Read,
+		Src: q.local.name, Dst: r.name, Bytes: size})
+	return nil
+}
+
+// Send transmits data as a two-sided message, blocking until it is handed
+// to the wire. Matching the paper's observation, two-sided operations show
+// no in/out-bound asymmetry: the receive side pays a symmetric engine cost
+// when the message is consumed by Recv.
+func (q *QP) Send(p *sim.Proc, data []byte) error {
+	n := q.local
+	start := p.Now()
+	p.Sleep(n.cpu(n.prof.PostNs) + n.jitter(p))
+	n.outEngine.Use(p, sim.Duration(n.prof.OutEngineTimeNs(n.issuers, false)))
+	n.tx.Use(p, sim.Duration(n.prof.WireNs(len(data))))
+	n.Stats.OutBytes += uint64(len(data))
+	n.Stats.Sends++
+	msg := message{data: append([]byte(nil), data...)}
+	// Delivery happens after propagation; the sender does not wait for the
+	// receiver to post a matching Recv (buffered SRQ semantics).
+	env := n.env
+	peer := q.peer
+	env.After(sim.Duration(n.prof.PropagationNs), func() {
+		peer.recvQ.Put(msg)
+	})
+	p.Sleep(n.cpu(n.prof.PollNs))
+	n.tracer.Record(trace.Event{Start: start, End: p.Now(), Kind: trace.Send,
+		Src: n.name, Dst: q.remote.name, Bytes: len(data)})
+	return nil
+}
+
+// Recv blocks until a message arrives on this endpoint and returns its
+// payload. The receiver pays a symmetric engine cost plus CPU to consume
+// the receive completion — this is why two-sided designs burn server CPU
+// and NIC issue capacity on replies.
+func (q *QP) Recv(p *sim.Proc) []byte {
+	msg := q.recvQ.Get(p)
+	n := q.local
+	n.rx.Use(p, sim.Duration(n.prof.WireNs(len(msg.data))))
+	// Two-sided receive consumes a receive WQE and generates a CQE: engine
+	// cost comparable to the send side (no asymmetry).
+	n.outEngine.Use(p, sim.Duration(n.prof.OutEngineTimeNs(n.issuers, false)))
+	p.Sleep(n.cpu(n.prof.PollNs))
+	n.Stats.InBytes += uint64(len(msg.data))
+	n.Stats.Recvs++
+	return msg.data
+}
+
+// TryRecv returns a pending message without blocking.
+func (q *QP) TryRecv(p *sim.Proc) ([]byte, bool) {
+	msg, ok := q.recvQ.TryGet()
+	if !ok {
+		return nil, false
+	}
+	n := q.local
+	n.rx.Use(p, sim.Duration(n.prof.WireNs(len(msg.data))))
+	n.outEngine.Use(p, sim.Duration(n.prof.OutEngineTimeNs(n.issuers, false)))
+	p.Sleep(n.cpu(n.prof.PollNs))
+	n.Stats.InBytes += uint64(len(msg.data))
+	n.Stats.Recvs++
+	return msg.data, true
+}

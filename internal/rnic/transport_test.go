@@ -1,0 +1,220 @@
+package rnic
+
+import (
+	"testing"
+
+	"rfp/internal/hw"
+	"rfp/internal/sim"
+)
+
+func TestUCWriteDelivers(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	prof := hw.ConnectX3()
+	a, b := New(env, "a", prof), New(env, "b", prof)
+	qa, _ := ConnectUC(a, b)
+	mr := b.RegisterMemory(64)
+	h := mr.Handle()
+	env.Go("c", func(p *sim.Proc) {
+		if err := qa.Write(p, h, 4, []byte("uc-data")); err != nil {
+			t.Errorf("Write: %v", err)
+		}
+	})
+	env.RunAll()
+	if string(mr.Buf[4:11]) != "uc-data" {
+		t.Fatalf("buf = %q", mr.Buf[4:11])
+	}
+}
+
+func TestUCReadUnsupported(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	prof := hw.ConnectX3()
+	a, b := New(env, "a", prof), New(env, "b", prof)
+	qa, _ := ConnectUC(a, b)
+	mr := b.RegisterMemory(64)
+	h := mr.Handle()
+	var err error
+	env.Go("c", func(p *sim.Proc) {
+		err = qa.Read(p, h, 0, make([]byte, 4))
+	})
+	env.RunAll()
+	if err != ErrOpNotSupported {
+		t.Fatalf("err = %v, want ErrOpNotSupported (UC has no RDMA Read)", err)
+	}
+}
+
+func TestUCWriteBoundsChecked(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	prof := hw.ConnectX3()
+	a, b := New(env, "a", prof), New(env, "b", prof)
+	qa, _ := ConnectUC(a, b)
+	mr := b.RegisterMemory(8)
+	h := mr.Handle()
+	var err error
+	env.Go("c", func(p *sim.Proc) {
+		err = qa.Write(p, h, 4, make([]byte, 8))
+	})
+	env.RunAll()
+	if err != ErrBounds {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUCWriteLoss(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	prof := hw.ConnectX3()
+	prof.LossProb = 1 // always drop
+	a, b := New(env, "a", prof), New(env, "b", prof)
+	qa, _ := ConnectUC(a, b)
+	mr := b.RegisterMemory(64)
+	h := mr.Handle()
+	var err error
+	env.Go("c", func(p *sim.Proc) {
+		err = qa.Write(p, h, 0, []byte("lost"))
+	})
+	env.RunAll()
+	if err != nil {
+		t.Fatalf("UC loss must be silent, got %v", err)
+	}
+	if string(mr.Buf[:4]) == "lost" {
+		t.Fatal("dropped write still arrived")
+	}
+}
+
+func TestUDSendRecv(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	prof := hw.ConnectX3()
+	a, b := New(env, "a", prof), New(env, "b", prof)
+	ua, ub := NewUD(a), NewUD(b)
+	var got []byte
+	env.Go("rx", func(p *sim.Proc) {
+		got = ub.Recv(p)
+	})
+	env.Go("tx", func(p *sim.Proc) {
+		if err := ua.SendTo(p, ub, []byte("datagram")); err != nil {
+			t.Errorf("SendTo: %v", err)
+		}
+	})
+	env.RunAll()
+	if string(got) != "datagram" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestUDAnyToAny(t *testing.T) {
+	// UD is connectionless: one endpoint reaches many peers.
+	env := sim.NewEnv(1)
+	defer env.Close()
+	prof := hw.ConnectX3()
+	src := NewUD(New(env, "src", prof))
+	dsts := []*UD{NewUD(New(env, "d0", prof)), NewUD(New(env, "d1", prof))}
+	got := make([]string, 2)
+	for i, d := range dsts {
+		i, d := i, d
+		env.Go("rx", func(p *sim.Proc) { got[i] = string(d.Recv(p)) })
+	}
+	env.Go("tx", func(p *sim.Proc) {
+		_ = src.SendTo(p, dsts[0], []byte("to-0"))
+		_ = src.SendTo(p, dsts[1], []byte("to-1"))
+	})
+	env.RunAll()
+	if got[0] != "to-0" || got[1] != "to-1" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestUDLossRate(t *testing.T) {
+	env := sim.NewEnv(2)
+	defer env.Close()
+	prof := hw.ConnectX3()
+	prof.LossProb = 0.2
+	a, b := New(env, "a", prof), New(env, "b", prof)
+	ua, ub := NewUD(a), NewUD(b)
+	const n = 2000
+	env.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			_ = ua.SendTo(p, ub, []byte{byte(i)})
+		}
+	})
+	env.RunAll()
+	delivered := ub.recvQ.Len()
+	frac := float64(n-delivered) / n
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("loss fraction = %.3f, want ~0.2", frac)
+	}
+}
+
+func TestUDTryRecv(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	prof := hw.ConnectX3()
+	ua, ub := NewUD(New(env, "a", prof)), NewUD(New(env, "b", prof))
+	var early, late bool
+	env.Go("rx", func(p *sim.Proc) {
+		_, early = ub.TryRecv(p)
+		p.Sleep(sim.Micros(5))
+		_, late = ub.TryRecv(p)
+	})
+	env.Go("tx", func(p *sim.Proc) {
+		p.Sleep(sim.Micros(1))
+		_ = ua.SendTo(p, ub, []byte("x"))
+	})
+	env.RunAll()
+	if early || !late {
+		t.Fatalf("early=%v late=%v", early, late)
+	}
+}
+
+func TestUDCheaperThanRC(t *testing.T) {
+	// The whole point of UD designs: a server answering via UD sends
+	// sustains more replies per second than one issuing RC writes.
+	measure := func(ud bool) float64 {
+		env := sim.NewEnv(3)
+		defer env.Close()
+		prof := hw.ConnectX3()
+		srv := New(env, "srv", prof)
+		ops := 0
+		for i := 0; i < 8; i++ {
+			srv.RegisterIssuer()
+			peer := New(env, "peer", prof)
+			if ud {
+				us, up := NewUD(srv), NewUD(peer)
+				env.Go("tx", func(p *sim.Proc) {
+					buf := make([]byte, 32)
+					for {
+						if err := us.SendTo(p, up, buf); err != nil {
+							t.Errorf("send: %v", err)
+							return
+						}
+						ops++
+					}
+				})
+			} else {
+				q, _ := Connect(srv, peer)
+				mr := peer.RegisterMemory(64)
+				h := mr.Handle()
+				env.Go("tx", func(p *sim.Proc) {
+					buf := make([]byte, 32)
+					for {
+						if err := q.Write(p, h, 0, buf); err != nil {
+							t.Errorf("write: %v", err)
+							return
+						}
+						ops++
+					}
+				})
+			}
+		}
+		window := sim.Duration(2 * sim.Millisecond)
+		env.Run(sim.Time(window))
+		return float64(ops) / window.Seconds() / 1e6
+	}
+	udRate, rcRate := measure(true), measure(false)
+	if udRate < 1.5*rcRate {
+		t.Fatalf("UD send rate %.2f vs RC write rate %.2f MOPS, want UD >= 1.5x", udRate, rcRate)
+	}
+}

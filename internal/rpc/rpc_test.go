@@ -1,0 +1,279 @@
+package rpc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rfp/internal/core"
+	"rfp/internal/fabric"
+	"rfp/internal/hw"
+	"rfp/internal/sim"
+)
+
+// Arith is the canonical net/rpc example service.
+type Arith struct{}
+
+// Args are the canonical net/rpc example arguments.
+type Args struct{ A, B int }
+
+// Multiply sets *reply = A*B.
+func (Arith) Multiply(args *Args, reply *int) error {
+	*reply = args.A * args.B
+	return nil
+}
+
+// Divide fails on division by zero.
+func (Arith) Divide(args *Args, reply *float64) error {
+	if args.B == 0 {
+		return errors.New("divide by zero")
+	}
+	*reply = float64(args.A) / float64(args.B)
+	return nil
+}
+
+// notSuitable has the wrong signature and must not be registered.
+func (Arith) NotSuitable(a int) int { return a }
+
+type rig struct {
+	env *sim.Env
+	cl  *fabric.Cluster
+	srv *Server
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	env := sim.NewEnv(5)
+	t.Cleanup(env.Close)
+	cl := fabric.NewCluster(env, hw.ConnectX3(), 2)
+	srv := NewServer(core.NewServer(cl.Server, core.ServerConfig{MaxRequest: 4096, MaxResponse: 4096}))
+	srv.RFP().AddThreads(1)
+	return &rig{env: env, cl: cl, srv: srv}
+}
+
+func (r *rig) start(t *testing.T, conns []*core.Conn) {
+	t.Helper()
+	h := r.srv.Handler()
+	r.cl.Server.Spawn("rpc", func(p *sim.Proc) { core.Serve(p, conns, h) })
+}
+
+func TestRegisterCounts(t *testing.T) {
+	r := newRig(t)
+	n, err := r.srv.Register("Arith", Arith{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("registered %d methods, want 2 (NotSuitable excluded)", n)
+	}
+	names := strings.Join(r.srv.Methods(), ",")
+	if !strings.Contains(names, "Arith.Multiply") || !strings.Contains(names, "Arith.Divide") {
+		t.Fatalf("methods = %s", names)
+	}
+}
+
+func TestRegisterRejectsEmpty(t *testing.T) {
+	r := newRig(t)
+	type nothing struct{}
+	if _, err := r.srv.Register("Nothing", nothing{}); err == nil {
+		t.Fatal("empty service registered")
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.srv.Register("Arith", Arith{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.srv.Register("Arith", Arith{}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.srv.Register("Arith", Arith{}); err != nil {
+		t.Fatal(err)
+	}
+	cli, conn := Dial(r.srv, r.cl.Clients[0], core.DefaultParams(), 0)
+	r.start(t, []*core.Conn{conn})
+	var product int
+	var quotient float64
+	var callErr, divErr error
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		callErr = cli.Call(p, "Arith.Multiply", &Args{A: 6, B: 7}, &product)
+		divErr = cli.Call(p, "Arith.Divide", &Args{A: 1, B: 4}, &quotient)
+	})
+	r.env.Run(sim.Time(2 * sim.Millisecond))
+	if callErr != nil || product != 42 {
+		t.Fatalf("Multiply: %d, %v", product, callErr)
+	}
+	if divErr != nil || quotient != 0.25 {
+		t.Fatalf("Divide: %v, %v", quotient, divErr)
+	}
+}
+
+func TestRemoteErrorPropagates(t *testing.T) {
+	r := newRig(t)
+	_, _ = r.srv.Register("Arith", Arith{})
+	cli, conn := Dial(r.srv, r.cl.Clients[0], core.DefaultParams(), 0)
+	r.start(t, []*core.Conn{conn})
+	var err error
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		var out float64
+		err = cli.Call(p, "Arith.Divide", &Args{A: 1, B: 0}, &out)
+	})
+	r.env.Run(sim.Time(sim.Millisecond))
+	var se ServerError
+	if !errors.As(err, &se) || se.Error() != "divide by zero" {
+		t.Fatalf("err = %v, want ServerError(divide by zero)", err)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	r := newRig(t)
+	_, _ = r.srv.Register("Arith", Arith{})
+	cli, conn := Dial(r.srv, r.cl.Clients[0], core.DefaultParams(), 0)
+	r.start(t, []*core.Conn{conn})
+	var err error
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		var out int
+		err = cli.Call(p, "Arith.Nope", &Args{}, &out)
+	})
+	r.env.Run(sim.Time(sim.Millisecond))
+	if !errors.Is(err, ErrNoSuchMethod) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIllFormedName(t *testing.T) {
+	r := newRig(t)
+	cli, _ := Dial(r.srv, r.cl.Clients[0], core.DefaultParams(), 0)
+	var err error
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		var out int
+		err = cli.Call(p, "NoDot", &Args{}, &out)
+	})
+	r.env.Run(sim.Time(sim.Millisecond))
+	if err == nil {
+		t.Fatal("ill-formed method name accepted")
+	}
+}
+
+func TestRegisterFunc(t *testing.T) {
+	r := newRig(t)
+	err := r.srv.RegisterFunc("Str.Upper", func(in *string, out *string) error {
+		*out = strings.ToUpper(*in)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.srv.RegisterFunc("Bad.Sig", func(a int) int { return a }); err == nil {
+		t.Fatal("bad signature accepted")
+	}
+	cli, conn := Dial(r.srv, r.cl.Clients[0], core.DefaultParams(), 0)
+	r.start(t, []*core.Conn{conn})
+	var got string
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		in := "rfp"
+		if err := cli.Call(p, "Str.Upper", &in, &got); err != nil {
+			t.Errorf("call: %v", err)
+		}
+	})
+	r.env.Run(sim.Time(sim.Millisecond))
+	if got != "RFP" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestStructReplies(t *testing.T) {
+	type Point struct{ X, Y int }
+	type Box struct {
+		Min, Max Point
+		Label    string
+	}
+	r := newRig(t)
+	err := r.srv.RegisterFunc("Geo.Bound", func(pts *[]Point, out *Box) error {
+		if len(*pts) == 0 {
+			return errors.New("empty")
+		}
+		b := Box{Min: (*pts)[0], Max: (*pts)[0], Label: "bound"}
+		for _, pt := range *pts {
+			if pt.X < b.Min.X {
+				b.Min.X = pt.X
+			}
+			if pt.Y < b.Min.Y {
+				b.Min.Y = pt.Y
+			}
+			if pt.X > b.Max.X {
+				b.Max.X = pt.X
+			}
+			if pt.Y > b.Max.Y {
+				b.Max.Y = pt.Y
+			}
+		}
+		*out = b
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, conn := Dial(r.srv, r.cl.Clients[0], core.DefaultParams(), 0)
+	r.start(t, []*core.Conn{conn})
+	var box Box
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		pts := []Point{{3, 4}, {-1, 9}, {5, 0}}
+		if err := cli.Call(p, "Geo.Bound", &pts, &box); err != nil {
+			t.Errorf("call: %v", err)
+		}
+	})
+	r.env.Run(sim.Time(2 * sim.Millisecond))
+	if box.Min != (Point{-1, 0}) || box.Max != (Point{5, 9}) || box.Label != "bound" {
+		t.Fatalf("box = %+v", box)
+	}
+}
+
+func TestMultipleClientsConcurrent(t *testing.T) {
+	r := newRig(t)
+	_, _ = r.srv.Register("Arith", Arith{})
+	var conns []*core.Conn
+	clis := make([]*Client, 4)
+	for i := range clis {
+		cli, conn := Dial(r.srv, r.cl.Clients[i%2], core.DefaultParams(), 0)
+		clis[i] = cli
+		conns = append(conns, conn)
+	}
+	r.start(t, conns)
+	done := 0
+	for i, cli := range clis {
+		i, cli := i, cli
+		r.cl.Clients[i%2].Spawn("cli", func(p *sim.Proc) {
+			for k := 1; k <= 25; k++ {
+				var out int
+				if err := cli.Call(p, "Arith.Multiply", &Args{A: i + 1, B: k}, &out); err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+				if out != (i+1)*k {
+					t.Errorf("client %d got %d, want %d — cross-talk", i, out, (i+1)*k)
+					return
+				}
+			}
+			done++
+		})
+	}
+	r.env.Run(sim.Time(20 * sim.Millisecond))
+	if done != 4 {
+		t.Fatalf("%d/4 clients completed", done)
+	}
+}
+
+func TestMethodIDStable(t *testing.T) {
+	if methodID("Arith.Multiply") != methodID("Arith.Multiply") {
+		t.Fatal("unstable hash")
+	}
+	if methodID("Arith.Multiply") == methodID("Arith.Divide") {
+		t.Fatal("trivial collision")
+	}
+}

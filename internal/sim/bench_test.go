@@ -1,0 +1,54 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventLoop measures the cost of one park/resume cycle — the
+// simulator's fundamental unit of work.
+func BenchmarkEventLoop(b *testing.B) {
+	e := NewEnv(1)
+	defer e.Close()
+	e.Go("spinner", func(p *Proc) {
+		for {
+			p.Sleep(10)
+		}
+	})
+	b.ResetTimer()
+	e.Run(Time(int64(b.N) * 10))
+}
+
+// BenchmarkResourceUse measures a contended resource handoff per
+// operation.
+func BenchmarkResourceUse(b *testing.B) {
+	e := NewEnv(1)
+	defer e.Close()
+	r := NewResource(e, 1)
+	for i := 0; i < 4; i++ {
+		e.Go("user", func(p *Proc) {
+			for {
+				r.Use(p, 5)
+			}
+		})
+	}
+	b.ResetTimer()
+	e.Run(Time(int64(b.N) * 5))
+}
+
+// BenchmarkQueuePingPong measures producer/consumer message passing.
+func BenchmarkQueuePingPong(b *testing.B) {
+	e := NewEnv(1)
+	defer e.Close()
+	q := NewQueue[int](e)
+	e.Go("consumer", func(p *Proc) {
+		for {
+			_ = q.Get(p)
+		}
+	})
+	e.Go("producer", func(p *Proc) {
+		for {
+			q.Put(1)
+			p.Sleep(10)
+		}
+	})
+	b.ResetTimer()
+	e.Run(Time(int64(b.N) * 10))
+}

@@ -1,0 +1,315 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel drives the virtual RDMA cluster used throughout this
+// repository. Simulated entities (client threads, server threads, NIC
+// engines) are modeled as processes: ordinary Go functions running in their
+// own goroutines, but scheduled cooperatively so that exactly one process
+// executes at any instant of virtual time. Determinism follows from a single
+// event heap ordered by (time, sequence number); two runs with the same seed
+// and the same spawn order produce identical traces.
+//
+// Because only one process runs at a time, simulated shared state (such as
+// the byte slices backing registered RDMA memory regions) needs no locking,
+// while protocol-level races — e.g. reading a response buffer before its
+// status bit is set — remain perfectly expressible.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Time is an instant of virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Micros returns a Duration of us microseconds (fractional values allowed).
+func Micros(us float64) Duration { return Duration(us * float64(Microsecond)) }
+
+// Seconds returns the duration expressed as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros returns the duration expressed as floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Seconds returns the instant expressed as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from earlier to t.
+func (t Time) Sub(earlier Time) Duration { return Duration(t - earlier) }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fus", float64(t)/1e3) }
+
+// stopped is panicked inside process goroutines when the environment shuts
+// down, unwinding their stacks so the goroutines can exit.
+type stopped struct{}
+
+type event struct {
+	t   Time
+	seq uint64
+	p   *proc // process to resume, or nil if fn-only
+	fn  func()
+}
+
+// eventHeap is a binary min-heap ordered by (t, seq).
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h).less(l, smallest) {
+			smallest = l
+		}
+		if r < n && (*h).less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// proc is the scheduler-side handle for a process goroutine.
+type proc struct {
+	id     int
+	name   string
+	resume chan bool // true = run, false = shut down
+	parked bool      // parked outside the event heap (event/resource/queue wait)
+	done   bool
+}
+
+// Env is a simulation environment: a virtual clock plus the event scheduler.
+// All processes, resources and events belong to exactly one Env. Env is not
+// safe for concurrent use from multiple OS threads; everything happens on
+// the goroutine calling Run and on the process goroutines it coordinates.
+type Env struct {
+	now    Time
+	heap   eventHeap
+	seq    uint64
+	yield  chan struct{} // process -> scheduler: I parked or finished
+	cur    *proc
+	procs  map[int]*proc
+	nextID int
+	rng    *rand.Rand
+	closed bool
+}
+
+// NewEnv returns a fresh environment whose clock reads zero and whose
+// pseudo-random source is seeded with seed.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		procs: make(map[int]*proc),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random source. It must only
+// be used from process context or between Run calls, never concurrently.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+func (e *Env) schedule(t Time, p *proc, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.heap.push(event{t: t, seq: e.seq, p: p, fn: fn})
+}
+
+// At schedules fn to run at absolute time t (clamped to now if in the past).
+// fn runs in scheduler context and must not block.
+func (e *Env) At(t Time, fn func()) { e.schedule(t, nil, fn) }
+
+// After schedules fn to run d from now. fn runs in scheduler context and
+// must not block.
+func (e *Env) After(d Duration, fn func()) { e.schedule(e.now.Add(d), nil, fn) }
+
+// Proc is the in-process view of a running simulation process. A Proc is
+// only valid inside the function passed to Go; calls on it from any other
+// goroutine corrupt the simulation.
+type Proc struct {
+	env *Env
+	p   *proc
+}
+
+// Env returns the environment this process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Rand returns the environment's deterministic random source.
+func (p *Proc) Rand() *rand.Rand { return p.env.rng }
+
+// Go spawns a new process executing fn. The process starts at the current
+// virtual time, after the spawning context yields control.
+func (e *Env) Go(name string, fn func(*Proc)) {
+	if e.closed {
+		panic("sim: Go on closed Env")
+	}
+	e.nextID++
+	pr := &proc{id: e.nextID, name: name, resume: make(chan bool)}
+	e.procs[pr.id] = pr
+	go func() {
+		if !<-pr.resume {
+			pr.done = true
+			e.yield <- struct{}{}
+			return
+		}
+		defer func() {
+			pr.done = true
+			delete(e.procs, pr.id)
+			if r := recover(); r != nil {
+				if _, ok := r.(stopped); ok {
+					e.yield <- struct{}{}
+					return
+				}
+				panic(r)
+			}
+			e.yield <- struct{}{}
+		}()
+		fn(&Proc{env: e, p: pr})
+	}()
+	e.schedule(e.now, pr, nil)
+}
+
+// park suspends the calling process until the scheduler resumes it.
+func (p *Proc) park() {
+	p.env.yield <- struct{}{}
+	if !<-p.p.resume {
+		panic(stopped{})
+	}
+}
+
+// Sleep advances the process by d of virtual time. Non-positive durations
+// still yield to the scheduler (other events at the same instant run first).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.schedule(p.env.now.Add(d), p.p, nil)
+	p.park()
+}
+
+// SleepUntil advances the process to absolute time t (no-op wait if t has
+// already passed, but still yields).
+func (p *Proc) SleepUntil(t Time) {
+	p.env.schedule(t, p.p, nil)
+	p.park()
+}
+
+// Run executes events until the event heap is empty or the clock would pass
+// until. It returns the virtual time at which it stopped. Events scheduled
+// exactly at until are executed.
+func (e *Env) Run(until Time) Time {
+	if e.closed {
+		panic("sim: Run on closed Env")
+	}
+	for len(e.heap) > 0 {
+		if e.heap[0].t > until {
+			e.now = until
+			return e.now
+		}
+		ev := e.heap.pop()
+		e.now = ev.t
+		switch {
+		case ev.p != nil:
+			if ev.p.done {
+				continue // stale wakeup for a finished process
+			}
+			e.cur = ev.p
+			ev.p.resume <- true
+			<-e.yield
+			e.cur = nil
+		case ev.fn != nil:
+			ev.fn()
+		}
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.now
+}
+
+// RunAll executes events until the heap drains completely (deadlocked
+// processes — parked with nothing to wake them — do not count as events).
+func (e *Env) RunAll() Time {
+	const forever = Time(1<<63 - 1)
+	for len(e.heap) > 0 {
+		e.Run(forever)
+	}
+	return e.now
+}
+
+// Close shuts the environment down, unwinding every process goroutine that
+// is still alive. The Env must not be used afterwards. Close is idempotent.
+func (e *Env) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	// Drain heap-scheduled processes and externally-parked ones alike.
+	for len(e.heap) > 0 {
+		ev := e.heap.pop()
+		if ev.p != nil && !ev.p.done {
+			ev.p.resume <- false
+			<-e.yield
+		}
+	}
+	for _, pr := range e.procs {
+		if !pr.done {
+			pr.resume <- false
+			<-e.yield
+		}
+	}
+	e.procs = map[int]*proc{}
+}

@@ -1,0 +1,169 @@
+package sim
+
+// This file provides the synchronization primitives processes use to
+// interact: one-shot events, FIFO resources (queueing servers), and
+// unbounded message queues. All of them wake waiters through the central
+// event heap, preserving deterministic (time, seq) ordering.
+
+// Event is a one-shot condition. Processes that Wait before Fire are parked;
+// Fire releases all of them at the instant it is called. Waiting on an
+// already-fired event returns immediately (after a scheduler yield).
+type Event struct {
+	env     *Env
+	fired   bool
+	waiters []*proc
+}
+
+// NewEvent returns an unfired event bound to e.
+func NewEvent(e *Env) *Event { return &Event{env: e} }
+
+// Fired reports whether the event has fired.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Wait parks p until the event fires.
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p.p)
+	p.park()
+}
+
+// Fire releases all current and future waiters. Firing twice is a no-op.
+// Fire may be called from process or scheduler context.
+func (ev *Event) Fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, w := range ev.waiters {
+		ev.env.schedule(ev.env.now, w, nil)
+	}
+	ev.waiters = nil
+}
+
+// Resource is a queueing server with fixed capacity: at most cap processes
+// hold it simultaneously; the rest wait FIFO. It models contended hardware
+// engines (NIC processing units, bus locks) whose throughput ceiling emerges
+// from holding the resource for a service time per operation.
+type Resource struct {
+	env     *Env
+	cap     int
+	inUse   int
+	waiters []*proc
+
+	// Busy accumulates total holder-occupancy time, for utilization
+	// accounting: utilization = Busy / (cap * elapsed).
+	Busy Duration
+
+	lastChange Time
+}
+
+// NewResource returns a resource with the given concurrent capacity.
+func NewResource(e *Env, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{env: e, cap: capacity}
+}
+
+func (r *Resource) account() {
+	r.Busy += Duration(r.inUse) * r.env.now.Sub(r.lastChange)
+	r.lastChange = r.env.now
+}
+
+// Acquire blocks p until a capacity slot is free, then takes it.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.account()
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p.p)
+	p.park()
+	// Slot was transferred to us by Release before we were woken.
+}
+
+// Release frees a slot, waking the longest-waiting process if any.
+func (r *Resource) Release() {
+	r.account()
+	r.inUse--
+	if r.inUse < 0 {
+		panic("sim: Release without Acquire")
+	}
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.inUse++ // transfer the slot to the woken waiter
+		r.env.schedule(r.env.now, w, nil)
+	}
+}
+
+// Use acquires the resource, holds it for d, and releases it: the basic
+// "serve one operation" pattern.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// QueueLen returns the number of processes waiting for the resource.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// InUse returns the number of currently held slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Queue is an unbounded FIFO message queue between processes. Put never
+// blocks; Get parks until an item is available. Items are delivered in FIFO
+// order and waiters are served in FIFO order.
+type Queue[T any] struct {
+	env     *Env
+	items   []T
+	waiters []*proc
+}
+
+// NewQueue returns an empty queue bound to e.
+func NewQueue[T any](e *Env) *Queue[T] { return &Queue[T]{env: e} }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends v and wakes one waiter if any. It may be called from process
+// or scheduler context.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.env.schedule(q.env.now, w, nil)
+	}
+}
+
+// Get removes and returns the oldest item, parking p until one exists.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p.p)
+		p.park()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	// If items remain and more waiters exist, propagate the wakeup so a
+	// multi-item Put burst wakes enough getters.
+	if len(q.items) > 0 && len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.env.schedule(q.env.now, w, nil)
+	}
+	return v
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}

@@ -1,0 +1,100 @@
+package stats
+
+// ASCII chart rendering, so cmd/rfpbench can show a figure's shape directly
+// in the terminal next to its numeric table.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// chartGlyphs mark successive series on one canvas.
+var chartGlyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Chart renders the series onto a width x height character canvas with a
+// shared linear y axis starting at zero and x positions taken from the
+// first series' x values (sweeps share their x grid). Each series uses the
+// next glyph; a legend line follows the canvas.
+func Chart(title string, width, height int, series ...*Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	var yMax float64
+	var xs []float64
+	for _, s := range series {
+		if len(s.X) > len(xs) {
+			xs = s.X
+		}
+		for _, y := range s.Y {
+			if y > yMax {
+				yMax = y
+			}
+		}
+	}
+	if len(xs) == 0 || yMax <= 0 || math.IsNaN(yMax) {
+		return fmt.Sprintf("# %s\n(no data)\n", title)
+	}
+
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(i int) int {
+		if len(xs) == 1 {
+			return 0
+		}
+		return i * (width - 1) / (len(xs) - 1)
+	}
+	row := func(y float64) int {
+		r := height - 1 - int(math.Round(y/yMax*float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		g := chartGlyphs[si%len(chartGlyphs)]
+		for i, y := range s.Y {
+			if i >= len(xs) || math.IsNaN(y) {
+				continue
+			}
+			canvas[row(y)][col(i)] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	yl := series[0].YLabel
+	if yl == "" {
+		yl = "y"
+	}
+	for r, line := range canvas {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%10.3g |%s\n", yMax, string(line))
+		case height - 1:
+			fmt.Fprintf(&b, "%10.3g |%s\n", 0.0, string(line))
+		default:
+			fmt.Fprintf(&b, "%10s |%s\n", "", string(line))
+		}
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	xl := series[0].XLabel
+	if xl == "" {
+		xl = "x"
+	}
+	fmt.Fprintf(&b, "%10s  %-*s%g..%g (%s)\n", "", width-20, "", xs[0], xs[len(xs)-1], xl)
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", chartGlyphs[si%len(chartGlyphs)], s.Label))
+	}
+	fmt.Fprintf(&b, "%10s  %s\n", "", strings.Join(legend, "   "))
+	return b.String()
+}

@@ -1,0 +1,221 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistEmpty(t *testing.T) {
+	h := NewHist(0)
+	if h.Mean() != 0 || h.Percentile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should read zero")
+	}
+	if !strings.Contains(h.String(), "empty") {
+		t.Fatal("String")
+	}
+}
+
+func TestHistBasicStats(t *testing.T) {
+	h := NewHist(0)
+	for _, v := range []int64{100, 200, 300, 400, 500} {
+		h.Add(v)
+	}
+	if h.Count() != 5 {
+		t.Fatal("count")
+	}
+	if h.Mean() != 300 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 100 || h.Max() != 500 {
+		t.Fatal("min/max")
+	}
+	if h.Percentile(0.5) != 300 {
+		t.Fatalf("p50 = %d", h.Percentile(0.5))
+	}
+	if h.Percentile(0) != 100 || h.Percentile(1) != 500 {
+		t.Fatal("p0/p100")
+	}
+}
+
+func TestHistNegativeClamped(t *testing.T) {
+	h := NewHist(0)
+	h.Add(-50)
+	if h.Min() != 0 {
+		t.Fatal("negative sample should clamp to 0")
+	}
+}
+
+func TestHistQuantileClamping(t *testing.T) {
+	h := NewHist(0)
+	h.Add(10)
+	if h.Percentile(-1) != 10 || h.Percentile(2) != 10 {
+		t.Fatal("out-of-range quantiles should clamp")
+	}
+}
+
+func TestHistOverflowApproximation(t *testing.T) {
+	h := NewHist(100)
+	for i := 0; i < 100; i++ {
+		h.Add(1000)
+	}
+	for i := 0; i < 900; i++ {
+		h.Add(1 << 20) // lands in overflow buckets
+	}
+	if h.Count() != 1000 {
+		t.Fatal("count with overflow")
+	}
+	p99 := h.Percentile(0.99)
+	if p99 < 1<<19 || p99 > 1<<21 {
+		t.Fatalf("overflow p99 = %d, want ~2^20", p99)
+	}
+	if h.Percentile(0.01) != 1000 {
+		t.Fatalf("low quantile should come from exact samples")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	h := NewHist(0)
+	for i := int64(1); i <= 1000; i++ {
+		h.Add(i * 7)
+	}
+	pts := h.CDF([]float64{0.1, 0.5, 0.9, 0.99})
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Ns < pts[i-1].Ns {
+			t.Fatalf("CDF not monotone: %+v", pts)
+		}
+	}
+}
+
+func TestMOPS(t *testing.T) {
+	if MOPS(5_500_000, 1e9) != 5.5 {
+		t.Fatalf("MOPS = %v", MOPS(5_500_000, 1e9))
+	}
+	if MOPS(100, 0) != 0 {
+		t.Fatal("zero window")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Label: "jakiro"}
+	s.Add(1, 5.5)
+	s.Add(2, 5.4)
+	if s.At(1) != 5.5 {
+		t.Fatal("At")
+	}
+	if !math.IsNaN(s.At(99)) {
+		t.Fatal("At missing")
+	}
+	if s.PeakY() != 5.5 {
+		t.Fatal("PeakY")
+	}
+	empty := &Series{}
+	if !math.IsNaN(empty.PeakY()) {
+		t.Fatal("empty PeakY")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	a := &Series{Label: "in-bound", XLabel: "threads"}
+	b := &Series{Label: "out-bound"}
+	a.Add(1, 11.26)
+	a.Add(2, 11.26)
+	b.Add(1, 2.11)
+	out := Table("fig3", a, b)
+	for _, want := range []string{"# fig3", "threads", "in-bound", "out-bound", "11.26", "2.11"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// Second series shorter than first: renders '-'.
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing placeholder for short series")
+	}
+}
+
+// Property: for any sample set under the cap, Percentile(q) equals the
+// exact order statistic.
+func TestPercentileExactProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHist(len(raw) + 1)
+		vals := make([]int64, len(raw))
+		for i, v := range raw {
+			vals[i] = int64(v)
+			h.Add(int64(v))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.99, 1} {
+			want := vals[int(q*float64(len(vals)-1))]
+			if h.Percentile(q) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHist(0)
+		for _, v := range raw {
+			h.Add(int64(v))
+		}
+		m := h.Mean()
+		return m >= float64(h.Min()) && m <= float64(h.Max())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartRendersSeries(t *testing.T) {
+	a := &Series{Label: "jakiro", XLabel: "threads", YLabel: "MOPS"}
+	b := &Series{Label: "reply"}
+	for i := 1; i <= 8; i++ {
+		a.Add(float64(i), 5.5)
+		b.Add(float64(i), 2.1)
+	}
+	out := Chart("fig12", 40, 8, a, b)
+	for _, want := range []string{"# fig12", "* jakiro", "o reply", "threads", "5.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The constant-5.5 series must sit on the top row, 2.1 lower down.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("peak series not on top row:\n%s", out)
+	}
+	if strings.Contains(lines[1], "o") {
+		t.Fatalf("lower series rendered at the top:\n%s", out)
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	if !strings.Contains(Chart("none", 40, 8), "(no data)") {
+		t.Fatal("empty chart")
+	}
+	s := &Series{Label: "zero"}
+	s.Add(1, 0)
+	if !strings.Contains(Chart("zeros", 40, 8, s), "(no data)") {
+		t.Fatal("all-zero chart should degrade gracefully")
+	}
+	one := &Series{Label: "one"}
+	one.Add(5, 3.3)
+	out := Chart("single", 2, 2, one) // exercises clamping
+	if !strings.Contains(out, "one") {
+		t.Fatal("single-point chart")
+	}
+}

@@ -1,0 +1,155 @@
+// Package trace provides a lightweight ring-buffer event recorder for the
+// simulated data path. Attach a Ring to an RNIC and every verb it carries
+// (one-sided reads/writes, sends, datagrams) is logged with virtual
+// timestamps, sizes and endpoints — enough to reconstruct an operation
+// timeline when an experiment misbehaves, without perturbing results (the
+// recorder costs host time only, never virtual time).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rfp/internal/sim"
+)
+
+// Kind labels a traced operation.
+type Kind uint8
+
+// Operation kinds.
+const (
+	Write Kind = iota
+	Read
+	Send
+	Recv
+	UCWrite
+	UDSend
+	UDRecv
+	Drop // a UC/UD message lost in flight
+)
+
+var kindNames = [...]string{"WRITE", "READ", "SEND", "RECV", "UC-WRITE", "UD-SEND", "UD-RECV", "DROP"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one traced operation.
+type Event struct {
+	Start sim.Time
+	End   sim.Time
+	Kind  Kind
+	Src   string // initiating NIC
+	Dst   string // remote NIC (empty for local-only events)
+	Bytes int
+}
+
+func (e Event) String() string {
+	dst := e.Dst
+	if dst == "" {
+		dst = "-"
+	}
+	return fmt.Sprintf("%12v  %-8s %-16s -> %-16s %6dB  (%.2fus)",
+		e.Start, e.Kind, e.Src, dst, e.Bytes, float64(e.End.Sub(e.Start))/1e3)
+}
+
+// Ring is a bounded event recorder; once full it overwrites oldest-first.
+// A nil *Ring is valid and records nothing, so instrumented code needs no
+// branches beyond the method call.
+type Ring struct {
+	events []Event
+	next   int
+	full   bool
+	total  uint64
+}
+
+// NewRing creates a recorder holding the last capacity events (default
+// 4096 when non-positive).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Ring{events: make([]Event, 0, capacity)}
+}
+
+// Record appends one event. Safe on a nil receiver.
+func (r *Ring) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.total++
+	if len(r.events) < cap(r.events) {
+		r.events = append(r.events, e)
+		return
+	}
+	r.full = true
+	r.events[r.next] = e
+	r.next = (r.next + 1) % cap(r.events)
+}
+
+// Total returns how many events were recorded over the Ring's lifetime
+// (including overwritten ones).
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Events returns the retained events in chronological order.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if !r.full {
+		return append([]Event(nil), r.events...)
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Filter returns retained events of the given kind.
+func (r *Ring) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes the retained timeline to w, most recent last.
+func (r *Ring) Dump(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders per-kind counts and byte totals.
+func (r *Ring) Summary() string {
+	counts := map[Kind]int{}
+	bytes := map[Kind]int{}
+	for _, e := range r.Events() {
+		counts[e.Kind]++
+		bytes[e.Kind] += e.Bytes
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events retained (%d total)\n", len(r.Events()), r.Total())
+	for k := Kind(0); int(k) < len(kindNames); k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-9s %7d ops %12d bytes\n", k, counts[k], bytes[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,30 @@
+package workload
+
+import "testing"
+
+// BenchmarkGeneratorUniform measures the per-op cost of workload
+// generation, which sits on the load driver's hot path.
+func BenchmarkGeneratorUniform(b *testing.B) {
+	g := NewGenerator(Config{Keys: 1 << 20, GetFraction: 0.95}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Next()
+	}
+}
+
+// BenchmarkGeneratorZipf measures skewed generation.
+func BenchmarkGeneratorZipf(b *testing.B) {
+	g := NewGenerator(Config{Keys: 1 << 20, GetFraction: 0.95, ZipfTheta: 0.99}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Next()
+	}
+}
+
+// BenchmarkFillValue measures deterministic value synthesis (32 B).
+func BenchmarkFillValue(b *testing.B) {
+	buf := make([]byte, 32)
+	for i := 0; i < b.N; i++ {
+		FillValue(buf, uint64(i), 0)
+	}
+}

@@ -1,0 +1,211 @@
+// Package workload generates YCSB-like key-value workloads: uniform or
+// Zipf-distributed key popularity, configurable GET/PUT mixes and value-size
+// distributions. The defaults mirror the paper's evaluation setup: 16-byte
+// keys, 32-byte values ("the value size of more than half of key-value pairs
+// in Facebook's data center is around 20 bytes"), uniform and read-intensive
+// (95% GET) unless stated otherwise, with the skewed variant drawn from a
+// Zipf distribution with parameter 0.99.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"rfp/internal/dist"
+)
+
+// KeySize is the fixed key length used throughout the evaluation.
+const KeySize = 16
+
+// OpKind distinguishes reads from writes.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	Get OpKind = iota
+	Put
+	ReadModifyWrite // read the value, then write an updated one (YCSB-F)
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case Get:
+		return "GET"
+	case Put:
+		return "PUT"
+	default:
+		return "RMW"
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind      OpKind
+	Key       uint64
+	ValueSize int // for Put: payload length
+}
+
+// Config parameterizes a workload.
+type Config struct {
+	// Keys is the key-space cardinality.
+	Keys int
+	// GetFraction is the probability of a GET (0.95 = read-intensive,
+	// 0.05 = write-intensive in the paper's terminology).
+	GetFraction float64
+	// RMWFraction is the probability of a read-modify-write; the remainder
+	// after GETs and RMWs is plain PUTs.
+	RMWFraction float64
+	// ZipfTheta > 0 selects skewed popularity with the given theta
+	// (0.99 in the paper); 0 selects uniform.
+	ZipfTheta float64
+	// ValueSize draws PUT payload sizes. Defaults to fixed 32 bytes.
+	ValueSize dist.IntDist
+}
+
+// DefaultConfig is the paper's base workload: 1M uniformly popular keys,
+// 95% GET, fixed 32-byte values. (The paper preloads 128M pairs; the
+// simulated store scales the key space down so tests stay RAM-friendly —
+// popularity structure, not cardinality, is what the results depend on.)
+func DefaultConfig() Config {
+	return Config{Keys: 1 << 20, GetFraction: 0.95, ValueSize: dist.Fixed(32)}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Keys <= 0 {
+		c.Keys = d.Keys
+	}
+	if c.ValueSize == nil {
+		c.ValueSize = d.ValueSize
+	}
+	if c.GetFraction < 0 {
+		c.GetFraction = 0
+	}
+	if c.GetFraction > 1 {
+		c.GetFraction = 1
+	}
+	if c.RMWFraction < 0 {
+		c.RMWFraction = 0
+	}
+	if c.GetFraction+c.RMWFraction > 1 {
+		c.RMWFraction = 1 - c.GetFraction
+	}
+	return c
+}
+
+// YCSB returns the configuration of a core YCSB workload over the given
+// key space: 'A' (50% read / 50% update), 'B' (95/5), 'C' (read-only) and
+// 'F' (50% read / 50% read-modify-write), all with Zipf(.99) popularity as
+// in the benchmark's standard definitions. Workloads D and E need a
+// growing key space / scans, which the stores here do not model.
+func YCSB(preset byte, keys int) (Config, error) {
+	c := Config{Keys: keys, ZipfTheta: 0.99}
+	switch preset {
+	case 'A', 'a':
+		c.GetFraction = 0.5
+	case 'B', 'b':
+		c.GetFraction = 0.95
+	case 'C', 'c':
+		c.GetFraction = 1
+	case 'F', 'f':
+		c.GetFraction = 0.5
+		c.RMWFraction = 0.5
+	default:
+		return Config{}, fmt.Errorf("workload: unknown YCSB preset %q (have A, B, C, F)", preset)
+	}
+	return c, nil
+}
+
+// Generator produces a deterministic operation stream for one client
+// thread.
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	keys dist.IntDist
+}
+
+// NewGenerator builds a generator with its own seeded source, so parallel
+// client threads generate independent, reproducible streams.
+func NewGenerator(cfg Config, seed int64) *Generator {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	var keys dist.IntDist
+	if cfg.ZipfTheta > 0 {
+		keys = dist.NewZipf(cfg.ZipfTheta, cfg.Keys)
+	} else {
+		keys = dist.Uniform{Lo: 0, Hi: cfg.Keys - 1}
+	}
+	return &Generator{cfg: cfg, rng: rng, keys: keys}
+}
+
+// Config returns the effective configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Rand exposes the generator's random source (e.g. for auxiliary sampling
+// that must stay in sync with the stream).
+func (g *Generator) Rand() *rand.Rand { return g.rng }
+
+// Next draws the next operation.
+func (g *Generator) Next() Op {
+	op := Op{Key: uint64(g.keys.Next(g.rng))}
+	u := g.rng.Float64()
+	switch {
+	case u < g.cfg.GetFraction:
+		op.Kind = Get
+	case u < g.cfg.GetFraction+g.cfg.RMWFraction:
+		op.Kind = ReadModifyWrite
+		op.ValueSize = g.cfg.ValueSize.Next(g.rng)
+	default:
+		op.Kind = Put
+		op.ValueSize = g.cfg.ValueSize.Next(g.rng)
+	}
+	return op
+}
+
+// EncodeKey writes the canonical 16-byte representation of key into buf
+// (which must be at least KeySize long) and returns buf[:KeySize].
+func EncodeKey(buf []byte, key uint64) []byte {
+	binary.LittleEndian.PutUint64(buf[0:8], key)
+	binary.LittleEndian.PutUint64(buf[8:16], key^0x9E3779B97F4A7C15) // fill, keeps keys 16B
+	return buf[:KeySize]
+}
+
+// DecodeKey recovers the key index from its canonical encoding.
+func DecodeKey(buf []byte) uint64 {
+	return binary.LittleEndian.Uint64(buf[0:8])
+}
+
+// FillValue fills buf with a value deterministically derived from (key,
+// version), so stores can verify end-to-end integrity of GET results.
+func FillValue(buf []byte, key uint64, version uint32) {
+	seed := key*0x9E3779B97F4A7C15 + uint64(version)*0xBF58476D1CE4E5B9
+	for i := range buf {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		buf[i] = byte(seed)
+	}
+}
+
+// CheckValue reports whether buf matches FillValue(key, version).
+func CheckValue(buf []byte, key uint64, version uint32) bool {
+	want := make([]byte, len(buf))
+	FillValue(want, key, version)
+	for i := range buf {
+		if buf[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Preload returns every key index once, for store warm-up.
+func Preload(cfg Config) []uint64 {
+	cfg = cfg.withDefaults()
+	keys := make([]uint64, cfg.Keys)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	return keys
+}
