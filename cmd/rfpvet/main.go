@@ -1,0 +1,99 @@
+// Command rfpvet runs the repository's invariant analyzers (internal/analysis)
+// over the module and prints findings in a CI-clickable format.
+//
+// Usage:
+//
+//	go run ./cmd/rfpvet [-list] [packages]
+//
+// Packages are directory patterns relative to the working directory; a
+// trailing "..." selects a subtree. With no arguments, ./... is checked.
+// Test files and testdata trees are never analyzed.
+//
+// Each finding is printed to stderr as
+//
+//	file:line:col: analyzer: message
+//
+// with file paths relative to the working directory. Findings can be
+// suppressed with a trailing (or immediately preceding) comment:
+//
+//	//rfpvet:allow <analyzer> <reason>
+//
+// Exit codes:
+//
+//	0  no findings
+//	1  at least one finding was reported
+//	2  usage or load error (bad pattern, unparsable source)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rfp/internal/analysis"
+	"rfp/internal/analysis/registry"
+)
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `usage: rfpvet [-list] [packages]
+
+rfpvet checks the simulator's correctness invariants: virtual-vs-wall-clock
+time, seeded randomness, MallocBuf/FreeBuf pairing, status-bit-before-read,
+and no OS-level blocking in simulation code. Patterns are directories
+relative to the working directory ("./...", "./internal/sim"); default ./...
+
+Suppress a finding with: //rfpvet:allow <analyzer> <reason>
+
+Exit codes: 0 = clean, 1 = findings reported, 2 = usage or load error.
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
+
+func main() {
+	flag.Usage = usage
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range registry.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, registry.All())
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rfpvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rfpvet:", err)
+	os.Exit(2)
+}

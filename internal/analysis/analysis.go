@@ -1,0 +1,222 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis driver model, sized for this repository.
+//
+// The simulator's correctness rests on invariants the Go compiler cannot
+// check: virtual time must never mix with wall-clock time, randomness must
+// flow through explicitly seeded *rand.Rand values, RFP buffers must pair
+// MallocBuf with FreeBuf, response payloads must not be read before the
+// status header is validated, and simulation processes must never block the
+// OS thread (the cooperative scheduler runs exactly one process at a time).
+// The analyzers under internal/analysis/... enforce those invariants; the
+// cmd/rfpvet driver runs them over the module, and CI gates every PR on a
+// clean run.
+//
+// The x/tools module is deliberately not imported — this repository builds
+// with the standard library only — so this package mirrors just the slice of
+// the go/analysis API the suite needs: Analyzer, Pass, Diagnostic, a
+// package loader, and //rfpvet:allow suppression directives. Analyzers are
+// purely syntactic (AST + file-scoped import resolution); they do not
+// type-check, which keeps the driver fast and self-contained.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //rfpvet:allow directives. It must be a single lower-case word.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant, shown by
+	// `rfpvet -list`.
+	Doc string
+
+	// Run applies the analyzer to one package and reports findings
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// A Pass presents one package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset maps token positions for Files.
+	Fset *token.FileSet
+
+	// PkgPath is the package's import path (e.g. "rfp/internal/sim").
+	// Analyzers use it to decide whether their invariant applies.
+	PkgPath string
+
+	// Files are the package's parsed non-test source files, with
+	// comments attached and identifier objects resolved.
+	Files []*ast.File
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the clickable
+// "file:line:col: analyzer: message" form the CI log expects.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// AllowDirective is the comment prefix that suppresses a diagnostic:
+//
+//	//rfpvet:allow <analyzer> <reason>
+//
+// The directive applies to findings of <analyzer> on its own line and on
+// the line immediately below, so it works both as a trailing comment and as
+// a line of its own above the flagged statement. The reason is mandatory;
+// a directive without one is itself reported.
+const AllowDirective = "//rfpvet:allow"
+
+// allowKey identifies one suppressed (file, line, analyzer) slot.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectAllows scans a file's comments for //rfpvet:allow directives.
+// Malformed directives (no analyzer, or no reason) are reported as
+// diagnostics of the pseudo-analyzer "rfpvet".
+func collectAllows(fset *token.FileSet, f *ast.File, allows map[allowKey]bool, diags *[]Diagnostic) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, AllowDirective) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(strings.TrimPrefix(c.Text, AllowDirective))
+			if len(fields) < 2 {
+				*diags = append(*diags, Diagnostic{
+					Pos:      pos,
+					Analyzer: "rfpvet",
+					Message:  fmt.Sprintf("malformed directive %q: want %s <analyzer> <reason>", c.Text, AllowDirective),
+				})
+				continue
+			}
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				allows[allowKey{pos.Filename, line, fields[0]}] = true
+			}
+		}
+	}
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// surviving diagnostics sorted by position. Findings covered by an
+// //rfpvet:allow directive are dropped; malformed directives are kept.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	allows := make(map[allowKey]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			collectAllows(pkg.Fset, f, allows, &diags)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				PkgPath:  pkg.Path,
+				Files:    pkg.Files,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// ImportName returns the file-local name under which path is imported by f,
+// or "" if f does not import it. The default name is the path's last
+// element; aliases are honored; blank and dot imports return "".
+func ImportName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if n := imp.Name.Name; n != "_" && n != "." {
+				return n
+			}
+			return ""
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// IsPkgRef reports whether ident is a reference to the package imported
+// under name — i.e. it has that name and does not resolve to any local
+// declaration (the parser resolves file-scoped objects, so a shadowing
+// variable or parameter yields a non-nil Obj).
+func IsPkgRef(ident *ast.Ident, name string) bool {
+	return name != "" && ident.Name == name && ident.Obj == nil
+}
+
+// Parents builds a child-to-parent map for the AST rooted at n. Analyzers
+// that must distinguish read from write positions (e.g. statusbit) use it to
+// inspect an expression's context.
+func Parents(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

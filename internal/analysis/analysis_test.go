@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+// probe reports one diagnostic on every line containing a call to hit().
+var probe = &Analyzer{
+	Name: "probe",
+	Doc:  "test analyzer",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "hit" {
+						pass.Reportf(call.Pos(), "probe hit")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func runProbe(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset, f := parse(t, src)
+	pkg := &Package{Path: "probe/pkg", Dir: ".", Fset: fset, Files: []*ast.File{f}}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestAllowDirectiveSuppresses(t *testing.T) {
+	src := `package p
+
+func hit() {}
+
+func f() {
+	hit() //rfpvet:allow probe known exception
+
+	hit()
+}
+`
+	diags := runProbe(t, src)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (the unsuppressed hit): %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 8 {
+		t.Errorf("surviving diagnostic on line %d, want 8", diags[0].Pos.Line)
+	}
+}
+
+func TestAllowDirectiveOnPrecedingLine(t *testing.T) {
+	src := `package p
+
+func hit() {}
+
+func f() {
+	//rfpvet:allow probe documented exception
+	hit()
+}
+`
+	if diags := runProbe(t, src); len(diags) != 0 {
+		t.Fatalf("preceding-line directive did not suppress: %v", diags)
+	}
+}
+
+func TestAllowDirectiveWrongAnalyzer(t *testing.T) {
+	src := `package p
+
+func hit() {}
+
+func f() {
+	hit() //rfpvet:allow other reason text
+}
+`
+	if diags := runProbe(t, src); len(diags) != 1 {
+		t.Fatalf("directive for a different analyzer must not suppress: %v", diags)
+	}
+}
+
+func TestMalformedDirectiveReported(t *testing.T) {
+	src := `package p
+
+//rfpvet:allow probe
+func f() {}
+`
+	diags := runProbe(t, src)
+	if len(diags) != 1 || diags[0].Analyzer != "rfpvet" {
+		t.Fatalf("want one rfpvet malformed-directive diagnostic, got %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "malformed directive") {
+		t.Errorf("unexpected message %q", diags[0].Message)
+	}
+}
+
+func TestImportName(t *testing.T) {
+	_, f := parse(t, `package p
+
+import (
+	"time"
+	wall "math/rand"
+	_ "sort"
+)
+`)
+	if got := ImportName(f, "time"); got != "time" {
+		t.Errorf("time import name = %q, want time", got)
+	}
+	if got := ImportName(f, "math/rand"); got != "wall" {
+		t.Errorf("aliased import name = %q, want wall", got)
+	}
+	if got := ImportName(f, "sort"); got != "" {
+		t.Errorf("blank import name = %q, want empty", got)
+	}
+	if got := ImportName(f, "sync"); got != "" {
+		t.Errorf("absent import name = %q, want empty", got)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "a/b.go", Line: 12, Column: 3},
+		Analyzer: "simtime",
+		Message:  "boom",
+	}
+	if got, want := d.String(), "a/b.go:12:3: simtime: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

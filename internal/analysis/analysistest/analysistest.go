@@ -1,0 +1,175 @@
+// Package analysistest runs an analyzer over golden testdata packages and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest without the dependency.
+//
+// Testdata layout follows the x/tools GOPATH convention: the shared tree
+// internal/analysis/testdata/src/<importpath>/ holds one package per
+// scenario, and the directory path below src/ becomes the package's import
+// path — so a scenario under src/rfp/internal/fabricx/ exercises the
+// path-scoped analyzers exactly as a real simulator package would.
+//
+// Expectations are trailing comments of the form
+//
+//	resp[0] = 1 // want `regexp`
+//	x := resp[1] // want `first` `second`
+//
+// Each backquoted or double-quoted pattern must match (regexp search) the
+// message of exactly one diagnostic reported on that line, and every
+// diagnostic must be claimed by a pattern. //rfpvet:allow directives are
+// honored, so the suppression path is testable with a directive plus the
+// absence of a want.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rfp/internal/analysis"
+)
+
+// TestData returns the absolute path of the suite's shared testdata tree,
+// relative to the calling analyzer package (internal/analysis/<name>).
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("../testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// expectation is one // want pattern at a file line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads each package from testdata/src/<pkgpath>, applies the analyzer,
+// and reports any mismatch between its diagnostics and the // want comments
+// as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	for _, pkgpath := range pkgpaths {
+		runOne(t, testdata, a, pkgpath)
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
+	pkg, err := analysis.LoadDir(dir, pkgpath)
+	if err != nil {
+		t.Errorf("%s: load: %v", pkgpath, err)
+		return
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		ws, err := collectWants(pkg, f)
+		if err != nil {
+			t.Errorf("%s: %v", pkgpath, err)
+			return
+		}
+		wants = append(wants, ws...)
+	}
+
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Errorf("%s: run: %v", pkgpath, err)
+		return
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", pkgpath, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches its message.
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the // want comments of one file.
+func collectWants(pkg *analysis.Package, f *ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+			if !ok {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			patterns, err := parsePatterns(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+			}
+			if len(patterns) == 0 {
+				return nil, fmt.Errorf("%s:%d: // want comment with no patterns", pos.Filename, pos.Line)
+			}
+			for _, p := range patterns {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad pattern %q: %v", pos.Filename, pos.Line, p, err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parsePatterns splits `a` `b` or "a" "b" into raw pattern strings.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted pattern in %q", s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[2+end:])
+		case '"':
+			// Find the closing quote honoring escapes, then unquote.
+			i := 1
+			for i < len(s) && (s[i] != '"' || s[i-1] == '\\') {
+				i++
+			}
+			if i == len(s) {
+				return nil, fmt.Errorf("unterminated quoted pattern in %q", s)
+			}
+			p, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted pattern %q: %v", s[:i+1], err)
+			}
+			out = append(out, p)
+			s = strings.TrimSpace(s[i+1:])
+		default:
+			return nil, fmt.Errorf("pattern must be backquoted or double-quoted, got %q", s)
+		}
+	}
+	return out, nil
+}

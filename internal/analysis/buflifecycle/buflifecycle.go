@@ -1,0 +1,125 @@
+// Package buflifecycle pairs MallocBuf with FreeBuf.
+//
+// RFP buffers live inside a registered RDMA region (internal/core's
+// BufAllocator); a buffer that is malloc'd and never freed permanently
+// shrinks the region, and under the paper's steady-state client loops that
+// is a guaranteed slow leak rather than a crash — exactly the kind of bug a
+// simulation run won't surface. The check is intraprocedural and
+// deliberately simple: a function that calls MallocBuf must either call
+// FreeBuf somewhere (including via defer) or visibly hand the buffer to its
+// caller through a return statement. Any other ownership transfer — storing
+// the buffer in a long-lived struct, sending it through a queue — is a
+// design decision that must be documented with
+//
+//	//rfpvet:allow buflifecycle <reason>
+//
+// on the MallocBuf line.
+package buflifecycle
+
+import (
+	"go/ast"
+
+	"rfp/internal/analysis"
+)
+
+// Analyzer implements the buflifecycle check.
+var Analyzer = &analysis.Analyzer{
+	Name: "buflifecycle",
+	Doc: "flag functions where a MallocBuf result can reach return without a FreeBuf " +
+		"or a documented ownership transfer (return of the buffer, or an //rfpvet:allow directive)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// calleeName returns the bare name of a call's callee: "F" for F(...) and
+// for recv.F(...).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var mallocs []*ast.CallExpr
+	hasFree := false
+	returned := make(map[string]bool) // identifiers appearing in return statements
+	returnsCall := false              // a MallocBuf call returned directly
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch calleeName(n) {
+			case "MallocBuf":
+				mallocs = append(mallocs, n)
+			case "FreeBuf":
+				hasFree = true
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				ast.Inspect(res, func(m ast.Node) bool {
+					switch m := m.(type) {
+					case *ast.Ident:
+						returned[m.Name] = true
+					case *ast.CallExpr:
+						if calleeName(m) == "MallocBuf" {
+							returnsCall = true
+						}
+					}
+					return true
+				})
+			}
+		case *ast.FuncLit:
+			// Nested closures get their own accounting only for
+			// malloc/free pairing via the shared flags; keep it
+			// simple and treat the whole body as one scope.
+		}
+		return true
+	})
+
+	if len(mallocs) == 0 || hasFree || returnsCall {
+		return
+	}
+
+	// Map each malloc to the variable it initializes, if any, so a
+	// `return buf` ownership transfer can be recognized.
+	for _, call := range mallocs {
+		if name := assignedVar(pass, fn.Body, call); name != "" && returned[name] {
+			continue
+		}
+		pass.Reportf(call.Pos(), "MallocBuf result in %s is neither freed (FreeBuf) nor returned to the caller; free it, return it, or document the ownership transfer with %s buflifecycle <reason>",
+			fn.Name.Name, analysis.AllowDirective)
+	}
+}
+
+// assignedVar returns the name of the variable that directly receives the
+// result of call (`buf, err := a.MallocBuf(n)` yields "buf"), or "".
+func assignedVar(pass *analysis.Pass, body *ast.BlockStmt, call *ast.CallExpr) string {
+	name := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || assign.Rhs[0] != ast.Expr(call) {
+			return true
+		}
+		if id, ok := assign.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			name = id.Name
+		}
+		return false
+	})
+	return name
+}

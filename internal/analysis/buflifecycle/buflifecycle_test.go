@@ -1,0 +1,12 @@
+package buflifecycle_test
+
+import (
+	"testing"
+
+	"rfp/internal/analysis/analysistest"
+	"rfp/internal/analysis/buflifecycle"
+)
+
+func TestBuflifecycle(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), buflifecycle.Analyzer, "buflifecycle")
+}

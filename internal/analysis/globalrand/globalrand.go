@@ -1,0 +1,81 @@
+// Package globalrand forbids the process-global math/rand generator.
+//
+// Determinism is load-bearing for every figure in DESIGN.md §5: a run is
+// reproducible only if all randomness flows through *rand.Rand values
+// seeded from experiment options (internal/dist threads them through every
+// distribution). Package-level rand.Intn/rand.Float64/... draw from the
+// shared global source, whose state depends on whatever else has used it —
+// including test order — so one call anywhere destroys reproducibility.
+// Constructing generators (rand.New, rand.NewSource, rand.NewZipf) stays
+// legal; only draws from the global source are flagged. Test files are not
+// analyzed.
+package globalrand
+
+import (
+	"go/ast"
+
+	"rfp/internal/analysis"
+)
+
+// forbidden lists math/rand's package-level draw functions (v1 and v2
+// names). Constructors and type names are absent on purpose.
+var forbidden = map[string]bool{
+	"Int":         true,
+	"Intn":        true,
+	"IntN":        true,
+	"Int31":       true,
+	"Int31n":      true,
+	"Int32":       true,
+	"Int32N":      true,
+	"Int63":       true,
+	"Int63n":      true,
+	"Int64":       true,
+	"Int64N":      true,
+	"Uint32":      true,
+	"Uint32N":     true,
+	"Uint64":      true,
+	"Uint64N":     true,
+	"UintN":       true,
+	"N":           true,
+	"Float32":     true,
+	"Float64":     true,
+	"ExpFloat64":  true,
+	"NormFloat64": true,
+	"Perm":        true,
+	"Shuffle":     true,
+	"Read":        true,
+	"Seed":        true,
+}
+
+// Analyzer implements the globalrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "forbid package-level math/rand functions (rand.Intn, rand.Float64, ...) outside tests; " +
+		"thread an explicitly seeded *rand.Rand instead (see internal/dist)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, path := range []string{"math/rand", "math/rand/v2"} {
+			randName := analysis.ImportName(f, path)
+			if randName == "" {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				x, ok := sel.X.(*ast.Ident)
+				if !ok || !analysis.IsPkgRef(x, randName) || !forbidden[sel.Sel.Name] {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "rand.%s draws from the process-global generator and breaks run reproducibility; thread a seeded *rand.Rand (see internal/dist)",
+					sel.Sel.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}

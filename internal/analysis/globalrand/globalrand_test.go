@@ -1,0 +1,12 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"rfp/internal/analysis/analysistest"
+	"rfp/internal/analysis/globalrand"
+)
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), globalrand.Analyzer, "globalrand")
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one directory of parsed, non-test Go source.
+type Package struct {
+	// Path is the import path, derived from the module path in go.mod
+	// plus the directory's location relative to the module root.
+	Path string
+
+	// Dir is the absolute directory the files live in.
+	Dir string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+}
+
+// ModuleRoot walks upward from dir to the nearest directory containing
+// go.mod and returns it.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath reads the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in %s/go.mod", root)
+}
+
+// Load parses the packages selected by patterns, resolved relative to dir
+// (which must lie inside a module). Supported patterns are a directory path
+// ("./internal/sim"), or a "..." suffix selecting a whole subtree
+// ("./...", "./internal/..."). Test files, testdata trees, dot-directories,
+// and directories without Go files are skipped. Files are parsed with
+// comments and object resolution so analyzers can distinguish package
+// references from shadowing locals.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	root, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+
+	dirSet := make(map[string]bool)
+	for _, pat := range patterns {
+		base, recursive := strings.CutSuffix(pat, "...")
+		base = strings.TrimSuffix(base, "/")
+		if base == "" {
+			base = "."
+		}
+		abs := base
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(dir, base)
+		}
+		if !recursive {
+			dirSet[filepath.Clean(abs)] = true
+			continue
+		}
+		err := filepath.WalkDir(abs, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != abs && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			dirSet[filepath.Clean(path)] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+
+	var pkgs []*Package
+	for _, pkgDir := range dirs {
+		pkg, err := loadDir(pkgDir, root, modPath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses one directory into a Package with an explicitly supplied
+// import path, bypassing module resolution. The analysistest harness uses it
+// to give testdata packages the import paths their scenarios require (e.g. a
+// path under rfp/internal/ so path-scoped analyzers fire).
+func LoadDir(dir, importPath string) (*Package, error) {
+	pkg, err := loadDir(dir, "", importPath)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return pkg, nil
+}
+
+// loadDir parses one directory into a Package, or returns (nil, nil) if it
+// holds no non-test Go files.
+func loadDir(pkgDir, root, modPath string) (*Package, error) {
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+
+	importPath := modPath
+	if root != "" {
+		rel, err := filepath.Rel(root, pkgDir)
+		if err != nil {
+			return nil, err
+		}
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+	}
+
+	pkg := &Package{Path: importPath, Dir: pkgDir, Fset: token.NewFileSet()}
+	for _, name := range names {
+		f, err := parser.ParseFile(pkg.Fset, filepath.Join(pkgDir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	return pkg, nil
+}

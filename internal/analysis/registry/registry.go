@@ -1,0 +1,23 @@
+// Package registry enumerates the rfpvet analyzer suite in one place, so
+// the cmd/rfpvet driver and the self-check test run the same set.
+package registry
+
+import (
+	"rfp/internal/analysis"
+	"rfp/internal/analysis/buflifecycle"
+	"rfp/internal/analysis/globalrand"
+	"rfp/internal/analysis/locksim"
+	"rfp/internal/analysis/simtime"
+	"rfp/internal/analysis/statusbit"
+)
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		buflifecycle.Analyzer,
+		globalrand.Analyzer,
+		locksim.Analyzer,
+		simtime.Analyzer,
+		statusbit.Analyzer,
+	}
+}

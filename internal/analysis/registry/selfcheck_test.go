@@ -1,0 +1,31 @@
+package registry
+
+import (
+	"testing"
+
+	"rfp/internal/analysis"
+)
+
+// TestModuleIsClean runs the full analyzer suite over the live module tree,
+// making `go test` itself an invariant gate: a violation anywhere in the
+// repository fails this test even before CI runs cmd/rfpvet.
+func TestModuleIsClean(t *testing.T) {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages from %s; loader is missing the tree", len(pkgs), root)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

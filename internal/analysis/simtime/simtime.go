@@ -1,0 +1,82 @@
+// Package simtime forbids wall-clock time in simulation packages.
+//
+// Every result in DESIGN.md is produced on virtual time: sim.Time advances
+// only when the event heap says so, which is what makes two runs with the
+// same seed byte-identical. A single time.Now or time.Sleep smuggled into a
+// simulation package couples results to host scheduling and silently breaks
+// reproducibility. Host-side packages (cmd/, examples/) may use wall-clock
+// time freely, and internal/trace is allowlisted because its ring recorder
+// is host-time by design.
+package simtime
+
+import (
+	"go/ast"
+	"strings"
+
+	"rfp/internal/analysis"
+)
+
+// simPrefix scopes the invariant: only packages under the simulator tree
+// are checked. cmd/ and examples/ are host programs.
+const simPrefix = "rfp/internal/"
+
+// hostAllowed lists internal packages that legitimately run on host time:
+// the trace recorder (host-time by design — it must not perturb virtual
+// time) and the analysis tooling itself.
+var hostAllowed = []string{
+	"rfp/internal/trace",
+	"rfp/internal/analysis",
+}
+
+// forbidden are the package-level time functions that read or block on the
+// host clock. Pure data types (time.Duration conversions) are permitted.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// Analyzer implements the simtime check.
+var Analyzer = &analysis.Analyzer{
+	Name: "simtime",
+	Doc: "forbid wall-clock time (time.Now, time.Sleep, time.Since, ...) in simulation packages; " +
+		"virtual time comes from sim.Env, and only internal/trace is host-time by design",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.HasPrefix(pass.PkgPath, simPrefix) {
+		return nil
+	}
+	for _, allowed := range hostAllowed {
+		if pass.PkgPath == allowed || strings.HasPrefix(pass.PkgPath, allowed+"/") {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		timeName := analysis.ImportName(f, "time")
+		if timeName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok || !analysis.IsPkgRef(x, timeName) || !forbidden[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "time.%s reads the host clock inside simulation package %s; use sim virtual time (Proc.Now, Proc.Sleep, Env.Now)",
+				sel.Sel.Name, pass.PkgPath)
+			return true
+		})
+	}
+	return nil
+}

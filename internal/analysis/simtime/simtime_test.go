@@ -1,0 +1,16 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"rfp/internal/analysis/analysistest"
+	"rfp/internal/analysis/simtime"
+)
+
+func TestSimtime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), simtime.Analyzer,
+		"rfp/internal/simx",  // violations, alias, shadowing, suppression
+		"rfp/internal/trace", // allowlisted: host-time by design
+		"rfp/cmd/benchx",     // host program: out of scope
+	)
+}

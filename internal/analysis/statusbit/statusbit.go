@@ -1,0 +1,144 @@
+// Package statusbit forbids reading response payloads before the status
+// header is checked.
+//
+// The RFP protocol's central race (paper §3.2): a client that fetches a
+// response with RDMA Read may observe a buffer whose payload is stale or
+// half-written; only the status bit + size header (and, in the real system,
+// a CRC — cf. Pilaf's self-verifying structures) make the read safe. All
+// header validation lives in internal/core (parseHeader) and
+// internal/kvstore/kv (DecodeResponse and friends). Outside those wire
+// helpers, code must not index or slice a response buffer in read position:
+// every payload access has to flow through a decode helper that checked the
+// header first.
+//
+// The check is name-based (identifiers matching resp*/reply*) and
+// position-aware: writes into a response buffer (handler-side assignment,
+// copy destination, binary.*.Put* destination) are fine, as is slicing a
+// buffer directly into one of the sanctioned decode helpers.
+package statusbit
+
+import (
+	"go/ast"
+	"strings"
+
+	"rfp/internal/analysis"
+)
+
+// exempt packages hold the wire helpers that are allowed to touch raw
+// headers and payloads.
+var exempt = []string{
+	"rfp/internal/core",
+	"rfp/internal/kvstore/kv",
+}
+
+// decoders are the sanctioned helpers; a response buffer may be sliced
+// directly into any of them because they validate status+size before
+// exposing the payload.
+var decoders = map[string]bool{
+	"DecodeResponse":         true,
+	"DecodeMultiGetResponse": true,
+	"DecodeRequest":          true,
+	"DecodeMultiGet":         true,
+}
+
+// Analyzer implements the statusbit check.
+var Analyzer = &analysis.Analyzer{
+	Name: "statusbit",
+	Doc: "flag raw reads (indexing/slicing) of response buffers outside the internal/core and " +
+		"internal/kvstore/kv wire helpers, which validate the status+size header before exposing payload bytes",
+	Run: run,
+}
+
+// respName reports whether an identifier plausibly names a response buffer.
+func respName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "resp") || strings.HasPrefix(lower, "reply")
+}
+
+// bufName extracts the response-ish name from an index/slice operand:
+// a bare identifier (resp) or a field selector (c.respBuf).
+func bufName(x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.Ident:
+		if respName(x.Name) {
+			return x.Name
+		}
+	case *ast.SelectorExpr:
+		if respName(x.Sel.Name) {
+			return x.Sel.Name
+		}
+	}
+	return ""
+}
+
+func run(pass *analysis.Pass) error {
+	for _, ex := range exempt {
+		if pass.PkgPath == ex {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		parents := analysis.Parents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			var operand ast.Expr
+			switch n := n.(type) {
+			case *ast.IndexExpr:
+				operand = n.X
+			case *ast.SliceExpr:
+				operand = n.X
+			default:
+				return true
+			}
+			name := bufName(operand)
+			if name == "" {
+				return true
+			}
+			if isWriteOrChecked(n.(ast.Expr), parents) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "raw read of response buffer %s before status check; route payload access through the kv decode helpers (kv.DecodeResponse) or the core wire layer, which validate the status+size header first",
+				name)
+			return true
+		})
+	}
+	return nil
+}
+
+// isWriteOrChecked reports whether the index/slice expression expr appears
+// in a position that does not read unvalidated payload bytes:
+//
+//   - left-hand side of an assignment (handler writing a response),
+//   - destination argument of copy(dst, ...) or binary.*.Put*(dst, ...),
+//   - argument of a sanctioned decode helper, which checks the header.
+func isWriteOrChecked(expr ast.Expr, parents map[ast.Node]ast.Node) bool {
+	parent := parents[expr]
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == expr {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		if p.Fun == expr {
+			return false
+		}
+		switch fun := p.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "copy" && len(p.Args) > 0 && p.Args[0] == expr {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if decoders[fun.Sel.Name] {
+				return true
+			}
+			if strings.HasPrefix(fun.Sel.Name, "Put") && len(p.Args) > 0 && p.Args[0] == expr {
+				return true
+			}
+		}
+		if fun, ok := p.Fun.(*ast.Ident); ok && decoders[fun.Name] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package statusbit_test
+
+import (
+	"testing"
+
+	"rfp/internal/analysis/analysistest"
+	"rfp/internal/analysis/statusbit"
+)
+
+func TestStatusbit(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), statusbit.Analyzer,
+		"rfp/internal/kvstore/pilafx", // reads flagged, writes and decode helpers legal, suppression
+		"rfp/internal/core",           // exempt: the wire layer validates headers itself
+	)
+}

@@ -1,0 +1,49 @@
+// Package buflifecycle is golden testdata for the buflifecycle analyzer:
+// a MallocBuf result must be freed, returned to the caller, or carry a
+// documented ownership transfer.
+package buflifecycle
+
+type alloc struct{}
+
+func (alloc) MallocBuf(size int) ([]byte, error) { return make([]byte, size), nil }
+func (alloc) FreeBuf(buf []byte) error           { return nil }
+
+func leak(a alloc) {
+	buf, _ := a.MallocBuf(64) // want `MallocBuf result in leak is neither freed`
+	buf[0] = 1
+}
+
+func freed(a alloc) {
+	buf, _ := a.MallocBuf(64)
+	buf[0] = 1
+	_ = a.FreeBuf(buf)
+}
+
+func deferred(a alloc) {
+	buf, _ := a.MallocBuf(64)
+	defer a.FreeBuf(buf)
+	buf[0] = 1
+}
+
+// transferred hands the buffer to its caller: ownership visibly escapes.
+func transferred(a alloc) ([]byte, error) {
+	buf, err := a.MallocBuf(64)
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// direct returns the MallocBuf result without binding it first.
+func direct(a alloc) ([]byte, error) {
+	return a.MallocBuf(128)
+}
+
+type pool struct{ bufs [][]byte }
+
+// stashed parks the buffer in a long-lived pool; that ownership transfer
+// is invisible to the intraprocedural check and must be documented.
+func stashed(a alloc, p *pool) {
+	buf, _ := a.MallocBuf(64) //rfpvet:allow buflifecycle buffer ownership moves to the pool, freed by pool.drain
+	p.bufs = append(p.bufs, buf)
+}

@@ -1,0 +1,35 @@
+// Package globalrand is golden testdata for the globalrand analyzer:
+// package-level draws are flagged everywhere (the check is module-wide),
+// seeded *rand.Rand use and constructors are legal.
+package globalrand
+
+import "math/rand"
+
+func bad() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the process-global generator`
+}
+
+func alsoBad() {
+	rand.Shuffle(4, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global generator`
+	_ = rand.Float64()                 // want `rand\.Float64 draws from the process-global generator`
+}
+
+// good: constructing and drawing from an explicitly seeded generator.
+func good(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+type fake struct{}
+
+func (fake) Intn(int) int { return 0 }
+
+// shadowed: a local identifier named rand is not the rand package.
+func shadowed() int {
+	rand := fake{}
+	return rand.Intn(5)
+}
+
+func suppressed() {
+	_ = rand.Float64() //rfpvet:allow globalrand one-off jitter in a host-only code path
+}

@@ -1,0 +1,9 @@
+package globalrand
+
+import rnd2 "math/rand/v2"
+
+// v2Bad: math/rand/v2's package-level draws hit the same global-state
+// problem, and aliasing the import does not hide them.
+func v2Bad() int {
+	return rnd2.IntN(3) // want `rand\.IntN draws from the process-global generator`
+}

@@ -1,0 +1,10 @@
+// Command benchx is simtime golden testdata for host programs: packages
+// outside rfp/internal/ may use wall-clock time freely.
+package main
+
+import "time"
+
+func main() {
+	start := time.Now()
+	_ = time.Since(start)
+}

@@ -1,0 +1,9 @@
+// Package core is golden testdata for the statusbit exemption: the real
+// internal/core implements the status+size validation itself, so raw header
+// reads there are the mechanism, not a violation. No findings expected.
+package core
+
+func parse(resp []byte) (bool, int) {
+	word := uint32(resp[0]) | uint32(resp[1])<<8
+	return word&1 != 0, int(word >> 1)
+}

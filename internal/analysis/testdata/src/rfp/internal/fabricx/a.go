@@ -1,0 +1,32 @@
+// Package fabricx is golden testdata for the locksim analyzer: a pretend
+// simulation package using OS-level blocking, which the cooperative
+// scheduler (one runnable process at a time) turns into deadlock.
+package fabricx
+
+import "sync"
+
+type engine struct {
+	mu sync.Mutex // want `sync\.Mutex blocks the OS thread`
+}
+
+func wait() {
+	var wg sync.WaitGroup // want `sync\.WaitGroup blocks the OS thread`
+	_ = wg
+}
+
+func spawnRaw(ch chan int) {
+	go drain(ch) // want `raw go statement escapes the cooperative scheduler`
+	ch <- 1      // want `channel send blocks the one runnable simulation process`
+	v := <-ch    // want `channel receive blocks the one runnable simulation process`
+	_ = v
+	select { // want `select blocks the one runnable simulation process`
+	default:
+	}
+}
+
+func drain(ch chan int) {}
+
+func suppressed(ch chan int) {
+	//rfpvet:allow locksim host-side bridge goroutine, runs outside the scheduler
+	<-ch
+}

@@ -1,0 +1,44 @@
+// Package pilafx is golden testdata for the statusbit analyzer: a pretend
+// KV client outside the sanctioned wire helpers. Reads of response buffers
+// are flagged; handler-side writes and decode-helper calls are not.
+package pilafx
+
+import (
+	"encoding/binary"
+
+	"rfp/internal/kvstore/kv"
+)
+
+type client struct {
+	respBuf []byte
+}
+
+func badRead(resp []byte) byte {
+	return resp[1] // want `raw read of response buffer resp before status check`
+}
+
+func badSlice(c *client, n int) []byte {
+	return c.respBuf[8:n] // want `raw read of response buffer respBuf before status check`
+}
+
+func badCondition(reply []byte) bool {
+	return reply[0] == 1 // want `raw read of response buffer reply before status check`
+}
+
+// writesOK: the handler side fills a response buffer; writes are legal.
+func writesOK(resp []byte, src []byte) {
+	resp[0] = 1
+	copy(resp[1:], src)
+	binary.LittleEndian.PutUint32(resp[4:8], 7)
+}
+
+// checkedOK: slicing straight into a decode helper is the sanctioned path —
+// DecodeResponse validates the status+size header before exposing payload.
+func checkedOK(c *client, n int) ([]byte, error) {
+	_, val, err := kv.DecodeResponse(c.respBuf[:n])
+	return val, err
+}
+
+func suppressed(resp []byte) byte {
+	return resp[0] //rfpvet:allow statusbit caller already validated the CRC and status header
+}

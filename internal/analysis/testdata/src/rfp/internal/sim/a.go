@@ -1,0 +1,9 @@
+// Package sim is golden testdata for the locksim allowlist: the scheduler
+// kernel itself hands the baton between goroutines through real channels,
+// so the rfp/internal/sim package is exempt. No findings expected.
+package sim
+
+func handoff(resume chan bool, yield chan struct{}) {
+	yield <- struct{}{}
+	<-resume
+}

@@ -1,0 +1,33 @@
+// Package simx is simtime golden testdata: a pretend simulation package
+// (its path sits under rfp/internal/) exercising violations, legal uses,
+// shadowing, and the //rfpvet:allow suppression path.
+package simx
+
+import "time"
+
+func now() int64 {
+	t := time.Now()              // want `time\.Now reads the host clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the host clock`
+	_ = time.Since(t)            // want `time\.Since reads the host clock`
+	return t.UnixNano()
+}
+
+// durationsOK: pure time.Duration arithmetic never touches the host clock.
+func durationsOK() time.Duration {
+	return 3 * time.Millisecond
+}
+
+func suppressed() {
+	//rfpvet:allow simtime boot-time host timestamp for a log banner
+	_ = time.Now()
+}
+
+type clock struct{}
+
+func (clock) Now() int64 { return 0 }
+
+// shadowed: a local identifier named time is not the time package.
+func shadowed() int64 {
+	time := clock{}
+	return time.Now()
+}

@@ -1,0 +1,8 @@
+package simx
+
+import wall "time"
+
+// aliased: renaming the import does not hide the host clock.
+func aliased() wall.Time {
+	return wall.Now() // want `time\.Now reads the host clock`
+}

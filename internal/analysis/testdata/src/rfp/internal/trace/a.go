@@ -1,0 +1,8 @@
+// Package trace is simtime golden testdata for the allowlist: the real
+// internal/trace recorder is host-time by design, so no finding is expected
+// anywhere in this package.
+package trace
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }
