@@ -147,5 +147,10 @@ func BenchmarkExtAsync(b *testing.B) { benchExperiment(b, "ext-async") }
 // BenchmarkExtFarm measures FaRM-style wide-read GETs against Jakiro.
 func BenchmarkExtFarm(b *testing.B) { benchExperiment(b, "ext-farm") }
 
+// BenchmarkExtPipeline sweeps the request-ring depth for single-thread
+// GETs over Post/Poll; the acceptance bar is ≥2x the depth-1 throughput
+// by depth 8.
+func BenchmarkExtPipeline(b *testing.B) { benchExperiment(b, "ext-pipeline") }
+
 // BenchmarkExtYCSB runs YCSB core workloads A/B/C/F across the systems.
 func BenchmarkExtYCSB(b *testing.B) { benchExperiment(b, "ext-ycsb") }

@@ -8,21 +8,99 @@
 //	rfpbench fig3 fig12 table3     # run selected experiments
 //	rfpbench -all                  # run everything (several minutes)
 //	rfpbench -quick -all           # reduced point sets
+//	rfpbench -json fig3            # machine-readable per-experiment output
 //
 // Each experiment prints the same rows/series the paper plots; absolute
 // values come from the calibrated simulation (see EXPERIMENTS.md for the
-// paper-vs-measured record).
+// paper-vs-measured record). With -json, the text rendering is replaced by
+// one JSON document per experiment on stdout, newline-delimited, holding
+// the same series, CDF percentiles, rows and notes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"rfp/internal/experiments"
 	"rfp/internal/sim"
 )
+
+// jsonSeries is one plotted line in -json output.
+type jsonSeries struct {
+	Label  string    `json:"label"`
+	XLabel string    `json:"x_label,omitempty"`
+	YLabel string    `json:"y_label,omitempty"`
+	X      []float64 `json:"x"`
+	Y      []float64 `json:"y"`
+}
+
+// jsonCDF is one latency distribution, summarized at fixed quantiles.
+type jsonCDF struct {
+	Label       string             `json:"label"`
+	Count       uint64             `json:"count"`
+	MeanUs      float64            `json:"mean_us"`
+	Percentiles map[string]float64 `json:"percentiles_us"`
+}
+
+// jsonResult is the machine-readable form of one experiment run.
+type jsonResult struct {
+	ID         string       `json:"id"`
+	Title      string       `json:"title"`
+	Seed       int64        `json:"seed"`
+	Quick      bool         `json:"quick"`
+	WindowUs   float64      `json:"window_us"`
+	WarmupUs   float64      `json:"warmup_us"`
+	Series     []jsonSeries `json:"series,omitempty"`
+	CDFs       []jsonCDF    `json:"cdfs,omitempty"`
+	Rows       []string     `json:"rows,omitempty"`
+	Notes      []string     `json:"notes,omitempty"`
+	WallTimeMs float64      `json:"wall_time_ms"`
+}
+
+// cdfQuantiles are the summary points emitted for each latency histogram.
+var cdfQuantiles = []float64{0.5, 0.9, 0.99, 0.999}
+
+func toJSON(res experiments.Result, o experiments.Options, wall time.Duration) jsonResult {
+	out := jsonResult{
+		ID:         res.ID,
+		Title:      res.Title,
+		Seed:       o.Seed,
+		Quick:      o.Quick,
+		WindowUs:   float64(o.Window) / 1e3,
+		WarmupUs:   float64(o.Warmup) / 1e3,
+		Rows:       res.Rows,
+		Notes:      res.Notes,
+		WallTimeMs: float64(wall.Nanoseconds()) / 1e6,
+	}
+	for _, s := range res.Series {
+		out.Series = append(out.Series, jsonSeries{
+			Label: s.Label, XLabel: s.XLabel, YLabel: s.YLabel, X: s.X, Y: s.Y,
+		})
+	}
+	labels := make([]string, 0, len(res.CDFs))
+	for label := range res.CDFs {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		h := res.CDFs[label]
+		c := jsonCDF{
+			Label:       label,
+			Count:       h.Count(),
+			MeanUs:      h.Mean() / 1e3,
+			Percentiles: make(map[string]float64, len(cdfQuantiles)),
+		}
+		for _, pt := range h.CDF(cdfQuantiles) {
+			c.Percentiles[fmt.Sprintf("p%g", pt.Q*100)] = float64(pt.Ns) / 1e3
+		}
+		out.CDFs = append(out.CDFs, c)
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -30,6 +108,7 @@ func main() {
 		all    = flag.Bool("all", false, "run every experiment")
 		quick  = flag.Bool("quick", false, "reduced sweep point sets")
 		chart  = flag.Bool("chart", false, "render an ASCII chart under each series table")
+		asJSON = flag.Bool("json", false, "emit one JSON document per experiment instead of text")
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		window = flag.Duration("window", 1600*time.Microsecond, "virtual measurement window per point")
 		warmup = flag.Duration("warmup", 800*time.Microsecond, "virtual warmup per point")
@@ -59,12 +138,20 @@ func main() {
 	o.Window = sim.Duration(window.Nanoseconds())
 	o.Warmup = sim.Duration(warmup.Nanoseconds())
 
+	enc := json.NewEncoder(os.Stdout)
 	for _, id := range ids {
 		start := time.Now()
 		res, err := experiments.Run(id, o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rfpbench: %v\n", err)
 			os.Exit(1)
+		}
+		if *asJSON {
+			if err := enc.Encode(toJSON(res, o, time.Since(start))); err != nil {
+				fmt.Fprintf(os.Stderr, "rfpbench: encoding %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			continue
 		}
 		fmt.Print(res.Render(*chart))
 		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())

@@ -6,10 +6,12 @@
 // is a guaranteed slow leak rather than a crash — exactly the kind of bug a
 // simulation run won't surface. The check is intraprocedural and
 // deliberately simple: a function that calls MallocBuf must either call
-// FreeBuf somewhere (including via defer) or visibly hand the buffer to its
-// caller through a return statement. Any other ownership transfer — storing
-// the buffer in a long-lived struct, sending it through a queue — is a
-// design decision that must be documented with
+// FreeBuf somewhere (including via defer) or visibly hand the buffer off —
+// through a return statement, or by posting it on a connection's request
+// ring (Post/PostBatch stage or pin the buffer until the completion is
+// polled, so the poller owns the release). Any other ownership transfer —
+// storing the buffer in a long-lived struct, sending it through a queue —
+// is a design decision that must be documented with
 //
 //	//rfpvet:allow buflifecycle <reason>
 //
@@ -59,6 +61,7 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 	var mallocs []*ast.CallExpr
 	hasFree := false
 	returned := make(map[string]bool) // identifiers appearing in return statements
+	posted := make(map[string]bool)   // identifiers handed to Post/PostBatch
 	returnsCall := false              // a MallocBuf call returned directly
 
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -69,6 +72,18 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 				mallocs = append(mallocs, n)
 			case "FreeBuf":
 				hasFree = true
+			case "Post", "PostBatch":
+				// Posting transfers ownership to the ring: the buffer must
+				// stay live until Poll resolves the handle, and whoever
+				// polls releases it.
+				for _, arg := range n.Args {
+					ast.Inspect(arg, func(m ast.Node) bool {
+						if id, ok := m.(*ast.Ident); ok {
+							posted[id.Name] = true
+						}
+						return true
+					})
+				}
 			}
 		case *ast.ReturnStmt:
 			for _, res := range n.Results {
@@ -97,9 +112,9 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 	}
 
 	// Map each malloc to the variable it initializes, if any, so a
-	// `return buf` ownership transfer can be recognized.
+	// `return buf` or `Post(p, buf)` ownership transfer can be recognized.
 	for _, call := range mallocs {
-		if name := assignedVar(pass, fn.Body, call); name != "" && returned[name] {
+		if name := assignedVar(pass, fn.Body, call); name != "" && (returned[name] || posted[name]) {
 			continue
 		}
 		pass.Reportf(call.Pos(), "MallocBuf result in %s is neither freed (FreeBuf) nor returned to the caller; free it, return it, or document the ownership transfer with %s buflifecycle <reason>",

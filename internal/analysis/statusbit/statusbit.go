@@ -56,7 +56,10 @@ func respName(name string) bool {
 }
 
 // bufName extracts the response-ish name from an index/slice operand:
-// a bare identifier (resp) or a field selector (c.respBuf).
+// a bare identifier (resp), a field selector (c.respBuf), or a slot-ring
+// accessor (respSlots[i], c.respBufs[slot]) — indexing into a collection
+// of response buffers yields a response buffer, so reads of the element
+// are held to the same rule.
 func bufName(x ast.Expr) string {
 	switch x := x.(type) {
 	case *ast.Ident:
@@ -67,6 +70,8 @@ func bufName(x ast.Expr) string {
 		if respName(x.Sel.Name) {
 			return x.Sel.Name
 		}
+	case *ast.IndexExpr:
+		return bufName(x.X)
 	}
 	return ""
 }
@@ -92,6 +97,19 @@ func run(pass *analysis.Pass) error {
 			name := bufName(operand)
 			if name == "" {
 				return true
+			}
+			// A slot selection nested inside another index/slice
+			// (respSlots[i] within respSlots[i][8]) is not itself a payload
+			// read; the enclosing expression carries the report.
+			switch p := parents[n].(type) {
+			case *ast.IndexExpr:
+				if p.X == n {
+					return true
+				}
+			case *ast.SliceExpr:
+				if p.X == n {
+					return true
+				}
 			}
 			if isWriteOrChecked(n.(ast.Expr), parents) {
 				return true

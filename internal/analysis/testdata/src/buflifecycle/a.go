@@ -47,3 +47,30 @@ func stashed(a alloc, p *pool) {
 	buf, _ := a.MallocBuf(64) //rfpvet:allow buflifecycle buffer ownership moves to the pool, freed by pool.drain
 	p.bufs = append(p.bufs, buf)
 }
+
+type qp struct{}
+
+func (qp) Post(buf []byte) uint64            { return 0 }
+func (qp) PostBatch(bufs ...[]byte) []uint64 { return nil }
+
+// postedTransfer pins the buffer on the request ring: Post stages it and
+// the eventual Poll-er owns the release, so the malloc'ing function is off
+// the hook.
+func postedTransfer(a alloc, q qp) uint64 {
+	buf, _ := a.MallocBuf(64)
+	return q.Post(buf)
+}
+
+// postedBatch hands several buffers to one doorbell.
+func postedBatch(a alloc, q qp) []uint64 {
+	one, _ := a.MallocBuf(64)
+	two, _ := a.MallocBuf(64)
+	return q.PostBatch(one, two)
+}
+
+// stillLeaks: posting some other buffer does not excuse the malloc'd one.
+func stillLeaks(a alloc, q qp, other []byte) uint64 {
+	buf, _ := a.MallocBuf(64) // want `MallocBuf result in stillLeaks is neither freed`
+	buf[0] = 1
+	return q.Post(other)
+}

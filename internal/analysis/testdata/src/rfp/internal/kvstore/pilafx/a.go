@@ -42,3 +42,31 @@ func checkedOK(c *client, n int) ([]byte, error) {
 func suppressed(resp []byte) byte {
 	return resp[0] //rfpvet:allow statusbit caller already validated the CRC and status header
 }
+
+// Slot-ring cases: indexing into a collection of response buffers yields a
+// response buffer, so element reads are held to the same rule.
+
+func badSlotRead(respSlots [][]byte, i int) byte {
+	return respSlots[i][8] // want `raw read of response buffer respSlots before status check`
+}
+
+func badSlotSlice(c *ring, slot int) []byte {
+	return c.respBufs[slot][8:16] // want `raw read of response buffer respBufs before status check`
+}
+
+type ring struct {
+	respBufs [][]byte
+}
+
+// slotDecodeOK routes the slot's bytes through the decode helper, which
+// validates the header before exposing payload.
+func slotDecodeOK(respSlots [][]byte, i, n int) ([]byte, error) {
+	_, val, err := kv.DecodeResponse(respSlots[i][:n])
+	return val, err
+}
+
+// slotWriteOK: the handler filling a slot is a write, not a read.
+func slotWriteOK(respSlots [][]byte, i int, src []byte) {
+	respSlots[i][0] = 1
+	copy(respSlots[i][1:], src)
+}

@@ -49,11 +49,18 @@ type Client struct {
 	params  Params
 	qp      *rnic.QP
 	server  rnic.RemoteMR
-	reqOff  int
-	respOff int
 	maxReq  int
 	maxResp int
-	local   *rnic.MR // reply-mode landing buffer
+	local   *rnic.MR // reply-mode landing buffers, one respStride per slot
+
+	// Slot-ring geometry and per-slot staging (index = slot). The sync
+	// Send/Recv path is the ring's depth-1 special case pinned to slot 0.
+	depth      int
+	respStride int
+	reqOffs    []int
+	respOffs   []int
+	stages     [][]byte // request staging, one per slot
+	fetches    [][]byte // fetch/response landing, one per slot
 
 	seq            uint16
 	mode           Mode
@@ -61,8 +68,14 @@ type Client struct {
 	consecOverruns int
 	justSwitched   bool // the in-flight call raced the mode switch
 	tuner          *Tuner
-	stage          []byte
-	fetch          []byte
+
+	// Pipelined-call state (ring.go).
+	slots       []slot
+	cq          *rnic.CQ
+	nextSlot    int
+	outstanding int
+	pendingMode Mode // mode switch deferred until the ring quiesces
+	hasPending  bool
 
 	Stats ClientStats
 }
@@ -95,18 +108,27 @@ func (c *Client) Send(p *sim.Proc, payload []byte) error {
 	if c.closed {
 		return ErrClosed
 	}
+	if c.outstanding > 0 {
+		return ErrRingBusy
+	}
 	if len(payload) > c.maxReq {
 		return fmt.Errorf("core: request of %d bytes exceeds limit %d", len(payload), c.maxReq)
 	}
 	start := p.Now()
 	defer func() { c.Stats.SendNs += int64(p.Now().Sub(start)) }()
+	// A mode switch decided while the ring was busy applies now that it has
+	// quiesced.
+	if err := c.applyPendingMode(p); err != nil {
+		return err
+	}
 	c.seq++
 	// Clear the local landing header so a reply-mode delivery for this
 	// call is unambiguous.
 	putHeader(c.local.Buf, header{})
-	putHeader(c.stage, header{valid: true, size: len(payload), seq: c.seq})
-	copy(c.stage[HeaderSize:], payload)
-	return c.qp.Write(p, c.server, c.reqOff, c.stage[:HeaderSize+len(payload)])
+	stage := c.stages[0]
+	putHeader(stage, header{valid: true, size: len(payload), seq: c.seq})
+	copy(stage[HeaderSize:], payload)
+	return c.qp.Write(p, c.server, c.reqOffs[0], stage[:HeaderSize+len(payload)])
 }
 
 // Recv obtains the response for the last Send (client_recv), returning the
@@ -126,12 +148,21 @@ func (c *Client) Recv(p *sim.Proc, out []byte) (int, error) {
 
 // Close tears the connection down: the server-side flag is marked closed
 // (Serve loops drop the connection from their polling sets), and the local
-// reply-landing region is deregistered. Further calls return ErrClosed.
+// reply-landing region is deregistered. Further calls return ErrClosed, and
+// every in-flight posted request resolves with ErrClosed on its next Poll —
+// a definite outcome for each handle, so callers can release the request
+// buffers they own.
 func (c *Client) Close(p *sim.Proc) error {
 	if c.closed {
 		return nil
 	}
 	c.closed = true
+	for i := range c.slots {
+		if s := &c.slots[i]; s.state != slotFree {
+			s.state = slotFailed
+			s.err = ErrClosed
+		}
+	}
 	err := c.qp.Write(p, c.server, 0, []byte{modeClosed})
 	c.local.Deregister()
 	return err
@@ -192,15 +223,13 @@ func (c *Client) recvFetch(p *sim.Proc, out []byte) (int, error) {
 // single continuation read. Under NoInline the first read covers only the
 // header, so every successful fetch costs two reads.
 func (c *Client) fetchOnce(p *sim.Proc, out []byte) (header, int, error) {
-	f := c.params.F
-	if c.params.NoInline {
-		f = HeaderSize
-	}
-	if err := c.qp.Read(p, c.server, c.respOff, c.fetch[:f]); err != nil {
+	f := c.fetchLen()
+	fetch := c.fetches[0]
+	if err := c.qp.Read(p, c.server, c.respOffs[0], fetch[:f]); err != nil {
 		return header{}, 0, err
 	}
 	c.Stats.FetchReads++
-	hdr := parseHeader(c.fetch)
+	hdr := parseHeader(fetch)
 	if !hdr.valid || hdr.seq != c.seq {
 		return hdr, 0, nil
 	}
@@ -209,14 +238,23 @@ func (c *Client) fetchOnce(p *sim.Proc, out []byte) (header, int, error) {
 	}
 	total := HeaderSize + hdr.size
 	if total > f {
-		if err := c.qp.Read(p, c.server, c.respOff+f, c.fetch[f:total]); err != nil {
+		if err := c.qp.Read(p, c.server, c.respOffs[0]+f, fetch[f:total]); err != nil {
 			return header{}, 0, err
 		}
 		c.Stats.FetchReads++
 		c.Stats.SecondReads++
 	}
-	n := copy(out, c.fetch[HeaderSize:total])
+	n := copy(out, fetch[HeaderSize:total])
 	return hdr, n, nil
+}
+
+// fetchLen is the size of the first read of a fetch: F normally, just the
+// header under the NoInline ablation.
+func (c *Client) fetchLen() int {
+	if c.params.NoInline {
+		return HeaderSize
+	}
+	return c.params.F
 }
 
 // recvReply waits for the server to push the response into the client's

@@ -50,7 +50,19 @@ type Params struct {
 	// operation to get the size separately requires at least two remote
 	// fetches for each RPC call") — kept for the ablation benchmark.
 	NoInline bool
+
+	// Depth is the connection's request-ring depth: how many independent
+	// request/response slots the registered region holds, and hence how
+	// many calls the client may keep in flight with Post/Poll. Depth 1
+	// (the default) is the paper's one-slot connection; deeper rings are
+	// the pipelining extension the paper sets aside as orthogonal
+	// (Sec. 2.2/5). Clamped to [1, MaxDepth].
+	Depth int
 }
+
+// MaxDepth bounds the request-ring depth; beyond the initiator engine's
+// pipeline depth extra slots only add memory.
+const MaxDepth = 64
 
 // DefaultParams returns the paper's configuration for the ConnectX-3
 // cluster: R = 5, F = 256, switch after 2 consecutive overruns, switch back
@@ -85,6 +97,12 @@ func (p Params) withDefaults() Params {
 	}
 	if p.FallbackFetchNs <= 0 {
 		p.FallbackFetchNs = d.FallbackFetchNs
+	}
+	if p.Depth <= 0 {
+		p.Depth = 1
+	}
+	if p.Depth > MaxDepth {
+		p.Depth = MaxDepth
 	}
 	return p
 }

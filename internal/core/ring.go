@@ -1,0 +1,367 @@
+package core
+
+// Pipelined calls over the multi-slot request ring. Post stages a request
+// into a free slot and issues its RDMA Write through the async verbs API
+// without waiting; Poll drives all in-flight slots forward (reaping
+// completions, batching fetch reads under one doorbell, checking reply-mode
+// landings) until the polled handle's response is validated. Call remains
+// the depth-1 synchronous wrapper (client.go), so a connection with
+// Params.Depth > 1 can keep several requests in flight from one simulated
+// thread — the pipelining optimization the paper sets aside as orthogonal
+// (Sec. 2.2), which lifts single-thread throughput from round-trip-bound
+// toward the initiator engine's ceiling.
+//
+// Hybrid-switch rule: mode flips decided while the ring is busy (K
+// consecutive overruns, or a reply-mode response reporting a short process
+// time) are deferred until the ring quiesces — the next Post or Send with
+// zero requests outstanding applies them. In-flight calls therefore always
+// complete in the mode they were posted under, and the mode flag never
+// races a buffered response.
+
+import (
+	"errors"
+	"fmt"
+
+	"rfp/internal/rnic"
+	"rfp/internal/sim"
+)
+
+// Ring errors.
+var (
+	// ErrRingFull reports a Post with every slot already in flight.
+	ErrRingFull = errors.New("core: request ring full")
+	// ErrRingBusy reports a synchronous Send/Call while posted requests
+	// are still in flight; drain them with Poll first.
+	ErrRingBusy = errors.New("core: posted requests in flight; Poll them before calling synchronously")
+	// ErrBadHandle reports a Poll with a handle that is not in flight
+	// (already claimed, or from another connection).
+	ErrBadHandle = errors.New("core: handle does not identify an in-flight request")
+)
+
+// Handle identifies one in-flight posted request on a connection's ring.
+type Handle struct {
+	slot int
+	seq  uint16
+}
+
+// slotPhase is the client-side life cycle of one ring slot.
+type slotPhase uint8
+
+const (
+	slotFree    slotPhase = iota
+	slotPosted            // request write posted, completion not yet seen
+	slotWaiting           // request delivered; awaiting response
+	slotReading           // a fetch (or continuation) read is in flight
+	slotReady             // response validated, waiting for Poll to claim
+	slotFailed            // definite error; Poll returns it
+)
+
+// slot is the client-side state of one ring slot.
+type slot struct {
+	state   slotPhase
+	seq     uint16
+	failed  int  // failed fetch attempts for this call
+	overrun bool // failed count crossed R
+	hdr     header
+	err     error
+}
+
+// Work-request ID encoding: kind | slot<<8 | seq<<32, so completions route
+// back to their slot and stale completions (a slot resolved by Close and
+// reused) are detectable.
+const (
+	wrKindSend   = iota // request RDMA Write
+	wrKindFetch         // first fetch read (F bytes)
+	wrKindFetch2        // continuation read (size > F)
+)
+
+func wrID(kind, slot int, seq uint16) uint64 {
+	return uint64(kind) | uint64(slot)<<8 | uint64(seq)<<32
+}
+
+// Depth returns the connection's request-ring depth.
+func (c *Client) Depth() int { return c.depth }
+
+// Outstanding returns the number of posted requests not yet claimed by
+// Poll.
+func (c *Client) Outstanding() int { return c.outstanding }
+
+// Post stages a request into a free ring slot and issues its delivery
+// without waiting for completion (the pipelined form of client_send). The
+// payload is copied into the slot's staging buffer before Post returns, so
+// the caller may immediately reuse req. The returned handle must be
+// redeemed with Poll. With every slot in flight, Post returns ErrRingFull.
+func (c *Client) Post(p *sim.Proc, req []byte) (Handle, error) {
+	if c.closed {
+		return Handle{}, ErrClosed
+	}
+	if len(req) > c.maxReq {
+		return Handle{}, fmt.Errorf("core: request of %d bytes exceeds limit %d", len(req), c.maxReq)
+	}
+	start := p.Now()
+	defer func() { c.Stats.SendNs += int64(p.Now().Sub(start)) }()
+	// A mode switch decided while the ring was busy applies once it has
+	// quiesced (see the file comment).
+	if err := c.applyPendingMode(p); err != nil {
+		return Handle{}, err
+	}
+	si := -1
+	for i := 0; i < c.depth; i++ {
+		if j := (c.nextSlot + i) % c.depth; c.slots[j].state == slotFree {
+			si = j
+			break
+		}
+	}
+	if si < 0 {
+		return Handle{}, ErrRingFull
+	}
+	c.nextSlot = (si + 1) % c.depth
+	c.seq++
+	c.slots[si] = slot{state: slotPosted, seq: c.seq}
+	c.outstanding++
+	if c.cq == nil {
+		c.cq = rnic.NewCQ(c.machine.NIC())
+	}
+	// Clear the slot's local landing header so a reply-mode delivery for
+	// this call is unambiguous, then stage header + payload and post.
+	putHeader(c.local.Buf[si*c.respStride:], header{})
+	stage := c.stages[si]
+	putHeader(stage, header{valid: true, size: len(req), seq: c.seq})
+	copy(stage[HeaderSize:], req)
+	c.qp.Post(p, c.cq, rnic.WR{
+		ID:     wrID(wrKindSend, si, c.seq),
+		Op:     rnic.WRWrite,
+		Remote: c.server,
+		Roff:   c.reqOffs[si],
+		Local:  stage[:HeaderSize+len(req)],
+	})
+	return Handle{slot: si, seq: c.seq}, nil
+}
+
+// Poll blocks (in virtual time) until the request identified by h has a
+// definite outcome, copies the response payload into out and returns its
+// length (the pipelined form of client_recv). While waiting it drives every
+// in-flight slot: fetch reads for all awaiting slots share one doorbell, so
+// deep rings keep the NIC's issue engine busy instead of one round trip at
+// a time.
+func (c *Client) Poll(p *sim.Proc, h Handle, out []byte) (int, error) {
+	if h.slot < 0 || h.slot >= c.depth {
+		return 0, ErrBadHandle
+	}
+	sl := &c.slots[h.slot]
+	if sl.state == slotFree || sl.seq != h.seq {
+		return 0, ErrBadHandle
+	}
+	start := p.Now()
+	for sl.state != slotReady && sl.state != slotFailed {
+		c.progress(p)
+	}
+	if c.mode == ModeReply {
+		c.Stats.ReplyWaitNs += int64(p.Now().Sub(start))
+	} else {
+		c.Stats.FetchNs += int64(p.Now().Sub(start))
+	}
+	if sl.state == slotFailed {
+		err := sl.err
+		c.releaseSlot(h.slot)
+		return 0, err
+	}
+	c.Stats.Calls++
+	hdr := sl.hdr
+	n := copy(out, c.fetches[h.slot][HeaderSize:HeaderSize+hdr.size])
+	c.recordRetries(sl.failed)
+	if sl.overrun {
+		c.consecOverruns++
+		if !c.params.DisableSwitch && c.mode == ModeFetch && c.consecOverruns >= c.params.K {
+			c.consecOverruns = 0
+			c.pendingMode = ModeReply
+			c.hasPending = true
+		}
+	} else {
+		c.consecOverruns = 0
+	}
+	if c.mode == ModeReply && !c.params.ForceReply && int(hdr.timeUs) <= c.params.SwitchBackUs {
+		c.pendingMode = ModeFetch
+		c.hasPending = true
+	}
+	c.observeCall(hdr)
+	c.releaseSlot(h.slot)
+	return n, nil
+}
+
+// applyPendingMode performs a deferred mode switch once the ring is empty.
+func (c *Client) applyPendingMode(p *sim.Proc) error {
+	if !c.hasPending || c.outstanding > 0 {
+		return nil
+	}
+	c.hasPending = false
+	return c.switchMode(p, c.pendingMode)
+}
+
+func (c *Client) releaseSlot(i int) {
+	c.slots[i] = slot{}
+	c.outstanding--
+}
+
+// anyInState reports whether any slot is in one of the given phases.
+func (c *Client) anyInState(states ...slotPhase) bool {
+	for i := range c.slots {
+		for _, st := range states {
+			if c.slots[i].state == st {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// progress advances the in-flight slots by one engine step: reap available
+// completions, issue work for slots that can proceed, and otherwise block
+// until the next completion (or, in reply mode, the next sparse local
+// poll).
+func (c *Client) progress(p *sim.Proc) {
+	advanced := false
+	for {
+		e, ok := c.cq.Poll(p)
+		if !ok {
+			break
+		}
+		if c.handleCQE(p, e) {
+			advanced = true
+		}
+	}
+	if c.mode == ModeFetch {
+		// Issue one fetch read for every slot awaiting its response; the
+		// batch shares a doorbell.
+		var wrs []rnic.WR
+		for i := range c.slots {
+			sl := &c.slots[i]
+			if sl.state != slotWaiting {
+				continue
+			}
+			wrs = append(wrs, rnic.WR{
+				ID:     wrID(wrKindFetch, i, sl.seq),
+				Op:     rnic.WRRead,
+				Remote: c.server,
+				Roff:   c.respOffs[i],
+				Local:  c.fetches[i][:c.fetchLen()],
+			})
+			sl.state = slotReading
+		}
+		if len(wrs) == 1 {
+			c.qp.Post(p, c.cq, wrs[0])
+		} else if len(wrs) > 1 {
+			c.qp.PostBatch(p, c.cq, wrs)
+		}
+		if len(wrs) > 0 {
+			c.Stats.FetchReads += uint64(len(wrs))
+			advanced = true
+		}
+	} else {
+		// Reply mode: check the local landing of every awaiting slot.
+		for i := range c.slots {
+			sl := &c.slots[i]
+			if sl.state != slotWaiting {
+				continue
+			}
+			lb := c.local.Buf[i*c.respStride:]
+			hdr := parseHeader(lb)
+			if hdr.valid && hdr.seq == sl.seq {
+				copy(c.fetches[i], lb[:HeaderSize+hdr.size])
+				sl.hdr = hdr
+				sl.state = slotReady
+				c.Stats.ReplyDeliveries++
+				advanced = true
+			}
+		}
+	}
+	if advanced {
+		return
+	}
+	// Nothing to do until hardware or the server moves: wait for the next
+	// completion if one is owed, else poll the reply landing sparsely
+	// (cheap for the CPU, exactly like the sync reply wait).
+	if c.anyInState(slotPosted, slotReading) {
+		c.handleCQE(p, c.cq.Wait(p))
+		return
+	}
+	if c.mode == ModeReply && c.anyInState(slotWaiting) {
+		p.Sleep(sim.Duration(c.params.ReplyPollNs))
+		if idle := c.params.ReplyPollNs - c.machine.Profile().LocalPollNs; idle > 0 {
+			c.Stats.IdleNs += idle
+		}
+	}
+}
+
+// handleCQE routes one completion to its slot, reporting whether any state
+// advanced. Stale completions — for a slot Close resolved or a seq long
+// claimed — are dropped.
+func (c *Client) handleCQE(p *sim.Proc, e rnic.CQE) bool {
+	kind := int(e.ID & 0xff)
+	si := int(e.ID >> 8 & 0xffffff)
+	seq := uint16(e.ID >> 32)
+	if si >= c.depth {
+		return false
+	}
+	sl := &c.slots[si]
+	if sl.seq != seq || sl.state == slotFree || sl.state == slotReady || sl.state == slotFailed {
+		return false
+	}
+	if e.Err != nil {
+		sl.state = slotFailed
+		sl.err = e.Err
+		return true
+	}
+	switch kind {
+	case wrKindSend:
+		if sl.state == slotPosted {
+			sl.state = slotWaiting
+		}
+	case wrKindFetch:
+		if sl.state != slotReading {
+			return false
+		}
+		hdr := parseHeader(c.fetches[si])
+		if !hdr.valid || hdr.seq != sl.seq {
+			// Stale or half-written response: retry. The slot returns to
+			// waiting and the next progress step re-reads it, exactly the
+			// sync path's repeated fetching; crossing R marks the call an
+			// overrun for the hybrid switch, counted at claim time.
+			sl.failed++
+			c.Stats.Retries++
+			if sl.failed > c.params.R {
+				sl.overrun = true
+			}
+			sl.state = slotWaiting
+			return true
+		}
+		if hdr.size > c.maxResp {
+			sl.state = slotFailed
+			sl.err = fmt.Errorf("core: server announced %d-byte response beyond limit %d", hdr.size, c.maxResp)
+			return true
+		}
+		sl.hdr = hdr
+		if total := HeaderSize + hdr.size; total > c.fetchLen() {
+			// The inline size field tells us exactly what remains: one
+			// continuation read, no size-probe round trip.
+			f := c.fetchLen()
+			c.qp.Post(p, c.cq, rnic.WR{
+				ID:     wrID(wrKindFetch2, si, sl.seq),
+				Op:     rnic.WRRead,
+				Remote: c.server,
+				Roff:   c.respOffs[si] + f,
+				Local:  c.fetches[si][f:total],
+			})
+			c.Stats.FetchReads++
+			c.Stats.SecondReads++
+			return true // still slotReading, awaiting the continuation
+		}
+		sl.state = slotReady
+	case wrKindFetch2:
+		if sl.state != slotReading {
+			return false
+		}
+		sl.state = slotReady
+	}
+	return true
+}

@@ -17,8 +17,6 @@ import (
 	"rfp/internal/sim"
 )
 
-const connAlign = 64
-
 // Server is an RFP server endpoint on one machine. It accepts connections
 // and hands out Conns; request dispatch across server threads is the
 // caller's choice (the Jakiro store partitions connections EREW-style).
@@ -51,22 +49,24 @@ func (s *Server) AddThreads(n int) {
 }
 
 // Conn is the server-side endpoint of one RFP connection (one per client
-// thread). Layout of the server-side region (paper Fig. 7):
+// thread). Layout of the server-side region (paper Fig. 7, extended to a
+// ring of Depth slots):
 //
-//	[mode flag][request header+payload][response header+payload]
+//	[mode flag][slot 0: request | response][slot 1: ...]
 type Conn struct {
 	srv *Server
 	id  int
 
-	region  *rnic.MR // server-side buffers
-	qp      *rnic.QP // server->client endpoint (reply-mode writes)
-	client  rnic.RemoteMR
-	reqOff  int
-	respOff int
+	region *rnic.MR // server-side buffers
+	qp     *rnic.QP // server->client endpoint (reply-mode writes)
+	client rnic.RemoteMR
+	depth  int
 
-	curSeq  uint16
-	recvAt  sim.Time
-	scratch []byte // handler response scratch
+	lastSlot int // last slot a request was consumed from (scan fairness)
+	curSlot  int // slot of the request last consumed by TryRecv
+	curSeq   uint16
+	recvAt   sim.Time
+	scratch  []byte // handler response scratch
 
 	// ServedFetch / ServedReply count responses by delivery mode.
 	ServedFetch uint64
@@ -76,6 +76,9 @@ type Conn struct {
 // ID returns the connection's accept-order index.
 func (c *Conn) ID() int { return c.id }
 
+// Depth returns the connection's request-ring depth.
+func (c *Conn) Depth() int { return c.depth }
+
 // Mode returns the connection's current delivery mode as last written by
 // the client into the server-side flag.
 func (c *Conn) Mode() Mode { return Mode(c.region.Buf[0] & 1) }
@@ -83,23 +86,33 @@ func (c *Conn) Mode() Mode { return Mode(c.region.Buf[0] & 1) }
 // Closed reports whether the client has torn the connection down.
 func (c *Conn) Closed() bool { return c.region.Buf[0]&modeClosed != 0 }
 
-// TryRecv checks the connection's request buffer (server_recv in the
-// paper's API). If a request is present it is consumed and its payload
+// TryRecv scans the connection's request slots (server_recv in the paper's
+// API), starting after the last slot served so a busy ring is drained
+// fairly. If any slot holds a valid request it is consumed and its payload
 // returned; the slice is valid until the next TryRecv on this connection.
 // The poll itself costs server CPU, charged by the caller's serve loop.
 func (c *Conn) TryRecv(p *sim.Proc) ([]byte, bool) {
-	hdr := parseHeader(c.region.Buf[c.reqOff:])
-	if !hdr.valid {
-		return nil, false
+	for i := 1; i <= c.depth; i++ {
+		s := (c.lastSlot + i) % c.depth
+		off := reqOffAt(c.srv.cfg, s)
+		hdr := parseHeader(c.region.Buf[off:])
+		if !hdr.valid {
+			continue
+		}
+		// Consume: clear the status bit so the slot is free for the
+		// client's next request, and charge unpacking cost. recvAt is
+		// per-request, so the process time the response reports (which
+		// feeds the client's (R, F) tuner) is this slot's alone.
+		putHeader(c.region.Buf[off:], header{})
+		c.lastSlot = s
+		c.curSlot = s
+		c.curSeq = hdr.seq
+		c.recvAt = p.Now()
+		prof := c.srv.machine.Profile()
+		c.srv.machine.ComputeNs(p, prof.LocalPollNs+prof.CopyNs(hdr.size))
+		return c.region.Buf[off+HeaderSize : off+HeaderSize+hdr.size], true
 	}
-	// Consume: clear the status bit so the buffer is free for the client's
-	// next request, and charge unpacking cost.
-	putHeader(c.region.Buf[c.reqOff:], header{})
-	c.curSeq = hdr.seq
-	c.recvAt = p.Now()
-	prof := c.srv.machine.Profile()
-	c.srv.machine.ComputeNs(p, prof.LocalPollNs+prof.CopyNs(hdr.size))
-	return c.region.Buf[c.reqOff+HeaderSize : c.reqOff+HeaderSize+hdr.size], true
+	return nil, false
 }
 
 // Send publishes the response for the request last consumed by TryRecv
@@ -114,13 +127,13 @@ func (c *Conn) Send(p *sim.Proc, payload []byte) error {
 	}
 	procNs := int64(p.Now().Sub(c.recvAt))
 	hdr := header{valid: true, size: len(payload), timeUs: clampTimeUs(procNs), seq: c.curSeq}
-	buf := c.region.Buf[c.respOff:]
+	buf := c.region.Buf[respOffAt(c.srv.cfg, c.curSlot):]
 	putHeader(buf, hdr)
 	copy(buf[HeaderSize:], payload)
 	c.srv.machine.ComputeNs(p, c.srv.machine.Profile().CopyNs(len(payload)+HeaderSize))
 	if c.Mode() == ModeReply {
 		c.ServedReply++
-		return c.qp.Write(p, c.client, 0, buf[:HeaderSize+len(payload)])
+		return c.qp.Write(p, c.client, c.curSlot*respArea(c.srv.cfg), buf[:HeaderSize+len(payload)])
 	}
 	c.ServedFetch++
 	return nil
@@ -164,14 +177,18 @@ func Serve(p *sim.Proc, conns []*Conn, h Handler) {
 				continue // client tore the connection down; stop polling it
 			}
 			kept = append(kept, c)
-			req, ok := c.TryRecv(p)
-			if !ok {
-				continue
-			}
-			found = true
-			n := h(p, c, req, c.scratch)
-			if err := c.Send(p, c.scratch[:n]); err != nil {
-				panic(fmt.Sprintf("core: Serve send: %v", err))
+			// Drain every ready slot (at most one ring's worth per sweep,
+			// so a deep pipelining client cannot starve its neighbours).
+			for served := 0; served < c.depth; served++ {
+				req, ok := c.TryRecv(p)
+				if !ok {
+					break
+				}
+				found = true
+				n := h(p, c, req, c.scratch)
+				if err := c.Send(p, c.scratch[:n]); err != nil {
+					panic(fmt.Sprintf("core: Serve send: %v", err))
+				}
 			}
 		}
 		live = kept
@@ -206,13 +223,12 @@ func (s *Server) Accept(clientMachine *fabric.Machine, params Params) (*Client, 
 		params.F = HeaderSize + 1
 	}
 
-	reqOff := connAlign
-	respOff := align(reqOff+HeaderSize+s.cfg.MaxRequest, connAlign)
-	regionSize := align(respOff+HeaderSize+s.cfg.MaxResponse, connAlign)
-
-	region := s.machine.NIC().RegisterMemory(regionSize)
+	depth := params.Depth
+	region := s.machine.NIC().RegisterMemory(regionSize(s.cfg, depth))
 	qpC, qpS := rnic.Connect(clientMachine.NIC(), s.machine.NIC())
-	clientMR := clientMachine.NIC().RegisterMemory(HeaderSize + s.cfg.MaxResponse)
+	// The client-side landing region mirrors the ring's response slots:
+	// reply-mode pushes for slot i land at i*respArea.
+	clientMR := clientMachine.NIC().RegisterMemory(depth * respArea(s.cfg))
 
 	conn := &Conn{
 		srv:     s,
@@ -220,24 +236,32 @@ func (s *Server) Accept(clientMachine *fabric.Machine, params Params) (*Client, 
 		region:  region,
 		qp:      qpS,
 		client:  clientMR.Handle(),
-		reqOff:  reqOff,
-		respOff: respOff,
+		depth:   depth,
 		scratch: make([]byte, s.cfg.MaxResponse),
 	}
 	s.conns = append(s.conns, conn)
 
 	cli := &Client{
-		machine: clientMachine,
-		params:  params,
-		qp:      qpC,
-		server:  region.Handle(),
-		reqOff:  reqOff,
-		respOff: respOff,
-		maxReq:  s.cfg.MaxRequest,
-		maxResp: s.cfg.MaxResponse,
-		local:   clientMR,
-		stage:   make([]byte, HeaderSize+s.cfg.MaxRequest),
-		fetch:   make([]byte, HeaderSize+s.cfg.MaxResponse),
+		machine:    clientMachine,
+		params:     params,
+		qp:         qpC,
+		server:     region.Handle(),
+		depth:      depth,
+		respStride: respArea(s.cfg),
+		maxReq:     s.cfg.MaxRequest,
+		maxResp:    s.cfg.MaxResponse,
+		local:      clientMR,
+		slots:      make([]slot, depth),
+		reqOffs:    make([]int, depth),
+		respOffs:   make([]int, depth),
+		stages:     make([][]byte, depth),
+		fetches:    make([][]byte, depth),
+	}
+	for i := 0; i < depth; i++ {
+		cli.reqOffs[i] = reqOffAt(s.cfg, i)
+		cli.respOffs[i] = respOffAt(s.cfg, i)
+		cli.stages[i] = make([]byte, HeaderSize+s.cfg.MaxRequest)
+		cli.fetches[i] = make([]byte, HeaderSize+s.cfg.MaxResponse)
 	}
 	if params.ForceReply {
 		cli.mode = ModeReply
@@ -245,5 +269,3 @@ func (s *Server) Accept(clientMachine *fabric.Machine, params Params) (*Client, 
 	}
 	return cli, conn
 }
-
-func align(v, a int) int { return (v + a - 1) / a * a }

@@ -100,3 +100,35 @@ func (m Mode) String() string {
 		return fmt.Sprintf("Mode(%d)", uint8(m))
 	}
 }
+
+// connAlign is the slot alignment of the connection region (cache-line
+// sized, like the paper's buffers).
+const connAlign = 64
+
+// Slot-ring geometry. A connection's server-side region holds the 1-byte
+// mode flag followed by Params.Depth independent request/response slots:
+//
+//	[mode flag | pad][slot 0: req hdr+payload | resp hdr+payload][slot 1: ...]
+//
+// Each slot carries its own status-bit + size headers, so requests and
+// responses in different slots are completely independent: a client may keep
+// up to Depth calls in flight on one connection (Post/Poll), and the server
+// drains whichever slots hold valid requests. Depth 1 reproduces the
+// original single-slot layout byte for byte.
+
+// reqArea / respArea are one slot's aligned request and response extents.
+func reqArea(cfg ServerConfig) int  { return align(HeaderSize+cfg.MaxRequest, connAlign) }
+func respArea(cfg ServerConfig) int { return align(HeaderSize+cfg.MaxResponse, connAlign) }
+
+// slotStride is the distance between consecutive slots in the region.
+func slotStride(cfg ServerConfig) int { return reqArea(cfg) + respArea(cfg) }
+
+// reqOffAt / respOffAt locate slot i's request and response buffers within
+// the connection region.
+func reqOffAt(cfg ServerConfig, i int) int  { return connAlign + i*slotStride(cfg) }
+func respOffAt(cfg ServerConfig, i int) int { return reqOffAt(cfg, i) + reqArea(cfg) }
+
+// regionSize is the registered-region size for a depth-D connection.
+func regionSize(cfg ServerConfig, depth int) int { return connAlign + depth*slotStride(cfg) }
+
+func align(v, a int) int { return (v + a - 1) / a * a }

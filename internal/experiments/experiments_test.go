@@ -24,7 +24,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig20", "table3",
 		"ablation-inline", "ablation-switch", "ablation-selection", "ablation-twosided",
 		"ext-herd", "ext-loss", "ext-scaleout", "ext-tuning",
-		"ext-async", "ext-farm", "ext-ycsb",
+		"ext-async", "ext-farm", "ext-ycsb", "ext-pipeline",
 	}
 	ids := IDs()
 	have := map[string]bool{}

@@ -1,0 +1,132 @@
+package experiments
+
+// ext-pipeline: the multi-slot request ring applied to a full RFP call
+// path. Where ext-async pipelines raw RDMA Reads, this experiment pipelines
+// whole KV GETs: one client thread keeps Depth requests in flight on one
+// connection with Post/Poll, one server thread drains the ring's slots.
+// Depth 1 is the paper's one-slot connection driven through the same code,
+// so the depth-1 point doubles as a regression anchor for the headline
+// single-thread numbers.
+
+import (
+	"fmt"
+
+	"rfp/internal/core"
+	"rfp/internal/fabric"
+	"rfp/internal/kvstore/kv"
+	"rfp/internal/sim"
+	"rfp/internal/stats"
+	"rfp/internal/workload"
+)
+
+func init() {
+	register("ext-pipeline", "Pipelined RFP GETs over the multi-slot request ring", extPipeline)
+}
+
+// pipelineKeys is the preloaded working set (single partition).
+const pipelineKeys = 4096
+
+// extPipeline sweeps the ring depth for single-thread 32 B GETs.
+func extPipeline(o Options) Result {
+	depths := o.pick([]int{1, 2, 4, 8, 16}, []int{1, 8})
+	const valueSize = 32
+	mops := &stats.Series{Label: "RFP-pipelined", XLabel: "ring depth", YLabel: "MOPS"}
+	rows := []string{fmt.Sprintf("%-14s%10s%12s", "ring depth", "MOPS", "speedup")}
+	base := 0.0
+	for _, d := range depths {
+		v := runPipelineDepth(o, d, valueSize)
+		mops.Add(float64(d), v)
+		if base == 0 {
+			base = v
+		}
+		rows = append(rows, fmt.Sprintf("%-14d%10.3f%11.2fx", d, v, v/base))
+	}
+	return Result{
+		ID: "ext-pipeline", Title: "pipelined GETs, one client thread, one server thread (32 B values)",
+		Series: []*stats.Series{mops},
+		Rows:   rows,
+		Notes: []string{
+			"depth 1 is the paper's one-slot connection (the Call path) and matches the single-thread GET baseline",
+			"deeper rings overlap the write+fetch round trips of several calls; the plateau is the initiator-engine/serve-loop bound, not the round trip",
+		},
+	}
+}
+
+// runPipelineDepth measures one (depth, value size) point: a store-backed
+// echo-style GET server on one thread, one pipelining client.
+func runPipelineDepth(o Options, depth, valueSize int) float64 {
+	env := sim.NewEnv(o.Seed)
+	defer env.Close()
+	cl := fabric.NewCluster(env, o.Profile, 1)
+
+	store := kv.NewBucketStore(pipelineKeys) // load factor 1/8: no evictions
+	kbuf := make([]byte, workload.KeySize)
+	val := make([]byte, valueSize)
+	for k := uint64(0); k < pipelineKeys; k++ {
+		workload.FillValue(val, k, 0)
+		store.Put(workload.EncodeKey(kbuf, k), val)
+	}
+
+	srv := core.NewServer(cl.Server, core.ServerConfig{
+		MaxRequest:  1 + workload.KeySize,
+		MaxResponse: 1 + valueSize,
+	})
+	srv.AddThreads(1)
+	params := core.DefaultParams()
+	params.Depth = depth
+	cli, conn := srv.Accept(cl.Clients[0], params)
+	cl.Clients[0].AddThreads(1)
+
+	m := cl.Server
+	prof := m.Profile()
+	cl.Server.Spawn("srv", func(p *sim.Proc) {
+		core.Serve(p, []*core.Conn{conn}, func(p *sim.Proc, c *core.Conn, req, resp []byte) int {
+			m.ComputeNs(p, 150) // dispatch + hash, as in the Jakiro handler
+			r, err := kv.DecodeRequest(req)
+			if err != nil || r.Op != kv.OpGet {
+				return kv.EncodeResponse(resp, kv.StatusError, nil)
+			}
+			v, ok := store.Get(r.Key)
+			if !ok {
+				return kv.EncodeResponse(resp, kv.StatusNotFound, nil)
+			}
+			m.ComputeNs(p, prof.CopyNs(len(v)))
+			return kv.EncodeResponse(resp, kv.StatusOK, v)
+		})
+	})
+
+	done := uint64(0)
+	cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		reqBuf := make([]byte, 1+workload.KeySize)
+		out := make([]byte, 1+valueSize)
+		hs := make([]core.Handle, 0, depth)
+		key := uint64(0)
+		for {
+			// Keep the ring full, then retire the oldest call.
+			for len(hs) < depth {
+				req := kv.EncodeGet(reqBuf, key%pipelineKeys)
+				key++
+				h, err := cli.Post(p, req)
+				if err != nil {
+					panic(err)
+				}
+				hs = append(hs, h)
+			}
+			n, err := cli.Poll(p, hs[0], out)
+			if err != nil {
+				panic(err)
+			}
+			if status, _, err := kv.DecodeResponse(out[:n]); err != nil || status != kv.StatusOK {
+				panic(fmt.Sprintf("ext-pipeline: bad response (status %d, err %v)", status, err))
+			}
+			hs = hs[:copy(hs, hs[1:])]
+			done++
+		}
+	})
+
+	env.Run(sim.Time(o.Warmup))
+	before := done
+	start := env.Now()
+	env.Run(start.Add(o.Window))
+	return stats.MOPS(done-before, int64(o.Window))
+}

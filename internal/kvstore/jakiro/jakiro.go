@@ -234,6 +234,14 @@ type Client struct {
 	conns   []*core.Client // one per server thread
 	reqBuf  []byte
 	respBuf []byte
+	groups  [][]uint64   // MultiGet partition grouping scratch
+	posted  []pendingGet // MultiGet in-flight handles scratch
+}
+
+// pendingGet tracks one posted per-partition multi-get.
+type pendingGet struct {
+	part int
+	h    core.Handle
 }
 
 // connFor routes a key to the connection of the owning partition.
@@ -334,8 +342,11 @@ func (c *Client) Do(p *sim.Proc, op workload.Op, scratch []byte) (bool, error) {
 }
 
 // MultiGet fetches a batch of keys with one RPC per involved partition,
-// amortizing round trips (and in-bound operations) across the batch. fn is
-// invoked once per key, in no particular order across partitions.
+// amortizing round trips (and in-bound operations) across the batch. The
+// per-partition requests are posted without waiting and polled afterwards,
+// so they overlap: each partition lives on its own RFP connection, and the
+// batch costs roughly one round trip instead of one per partition. fn is
+// invoked once per key, grouped by partition in partition order.
 func (c *Client) MultiGet(p *sim.Proc, keys []uint64, fn func(key uint64, value []byte, found bool)) error {
 	if len(keys) == 0 {
 		return nil
@@ -343,34 +354,70 @@ func (c *Client) MultiGet(p *sim.Proc, keys []uint64, fn func(key uint64, value 
 	if 3+len(keys)*workload.KeySize > len(c.reqBuf) {
 		return fmt.Errorf("jakiro: multi-get of %d keys exceeds the request buffer", len(keys))
 	}
-	// Group keys by owning partition.
-	groups := make(map[int][]uint64)
+	// Group keys by owning partition (index order keeps the fan-out
+	// deterministic).
+	groups := c.groups
+	if groups == nil {
+		groups = make([][]uint64, len(c.conns))
+		c.groups = groups
+	}
+	for i := range groups {
+		groups[i] = groups[i][:0]
+	}
 	kb := make([]byte, workload.KeySize)
 	for _, k := range keys {
 		part := kv.PartitionFor(workload.EncodeKey(kb, k), len(c.conns))
 		groups[part] = append(groups[part], k)
 	}
+	// Post one request per involved partition. Post stages the payload
+	// before returning, so reqBuf is immediately reusable. On a post
+	// failure the already-posted handles are still drained below — every
+	// handle gets its definite outcome.
+	posted := c.posted[:0]
+	var firstErr error
 	for part, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
 		req := kv.EncodeMultiGet(c.reqBuf, group)
-		n, err := c.conns[part].Call(p, req, c.respBuf)
+		h, err := c.conns[part].Post(p, req)
 		if err != nil {
-			return err
+			firstErr = err
+			break
+		}
+		posted = append(posted, pendingGet{part: part, h: h})
+	}
+	c.posted = posted[:0]
+	// Poll in posted order, decoding each response before the next poll
+	// reuses respBuf.
+	for _, pd := range posted {
+		n, err := c.conns[pd.part].Poll(p, pd.h, c.respBuf)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // a sibling already failed; just drain
 		}
 		status, payload, err := kv.DecodeResponse(c.respBuf[:n])
 		if err != nil {
-			return err
+			firstErr = err
+			continue
 		}
 		if status != kv.StatusOK {
-			return ErrBadResponse
+			firstErr = ErrBadResponse
+			continue
 		}
-		group := group
+		group := groups[pd.part]
 		if err := kv.DecodeMultiGetResponse(payload, len(group), func(i int, v []byte, found bool) {
 			fn(group[i], v, found)
 		}); err != nil {
-			return err
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // Stats aggregates the RFP client statistics over all per-thread

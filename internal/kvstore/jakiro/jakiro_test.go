@@ -413,3 +413,50 @@ func TestDelete(t *testing.T) {
 	})
 	r.env.Run(sim.Time(2 * sim.Millisecond))
 }
+
+func TestMultiGetOverlapsPartitions(t *testing.T) {
+	// The per-partition requests are posted before any is waited on, so a
+	// batch spanning 3 partitions costs roughly one round trip — well under
+	// the 3 sequential round trips the pre-pipelining client paid.
+	r := newRig(t, 1, Config{Threads: 3, SpikeProb: -1})
+	r.srv.Preload(workload.Preload(workload.Config{Keys: 100}), 32)
+	cli := r.srv.NewClient(r.cl.Clients[0])
+	r.srv.Start()
+	var single, batched sim.Duration
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		out := make([]byte, 64)
+		// Warm up both paths, then time one single-key GET and one batch
+		// covering all three partitions.
+		if _, _, err := cli.Get(p, 0, out); err != nil {
+			t.Errorf("get: %v", err)
+			return
+		}
+		keys := make([]uint64, 30)
+		for i := range keys {
+			keys[i] = uint64(i)
+		}
+		if err := cli.MultiGet(p, keys, func(uint64, []byte, bool) {}); err != nil {
+			t.Errorf("warmup multi-get: %v", err)
+			return
+		}
+		start := p.Now()
+		if _, _, err := cli.Get(p, 1, out); err != nil {
+			t.Errorf("get: %v", err)
+			return
+		}
+		single = p.Now().Sub(start)
+		start = p.Now()
+		if err := cli.MultiGet(p, keys, func(uint64, []byte, bool) {}); err != nil {
+			t.Errorf("multi-get: %v", err)
+			return
+		}
+		batched = p.Now().Sub(start)
+	})
+	r.env.Run(sim.Time(5 * sim.Millisecond))
+	if single == 0 || batched == 0 {
+		t.Fatal("did not complete")
+	}
+	if batched >= 3*single {
+		t.Fatalf("3-partition batch took %v vs single call %v — no overlap", batched, single)
+	}
+}

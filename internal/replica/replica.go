@@ -99,6 +99,7 @@ type Service struct {
 	repl    []*core.Client
 	conns   []*core.Conn
 	fwd     []byte
+	hs      []core.Handle // fan-out scratch, owned by the primary thread
 	started bool
 
 	// Replicated counts writes acknowledged after full replication.
@@ -189,20 +190,37 @@ func (s *Service) handle(p *sim.Proc, conn *core.Conn, req, resp []byte) int {
 	case kv.OpPut:
 		m.ComputeNs(p, 150+m.Profile().CopyNs(len(r.Value)))
 		s.store.Put(r.Key, r.Value)
-		// Synchronous chain replication to every backup: the primary acts
-		// as an RFP client here, so each forward is one in-bound write to
-		// the backup plus one fetch of its ack.
-		ack := make([]byte, 8)
+		// Replication to every backup fans out concurrently: the primary
+		// posts the forward on each backup connection (Post stages the
+		// payload, so the one scratch buffer is reusable between posts) and
+		// then collects the acks, overlapping the backups' round trips
+		// instead of paying them in sequence.
+		fwd := kv.EncodePut(s.fwdBuf(), workload.DecodeKey(r.Key), r.Value)
+		hs := s.hs[:0]
+		failed := false
 		for _, rc := range s.repl {
-			fwd := kv.EncodePut(s.fwdBuf(), workload.DecodeKey(r.Key), r.Value)
-			n, err := rc.Call(p, fwd, ack)
+			h, err := rc.Post(p, fwd)
 			if err != nil {
-				return kv.EncodeResponse(resp, kv.StatusError, nil)
+				failed = true
+				break
+			}
+			hs = append(hs, h)
+		}
+		s.hs = hs[:0]
+		ack := make([]byte, 8)
+		for i, h := range hs {
+			n, err := s.repl[i].Poll(p, h, ack)
+			if err != nil {
+				failed = true
+				continue
 			}
 			status, _, err := kv.DecodeResponse(ack[:n])
 			if err != nil || status != kv.StatusOK {
-				return kv.EncodeResponse(resp, kv.StatusError, nil)
+				failed = true
 			}
+		}
+		if failed {
+			return kv.EncodeResponse(resp, kv.StatusError, nil)
 		}
 		s.Replicated++
 		return kv.EncodeResponse(resp, kv.StatusOK, nil)

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"rfp/internal/sim"
+	"rfp/internal/trace"
 )
 
 // WROp distinguishes work-request kinds.
@@ -100,40 +101,23 @@ func (q *QP) ensureEngine() {
 			a := q.sendQ.Get(p)
 			wr, cq := a.wr, a.cq
 			// Validation errors complete immediately.
-			if err := wr.Remote.check(wr.Roff, len(wr.Local)); err != nil {
+			if err := q.checkTarget(wr.Remote, wr.Roff, len(wr.Local)); err != nil {
 				cq.entries.Put(CQE{ID: wr.ID, Op: wr.Op, Err: err})
 				continue
 			}
-			if wr.Remote.mr.nic != remote {
-				cq.entries.Put(CQE{ID: wr.ID, Op: wr.Op, Err: ErrBadKey})
-				continue
-			}
 			// Initiator engine: serialized per NIC, in post order.
-			isRead := wr.Op == WRRead
-			local.outEngine.Use(p, sim.Duration(local.prof.OutEngineTimeNs(local.issuers, isRead)))
-			local.Stats.OutOps++
-			if wr.Op == WRWrite {
-				local.tx.Use(p, sim.Duration(local.prof.WireNs(len(wr.Local))))
-				local.Stats.OutBytes += uint64(len(wr.Local))
-			}
+			start := p.Now()
+			q.issuePhase(p, wr.Op, len(wr.Local))
 			// Network + responder phases overlap with later WRs: hand off.
 			local.env.Go("wr-flight", func(p2 *sim.Proc) {
+				q.remotePhase(p2, wr.Op, wr.Remote, wr.Roff, wr.Local)
 				p2.Sleep(sim.Duration(local.prof.PropagationNs))
-				size := len(wr.Local)
-				switch wr.Op {
-				case WRWrite:
-					remote.rx.Use(p2, sim.Duration(remote.prof.WireNs(size)))
-					remote.inEngine.Use(p2, sim.Duration(remote.prof.InEngineNs))
-					copy(wr.Remote.mr.Buf[wr.Roff:], wr.Local)
-				case WRRead:
-					remote.inEngine.Use(p2, sim.Duration(remote.prof.InEngineNs))
-					p2.Sleep(sim.Duration(remote.prof.ReadRespExtraNs))
-					copy(wr.Local, wr.Remote.mr.Buf[wr.Roff:wr.Roff+size])
-					remote.tx.Use(p2, sim.Duration(remote.prof.WireNs(size)))
+				kind := trace.Write
+				if wr.Op == WRRead {
+					kind = trace.Read
 				}
-				remote.Stats.InOps++
-				remote.Stats.InBytes += uint64(size)
-				p2.Sleep(sim.Duration(local.prof.PropagationNs))
+				local.tracer.Record(trace.Event{Start: start, End: p2.Now(), Kind: kind,
+					Src: local.name, Dst: remote.name, Bytes: len(wr.Local)})
 				cq.entries.Put(CQE{ID: wr.ID, Op: wr.Op})
 			})
 		}

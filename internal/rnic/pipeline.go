@@ -1,0 +1,81 @@
+package rnic
+
+// Shared one-sided data path. The synchronous verbs (qp.go) and the
+// asynchronous engine (async.go) used to carry near-duplicate copies of the
+// hardware cost model, which could silently drift apart; both now issue
+// through the two phases below, so a cost-model change lands in exactly one
+// place.
+//
+// An operation's life is split at the point where the hardware pipelines:
+//
+//   - issuePhase: the initiator engine serializes work requests one at a
+//     time (per NIC, in post order) and, for writes, pushes the payload
+//     onto the TX pipe. This is the phase a pipelining client overlaps.
+//   - remotePhase: wire propagation, responder-side engine/bandwidth work,
+//     the payload copy, and propagation of the ack/response back. Later
+//     work requests overlap with this phase freely.
+//
+// The synchronous path runs both phases inline in the calling process and
+// then reaps the completion; the asynchronous engine runs issuePhase in the
+// per-QP engine process and hands remotePhase to a detached flight process.
+
+import "rfp/internal/sim"
+
+// checkTarget validates a one-sided operation's remote target: bounds
+// against the region and handle ownership against this QP's peer (RC QPs
+// address a single remote endpoint).
+func (q *QP) checkTarget(remote RemoteMR, roff, size int) error {
+	if err := remote.check(roff, size); err != nil {
+		return err
+	}
+	if remote.mr.nic != q.remote {
+		return ErrBadKey
+	}
+	return nil
+}
+
+// issuePhase charges the initiator-side hardware work of one one-sided
+// operation: out-bound engine occupancy (with QP contention) and, for
+// writes, serializing the payload onto the local TX pipe.
+func (q *QP) issuePhase(p *sim.Proc, op WROp, size int) {
+	n := q.local
+	n.outEngine.Use(p, sim.Duration(n.prof.OutEngineTimeNs(n.issuers, op == WRRead)))
+	n.Stats.OutOps++
+	if op == WRWrite {
+		n.tx.Use(p, sim.Duration(n.prof.WireNs(size)))
+		n.Stats.OutBytes += uint64(size)
+	}
+}
+
+// remotePhase walks the network and responder phases: request propagation,
+// responder NIC work, and the payload copy. The return propagation of the
+// ack/response is left to the caller (the sync path folds it into the
+// completion reap, the async flight sleeps it before posting the CQE).
+func (q *QP) remotePhase(p *sim.Proc, op WROp, remote RemoteMR, roff int, local []byte) {
+	p.Sleep(sim.Duration(q.local.prof.PropagationNs))
+	r := q.remote
+	size := len(local)
+	switch op {
+	case WRWrite:
+		// Responder side: RX pipe + in-bound engine, all in NIC hardware.
+		r.rx.Use(p, sim.Duration(r.prof.WireNs(size)))
+		r.inEngine.Use(p, sim.Duration(r.prof.InEngineNs))
+		copy(remote.mr.Buf[roff:], local)
+	case WRRead:
+		// The responder engine is only occupied for the base in-bound
+		// service time (its reciprocal is the in-bound IOPS ceiling);
+		// assembling the read response adds pipeline latency without
+		// consuming engine throughput.
+		r.inEngine.Use(p, sim.Duration(r.prof.InEngineNs))
+		p.Sleep(sim.Duration(r.prof.ReadRespExtraNs))
+		// Snapshot the remote bytes at response-generation time. This is
+		// where the data race the paper discusses lives: a torn read of a
+		// region being concurrently modified is returned verbatim;
+		// consistency is the application's problem (CRCs in Pilaf, status
+		// bits in RFP).
+		copy(local, remote.mr.Buf[roff:roff+size])
+		r.tx.Use(p, sim.Duration(r.prof.WireNs(size)))
+	}
+	r.Stats.InOps++
+	r.Stats.InBytes += uint64(size)
+}

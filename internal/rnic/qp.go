@@ -46,16 +46,6 @@ func (q *QP) Local() *NIC { return q.local }
 // Remote returns the NIC at the other end of the connection.
 func (q *QP) Remote() *NIC { return q.remote }
 
-// issueOneSided walks an operation through the initiator pipeline that both
-// Read and Write share: CPU post (with jitter), out-bound engine (with QP
-// contention).
-func (q *QP) issueOneSided(p *sim.Proc, isRead bool) {
-	n := q.local
-	p.Sleep(n.cpu(n.prof.PostNs) + n.jitter(p))
-	n.outEngine.Use(p, sim.Duration(n.prof.OutEngineTimeNs(n.issuers, isRead)))
-	n.Stats.OutOps++
-}
-
 // completeOneSided models the return path to the initiator: wire
 // propagation of the ack/response plus CPU time to reap the completion.
 func (q *QP) completeOneSided(p *sim.Proc) {
@@ -67,31 +57,17 @@ func (q *QP) completeOneSided(p *sim.Proc) {
 // offset roff, blocking until completion. The remote CPU is not involved:
 // only the responder NIC's in-bound engine and RX pipe are charged.
 func (q *QP) Write(p *sim.Proc, remote RemoteMR, roff int, local []byte) error {
-	if err := remote.check(roff, len(local)); err != nil {
+	if err := q.checkTarget(remote, roff, len(local)); err != nil {
 		return err
 	}
-	if remote.mr.nic != q.remote {
-		// The handle must belong to the connected peer; RC QPs address a
-		// single remote endpoint.
-		return ErrBadKey
-	}
-	size := len(local)
+	n := q.local
 	start := p.Now()
-	q.issueOneSided(p, false)
-	// Serialize the payload onto the local TX pipe, then propagate.
-	q.local.tx.Use(p, sim.Duration(q.local.prof.WireNs(size)))
-	q.local.Stats.OutBytes += uint64(size)
-	p.Sleep(sim.Duration(q.local.prof.PropagationNs))
-	// Responder side: RX pipe + in-bound engine, all in NIC hardware.
-	r := q.remote
-	r.rx.Use(p, sim.Duration(r.prof.WireNs(size)))
-	r.inEngine.Use(p, sim.Duration(r.prof.InEngineNs))
-	copy(remote.mr.Buf[roff:], local)
-	r.Stats.InOps++
-	r.Stats.InBytes += uint64(size)
+	p.Sleep(n.cpu(n.prof.PostNs) + n.jitter(p))
+	q.issuePhase(p, WRWrite, len(local))
+	q.remotePhase(p, WRWrite, remote, roff, local)
 	q.completeOneSided(p)
-	q.local.tracer.Record(trace.Event{Start: start, End: p.Now(), Kind: trace.Write,
-		Src: q.local.name, Dst: r.name, Bytes: size})
+	n.tracer.Record(trace.Event{Start: start, End: p.Now(), Kind: trace.Write,
+		Src: n.name, Dst: q.remote.name, Bytes: len(local)})
 	return nil
 }
 
@@ -99,35 +75,17 @@ func (q *QP) Write(p *sim.Proc, remote RemoteMR, roff int, local []byte) error {
 // region at offset roff into local, blocking until completion. The response
 // payload occupies the responder's TX pipe; the responder CPU is bypassed.
 func (q *QP) Read(p *sim.Proc, remote RemoteMR, roff int, local []byte) error {
-	if err := remote.check(roff, len(local)); err != nil {
+	if err := q.checkTarget(remote, roff, len(local)); err != nil {
 		return err
 	}
-	if remote.mr.nic != q.remote {
-		return ErrBadKey
-	}
-	size := len(local)
+	n := q.local
 	start := p.Now()
-	q.issueOneSided(p, true)
-	// The read request itself is a small packet.
-	p.Sleep(sim.Duration(q.local.prof.PropagationNs))
-	r := q.remote
-	// The responder engine is only occupied for the base in-bound service
-	// time (its reciprocal is the in-bound IOPS ceiling); assembling the
-	// read response adds pipeline latency without consuming engine
-	// throughput.
-	r.inEngine.Use(p, sim.Duration(r.prof.InEngineNs))
-	p.Sleep(sim.Duration(r.prof.ReadRespExtraNs))
-	// Snapshot the remote bytes at response-generation time. This is where
-	// the data race the paper discusses lives: a torn read of a region
-	// being concurrently modified is returned verbatim; consistency is the
-	// application's problem (CRCs in Pilaf, status bits in RFP).
-	copy(local, remote.mr.Buf[roff:roff+size])
-	r.tx.Use(p, sim.Duration(r.prof.WireNs(size)))
-	r.Stats.InOps++
-	r.Stats.InBytes += uint64(size)
+	p.Sleep(n.cpu(n.prof.PostNs) + n.jitter(p))
+	q.issuePhase(p, WRRead, len(local))
+	q.remotePhase(p, WRRead, remote, roff, local)
 	q.completeOneSided(p)
-	q.local.tracer.Record(trace.Event{Start: start, End: p.Now(), Kind: trace.Read,
-		Src: q.local.name, Dst: r.name, Bytes: size})
+	n.tracer.Record(trace.Event{Start: start, End: p.Now(), Kind: trace.Read,
+		Src: n.name, Dst: q.remote.name, Bytes: len(local)})
 	return nil
 }
 

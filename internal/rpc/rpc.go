@@ -234,44 +234,91 @@ func NewClient(conn *core.Client, maxMessage int) *Client {
 // Transport exposes the underlying RFP connection (for stats/tuning).
 func (c *Client) Transport() *core.Client { return c.conn }
 
-// Call invokes the named remote method synchronously, exactly like
-// net/rpc's Client.Call — but over RFP.
-func (c *Client) Call(p *sim.Proc, serviceMethod string, args, reply interface{}) error {
+// encodeRequest marshals [u32 method id][gob args] into c.req.
+func (c *Client) encodeRequest(serviceMethod string, args interface{}) ([]byte, error) {
 	if !strings.Contains(serviceMethod, ".") {
-		return fmt.Errorf("rpc: service/method ill-formed: %q", serviceMethod)
+		return nil, fmt.Errorf("rpc: service/method ill-formed: %q", serviceMethod)
 	}
 	binary.LittleEndian.PutUint32(c.req, methodID(serviceMethod))
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(args); err != nil {
-		return fmt.Errorf("rpc: encoding args: %w", err)
+		return nil, fmt.Errorf("rpc: encoding args: %w", err)
 	}
 	n := copy(c.req[4:], buf.Bytes())
 	if n < buf.Len() {
-		return fmt.Errorf("rpc: request of %d bytes exceeds message limit", buf.Len())
+		return nil, fmt.Errorf("rpc: request of %d bytes exceeds message limit", buf.Len())
 	}
-	if err := c.conn.Send(p, c.req[:4+n]); err != nil {
+	return c.req[:4+n], nil
+}
+
+// decodeReply unmarshals a [u8 status][gob reply | error string] response.
+func (c *Client) decodeReply(msg []byte, reply interface{}) error {
+	if len(msg) < 1 {
+		return ErrBadMessage
+	}
+	if msg[0] == statusErr {
+		s := string(msg[1:])
+		switch s {
+		case ErrNoSuchMethod.Error():
+			return ErrNoSuchMethod
+		default:
+			return ServerError(s)
+		}
+	}
+	if err := gob.NewDecoder(bytes.NewReader(msg[1:])).Decode(reply); err != nil {
+		return fmt.Errorf("rpc: decoding reply: %w", err)
+	}
+	return nil
+}
+
+// Call invokes the named remote method synchronously, exactly like
+// net/rpc's Client.Call — but over RFP.
+func (c *Client) Call(p *sim.Proc, serviceMethod string, args, reply interface{}) error {
+	req, err := c.encodeRequest(serviceMethod, args)
+	if err != nil {
+		return err
+	}
+	if err := c.conn.Send(p, req); err != nil {
 		return err
 	}
 	rn, err := c.conn.Recv(p, c.out)
 	if err != nil {
 		return err
 	}
-	if rn < 1 {
-		return ErrBadMessage
+	return c.decodeReply(c.out[:rn], reply)
+}
+
+// Pending is an in-flight asynchronous call started with Go, redeemed by
+// Wait.
+type Pending struct {
+	h      core.Handle
+	method string
+}
+
+// Go starts the named remote method without waiting for the reply — the
+// pipelined analogue of net/rpc's Client.Go, carried by the transport's
+// request ring instead of a goroutine. Up to the connection's Depth calls
+// may be in flight at once; past that Go returns core.ErrRingFull.
+func (c *Client) Go(p *sim.Proc, serviceMethod string, args interface{}) (Pending, error) {
+	req, err := c.encodeRequest(serviceMethod, args)
+	if err != nil {
+		return Pending{}, err
 	}
-	if c.out[0] == statusErr {
-		msg := string(c.out[1:rn])
-		switch msg {
-		case ErrNoSuchMethod.Error():
-			return ErrNoSuchMethod
-		default:
-			return ServerError(msg)
-		}
+	h, err := c.conn.Post(p, req)
+	if err != nil {
+		return Pending{}, err
 	}
-	if err := gob.NewDecoder(bytes.NewReader(c.out[1:rn])).Decode(reply); err != nil {
-		return fmt.Errorf("rpc: decoding reply: %w", err)
+	return Pending{h: h, method: serviceMethod}, nil
+}
+
+// Wait blocks (in virtual time) until the call started by Go completes and
+// decodes its reply.
+func (c *Client) Wait(p *sim.Proc, pd Pending, reply interface{}) error {
+	rn, err := c.conn.Poll(p, pd.h, c.out)
+	if err != nil {
+		return fmt.Errorf("rpc: %s: %w", pd.method, err)
 	}
-	return nil
+	return c.decodeReply(c.out[:rn], reply)
 }
 
 // Dial connects a client machine to the RPC server and returns a stub.

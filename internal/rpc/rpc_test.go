@@ -277,3 +277,93 @@ func TestMethodIDStable(t *testing.T) {
 		t.Fatal("trivial collision")
 	}
 }
+
+// TestGoWaitPipelined overlaps several calls on one connection through
+// Go/Wait and checks each reply routes back to its pending handle,
+// including a remote error in the middle of the batch.
+func TestGoWaitPipelined(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.srv.Register("Arith", Arith{}); err != nil {
+		t.Fatal(err)
+	}
+	params := core.DefaultParams()
+	params.Depth = 4
+	cli, conn := Dial(r.srv, r.cl.Clients[0], params, 0)
+	r.start(t, []*core.Conn{conn})
+	products := make([]int, 3)
+	errs := make([]error, 3)
+	var divErr error
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		var pds [3]Pending
+		for i := range pds {
+			pd, err := cli.Go(p, "Arith.Multiply", &Args{A: i + 1, B: 10})
+			if err != nil {
+				t.Errorf("Go %d: %v", i, err)
+				return
+			}
+			pds[i] = pd
+		}
+		// A fourth call rides along and fails remotely.
+		bad, err := cli.Go(p, "Arith.Divide", &Args{A: 1, B: 0})
+		if err != nil {
+			t.Errorf("Go divide: %v", err)
+			return
+		}
+		for i, pd := range pds {
+			errs[i] = cli.Wait(p, pd, &products[i])
+		}
+		var q float64
+		divErr = cli.Wait(p, bad, &q)
+	})
+	r.env.Run(sim.Time(2 * sim.Millisecond))
+	for i, err := range errs {
+		if err != nil || products[i] != (i+1)*10 {
+			t.Fatalf("call %d: product=%d err=%v", i, products[i], err)
+		}
+	}
+	var se ServerError
+	if !errors.As(divErr, &se) || !strings.Contains(divErr.Error(), "divide by zero") {
+		t.Fatalf("divide error = %v, want remote ServerError", divErr)
+	}
+}
+
+// TestGoRingFull checks that overflowing the transport ring surfaces
+// core.ErrRingFull through Go.
+func TestGoRingFull(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.srv.Register("Arith", Arith{}); err != nil {
+		t.Fatal(err)
+	}
+	params := core.DefaultParams()
+	params.Depth = 2
+	cli, conn := Dial(r.srv, r.cl.Clients[0], params, 0)
+	r.start(t, []*core.Conn{conn})
+	ok := false
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		var pds [2]Pending
+		for i := range pds {
+			pd, err := cli.Go(p, "Arith.Multiply", &Args{A: i, B: i})
+			if err != nil {
+				t.Errorf("Go %d: %v", i, err)
+				return
+			}
+			pds[i] = pd
+		}
+		if _, err := cli.Go(p, "Arith.Multiply", &Args{A: 9, B: 9}); !errors.Is(err, core.ErrRingFull) {
+			t.Errorf("third Go: err = %v, want ErrRingFull", err)
+			return
+		}
+		var x int
+		for _, pd := range pds {
+			if err := cli.Wait(p, pd, &x); err != nil {
+				t.Errorf("Wait: %v", err)
+				return
+			}
+		}
+		ok = true
+	})
+	r.env.Run(sim.Time(2 * sim.Millisecond))
+	if !ok {
+		t.Fatal("did not complete")
+	}
+}

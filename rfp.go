@@ -115,6 +115,19 @@ type (
 	Sampler = core.Sampler
 	// BufAllocator implements malloc_buf/free_buf over a registered region.
 	BufAllocator = core.BufAllocator
+	// Handle identifies an in-flight request posted with Client.Post on a
+	// connection whose Params.Depth allows pipelining; redeem it with
+	// Client.Poll.
+	Handle = core.Handle
+)
+
+// Pipelining errors (Client.Post/Poll on a multi-slot connection).
+var (
+	// ErrRingFull reports a Post with every ring slot already in flight.
+	ErrRingFull = core.ErrRingFull
+	// ErrClosed reports use of a closed connection; in-flight posts resolve
+	// to it on Poll.
+	ErrClosed = core.ErrClosed
 )
 
 // Delivery modes.
