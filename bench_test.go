@@ -152,5 +152,9 @@ func BenchmarkExtFarm(b *testing.B) { benchExperiment(b, "ext-farm") }
 // by depth 8.
 func BenchmarkExtPipeline(b *testing.B) { benchExperiment(b, "ext-pipeline") }
 
+// BenchmarkExtAdaptiveDepth measures the on-line ring-depth tuner against
+// the static sweep across a mid-run process-time shift.
+func BenchmarkExtAdaptiveDepth(b *testing.B) { benchExperiment(b, "ext-adaptive-depth") }
+
 // BenchmarkExtYCSB runs YCSB core workloads A/B/C/F across the systems.
 func BenchmarkExtYCSB(b *testing.B) { benchExperiment(b, "ext-ycsb") }

@@ -9,6 +9,8 @@
 //	rfpbench -all                  # run everything (several minutes)
 //	rfpbench -quick -all           # reduced point sets
 //	rfpbench -json fig3            # machine-readable per-experiment output
+//	rfpbench -quick -stable -json ext-pipeline ext-adaptive-depth
+//	                               # byte-stable JSON for archived runs
 //
 // Each experiment prints the same rows/series the paper plots; absolute
 // values come from the calibrated simulation (see EXPERIMENTS.md for the
@@ -109,6 +111,7 @@ func main() {
 		quick  = flag.Bool("quick", false, "reduced sweep point sets")
 		chart  = flag.Bool("chart", false, "render an ASCII chart under each series table")
 		asJSON = flag.Bool("json", false, "emit one JSON document per experiment instead of text")
+		stable = flag.Bool("stable", false, "zero the wall-time field so -json output is diffable across runs")
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		window = flag.Duration("window", 1600*time.Microsecond, "virtual measurement window per point")
 		warmup = flag.Duration("warmup", 800*time.Microsecond, "virtual warmup per point")
@@ -147,7 +150,14 @@ func main() {
 			os.Exit(1)
 		}
 		if *asJSON {
-			if err := enc.Encode(toJSON(res, o, time.Since(start))); err != nil {
+			wall := time.Since(start)
+			if *stable {
+				// The simulation is deterministic per seed; wall time is the
+				// one nondeterministic field. Zeroing it makes the output
+				// byte-stable, so archived runs (BENCH_*.json) diff cleanly.
+				wall = 0
+			}
+			if err := enc.Encode(toJSON(res, o, wall)); err != nil {
 				fmt.Fprintf(os.Stderr, "rfpbench: encoding %s: %v\n", id, err)
 				os.Exit(1)
 			}

@@ -9,7 +9,10 @@
 // FreeBuf somewhere (including via defer) or visibly hand the buffer off —
 // through a return statement, or by posting it on a connection's request
 // ring (Post/PostBatch stage or pin the buffer until the completion is
-// polled, so the poller owns the release). Any other ownership transfer —
+// polled, so the poller owns the release). A buffer appended into a batch
+// that is then returned or posted — including element-by-element by
+// ranging over it, the idiom of depth-resize drain loops — counts as the
+// same transfer. Any other ownership transfer —
 // storing the buffer in a long-lived struct, sending it through a queue —
 // is a design decision that must be documented with
 //
@@ -60,9 +63,11 @@ func calleeName(call *ast.CallExpr) string {
 func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 	var mallocs []*ast.CallExpr
 	hasFree := false
-	returned := make(map[string]bool) // identifiers appearing in return statements
-	posted := make(map[string]bool)   // identifiers handed to Post/PostBatch
-	returnsCall := false              // a MallocBuf call returned directly
+	returned := make(map[string]bool)     // identifiers appearing in return statements
+	posted := make(map[string]bool)       // identifiers handed to Post/PostBatch
+	rangeOver := make(map[string]string)  // range variable -> ranged collection
+	appendInto := make(map[string]string) // appended element -> collection
+	returnsCall := false                  // a MallocBuf call returned directly
 
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -84,6 +89,31 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 						return true
 					})
 				}
+			}
+		case *ast.AssignStmt:
+			// `bufs = append(bufs, buf)` moves buf's ownership into bufs:
+			// whatever resolves the collection resolves the element.
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if into, ok := n.Lhs[0].(*ast.Ident); ok {
+					if call, isCall := n.Rhs[0].(*ast.CallExpr); isCall {
+						if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "append" {
+							for _, arg := range call.Args[1:] {
+								if el, isEl := arg.(*ast.Ident); isEl {
+									appendInto[el.Name] = into.Name
+								}
+							}
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			// `for _, b := range bufs { Post(p, b) }` posts every element:
+			// the loop drains the collection slot by slot, so a posted
+			// range variable transfers the whole collection.
+			v, isIdent := n.Value.(*ast.Ident)
+			over, overIdent := n.X.(*ast.Ident)
+			if isIdent && overIdent && v.Name != "_" {
+				rangeOver[v.Name] = over.Name
 			}
 		case *ast.ReturnStmt:
 			for _, res := range n.Results {
@@ -107,14 +137,33 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 		return true
 	})
 
+	// Posting a range variable posts the collection it ranges over.
+	for v, over := range rangeOver {
+		if posted[v] {
+			posted[over] = true
+		}
+	}
+
 	if len(mallocs) == 0 || hasFree || returnsCall {
 		return
+	}
+
+	// resolved reports a recognized ownership transfer for name: returned
+	// or posted directly, or appended into a collection that is.
+	resolved := func(name string) bool {
+		for hops := 0; name != "" && hops < 8; hops++ {
+			if returned[name] || posted[name] {
+				return true
+			}
+			name = appendInto[name]
+		}
+		return false
 	}
 
 	// Map each malloc to the variable it initializes, if any, so a
 	// `return buf` or `Post(p, buf)` ownership transfer can be recognized.
 	for _, call := range mallocs {
-		if name := assignedVar(pass, fn.Body, call); name != "" && (returned[name] || posted[name]) {
+		if name := assignedVar(pass, fn.Body, call); name != "" && resolved(name) {
 			continue
 		}
 		pass.Reportf(call.Pos(), "MallocBuf result in %s is neither freed (FreeBuf) nor returned to the caller; free it, return it, or document the ownership transfer with %s buflifecycle <reason>",

@@ -14,7 +14,10 @@
 // The check is name-based (identifiers matching resp*/reply*) and
 // position-aware: writes into a response buffer (handler-side assignment,
 // copy destination, binary.*.Put* destination) are fine, as is slicing a
-// buffer directly into one of the sanctioned decode helpers.
+// buffer directly into one of the sanctioned decode helpers. Locals that
+// receive a response buffer through assignment, append, or copy — the
+// reallocated slot arrays of a runtime ring resize being the motivating
+// case — are tracked as aliases and held to the same rule.
 package statusbit
 
 import (
@@ -76,6 +79,83 @@ func bufName(x ast.Expr) string {
 	return ""
 }
 
+// rootIdent unwraps index/slice chains to the base identifier, if any.
+func rootIdent(x ast.Expr) *ast.Ident {
+	for {
+		switch v := x.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.IndexExpr:
+			x = v.X
+		case *ast.SliceExpr:
+			x = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// respAliases finds local variables that alias a response buffer (or a
+// collection of them) without carrying a resp*/reply* name. The resizable
+// request ring made this pattern real: a runtime depth change reallocates
+// the slot arrays (`resized := make([][]byte, d); copy(resized, respBufs)`)
+// and the copy's destination holds the same unvalidated payload bytes the
+// originals did. Tracked transfers, iterated to a fixpoint so alias chains
+// resolve: plain assignment from a response expression, append of one, and
+// copy into a non-resp destination.
+func respAliases(body ast.Node) map[string]bool {
+	aliases := map[string]bool{}
+	isResp := func(x ast.Expr) bool {
+		if bufName(x) != "" {
+			return true
+		}
+		id := rootIdent(x)
+		return id != nil && aliases[id.Name]
+	}
+	mark := func(x ast.Expr) bool {
+		if id, ok := x.(*ast.Ident); ok && id.Name != "_" && !aliases[id.Name] && !respName(id.Name) {
+			aliases[id.Name] = true
+			return true
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					carries := isResp(rhs)
+					if call, ok := rhs.(*ast.CallExpr); ok && !carries {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+							for _, arg := range call.Args {
+								if isResp(arg) {
+									carries = true
+									break
+								}
+							}
+						}
+					}
+					if carries && mark(n.Lhs[i]) {
+						changed = true
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "copy" && len(n.Args) == 2 && isResp(n.Args[1]) {
+					if root := rootIdent(n.Args[0]); root != nil && mark(root) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return aliases
+}
+
 func run(pass *analysis.Pass) error {
 	for _, ex := range exempt {
 		if pass.PkgPath == ex {
@@ -84,7 +164,20 @@ func run(pass *analysis.Pass) error {
 	}
 	for _, f := range pass.Files {
 		parents := analysis.Parents(f)
-		ast.Inspect(f, func(n ast.Node) bool {
+		// Alias sets are per-function: a local that copies a response
+		// buffer is only response-carrying within its own body.
+		aliases := map[string]bool{}
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			if fn, ok := n.(*ast.FuncDecl); ok {
+				if fn.Body == nil {
+					return false
+				}
+				aliases = respAliases(fn.Body)
+				ast.Inspect(fn.Body, walk)
+				aliases = map[string]bool{}
+				return false
+			}
 			var operand ast.Expr
 			switch n := n.(type) {
 			case *ast.IndexExpr:
@@ -95,6 +188,11 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			name := bufName(operand)
+			if name == "" {
+				if id := rootIdent(operand); id != nil && aliases[id.Name] {
+					name = id.Name
+				}
+			}
 			if name == "" {
 				return true
 			}
@@ -117,7 +215,8 @@ func run(pass *analysis.Pass) error {
 			pass.Reportf(n.Pos(), "raw read of response buffer %s before status check; route payload access through the kv decode helpers (kv.DecodeResponse) or the core wire layer, which validate the status+size header first",
 				name)
 			return true
-		})
+		}
+		ast.Inspect(f, walk)
 	}
 	return nil
 }

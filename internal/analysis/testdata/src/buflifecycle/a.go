@@ -74,3 +74,46 @@ func stillLeaks(a alloc, q qp, other []byte) uint64 {
 	buf[0] = 1
 	return q.Post(other)
 }
+
+// rangePosted accumulates buffers into a batch and posts them by ranging
+// over it — the keep-ring-full idiom of the resizable-ring drain loops.
+// Ownership moves to the ring slot by slot; the poller releases them.
+func rangePosted(a alloc, q qp) {
+	var bufs [][]byte
+	for i := 0; i < 4; i++ {
+		buf, _ := a.MallocBuf(64)
+		bufs = append(bufs, buf)
+	}
+	for _, b := range bufs {
+		q.Post(b)
+	}
+}
+
+// rangeReturned: the batch escapes through the return instead.
+func rangeReturned(a alloc) [][]byte {
+	var bufs [][]byte
+	for i := 0; i < 4; i++ {
+		buf, _ := a.MallocBuf(64)
+		bufs = append(bufs, buf)
+	}
+	return bufs
+}
+
+// rangeUnrelated: ranging over some other collection does not excuse the
+// malloc'd buffer.
+func rangeUnrelated(a alloc, q qp, others [][]byte) {
+	buf, _ := a.MallocBuf(64) // want `MallocBuf result in rangeUnrelated is neither freed`
+	buf[0] = 1
+	for _, b := range others {
+		q.Post(b)
+	}
+}
+
+// appendWithoutTransfer: appending into a batch that never escapes leaks
+// the whole batch.
+func appendWithoutTransfer(a alloc) {
+	var bufs [][]byte
+	buf, _ := a.MallocBuf(64) // want `MallocBuf result in appendWithoutTransfer is neither freed`
+	bufs = append(bufs, buf)
+	_ = bufs
+}

@@ -70,3 +70,53 @@ func slotWriteOK(respSlots [][]byte, i int, src []byte) {
 	respSlots[i][0] = 1
 	copy(respSlots[i][1:], src)
 }
+
+// Reallocated slot arrays (runtime ring resize): a local that receives the
+// response buffers through copy, assignment, or append carries the same
+// unvalidated payload bytes, whatever it is named.
+
+func badResizedRead(c *ring, d int) byte {
+	resized := make([][]byte, d)
+	copy(resized, c.respBufs)
+	return resized[0][8] // want `raw read of response buffer resized before status check`
+}
+
+func badAliasAssign(resp []byte) byte {
+	alias := resp
+	return alias[1] // want `raw read of response buffer alias before status check`
+}
+
+func badAliasAppend(c *ring, extra []byte) byte {
+	grown := append(c.respBufs, extra)
+	return grown[0][8] // want `raw read of response buffer grown before status check`
+}
+
+func badAliasChain(resp []byte) byte {
+	a := resp
+	b := a
+	return b[0] // want `raw read of response buffer b before status check`
+}
+
+// resizedDecodeOK routes the reallocated slot's bytes through the decode
+// helper, just like the original array.
+func resizedDecodeOK(c *ring, i, n int) ([]byte, error) {
+	resized := make([][]byte, len(c.respBufs))
+	copy(resized, c.respBufs)
+	_, val, err := kv.DecodeResponse(resized[i][:n])
+	return val, err
+}
+
+// resizedWriteOK: filling the reallocated slots is a write, not a read.
+func resizedWriteOK(c *ring, d int, src []byte) {
+	resized := make([][]byte, d)
+	copy(resized, c.respBufs)
+	resized[0][0] = 1
+	copy(resized[0][1:], src)
+}
+
+// unrelatedOK: a make+copy from a non-response source is no alias.
+func unrelatedOK(src [][]byte, d int) byte {
+	scratch := make([][]byte, d)
+	copy(scratch, src)
+	return scratch[0][0]
+}

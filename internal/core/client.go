@@ -55,7 +55,11 @@ type Client struct {
 
 	// Slot-ring geometry and per-slot staging (index = slot). The sync
 	// Send/Recv path is the ring's depth-1 special case pinned to slot 0.
+	// depth is the active ring depth; maxDepth is the slot capacity the
+	// region was registered for (reqOffs/respOffs cover all of it, the
+	// slot arrays only the active depth).
 	depth      int
+	maxDepth   int
 	respStride int
 	reqOffs    []int
 	respOffs   []int
@@ -77,6 +81,17 @@ type Client struct {
 	pendingMode Mode // mode switch deferred until the ring quiesces
 	hasPending  bool
 
+	// Deferred parameter changes (control plane): like mode switches, F
+	// and depth changes decided while posts are in flight apply only once
+	// the ring quiesces (outstanding == 0). Zero means no change pending.
+	pendingF     int
+	pendingDepth int
+
+	// Fan-out group membership (group.go). tag is OR-ed into every WR ID
+	// so completions on the shared CQ route back to this member.
+	group *Group
+	tag   uint64
+
 	Stats ClientStats
 }
 
@@ -91,7 +106,11 @@ func (c *Client) Mode() Mode { return c.mode }
 func (c *Client) Params() Params { return c.params }
 
 // SetFetchSize changes F at runtime (used by the on-line tuner). The value
-// is clamped to the response buffer.
+// is clamped to the response buffer. With posts in flight the change is
+// deferred until the ring quiesces, under the same rule as mode switches
+// (DESIGN.md §8): an in-flight fetch was posted with the old F, and its
+// continuation-read arithmetic must keep seeing that F until the call is
+// claimed.
 func (c *Client) SetFetchSize(f int) {
 	if f > HeaderSize+c.maxResp {
 		f = HeaderSize + c.maxResp
@@ -99,7 +118,94 @@ func (c *Client) SetFetchSize(f int) {
 	if f < HeaderSize+1 {
 		f = HeaderSize + 1
 	}
+	if c.outstanding > 0 {
+		c.pendingF = f
+		return
+	}
+	c.pendingF = 0
 	c.params.F = f
+}
+
+// SetDepth resizes the request ring at runtime (used by the depth tuner),
+// clamped to [1, MaxDepth] — the slot capacity registered at Accept. With
+// posts in flight the resize is deferred until the ring quiesces, so a slot
+// is never reallocated under a pending completion; keep-ring-full drivers
+// should watch PendingDepth and drain to let the resize land.
+func (c *Client) SetDepth(d int) {
+	if d < 1 {
+		d = 1
+	}
+	if d > c.maxDepth {
+		d = c.maxDepth
+	}
+	if c.outstanding > 0 {
+		if d == c.depth {
+			c.pendingDepth = 0
+		} else {
+			c.pendingDepth = d
+		}
+		return
+	}
+	c.pendingDepth = 0
+	c.resize(d)
+}
+
+// PendingDepth returns a deferred ring depth not yet applied (0 if none).
+func (c *Client) PendingDepth() int { return c.pendingDepth }
+
+// MaxDepth returns the ring's slot capacity (the bound of SetDepth).
+func (c *Client) MaxDepth() int { return c.maxDepth }
+
+// targetDepth is the depth the ring is headed for: the pending resize if
+// one is queued, else the active depth.
+func (c *Client) targetDepth() int {
+	if c.pendingDepth != 0 {
+		return c.pendingDepth
+	}
+	return c.depth
+}
+
+// applyPendingParams applies deferred F/depth changes once the ring is
+// empty. Unlike mode switches these are client-local (the region already
+// has capacity for every depth), so no RDMA write and no simulated time are
+// involved.
+func (c *Client) applyPendingParams() {
+	if c.outstanding > 0 {
+		return
+	}
+	if c.pendingF != 0 {
+		c.params.F = c.pendingF
+		c.pendingF = 0
+	}
+	if c.pendingDepth != 0 {
+		d := c.pendingDepth
+		c.pendingDepth = 0
+		c.resize(d)
+	}
+}
+
+// resize reallocates the slot arrays for the new depth; only called with
+// the ring quiesced. Staging and fetch buffers of surviving slots carry
+// over; slots beyond the old depth get fresh buffers, and buffers beyond
+// the new depth are dropped for the collector.
+func (c *Client) resize(d int) {
+	if d == c.depth {
+		return
+	}
+	slots := make([]slot, d)
+	stages := make([][]byte, d)
+	fetches := make([][]byte, d)
+	copy(stages, c.stages)
+	copy(fetches, c.fetches)
+	for i := len(c.stages); i < d; i++ {
+		stages[i] = make([]byte, HeaderSize+c.maxReq)
+	}
+	for i := len(c.fetches); i < d; i++ {
+		fetches[i] = make([]byte, HeaderSize+c.maxResp)
+	}
+	c.slots, c.stages, c.fetches = slots, stages, fetches
+	c.depth = d
+	c.nextSlot = 0
 }
 
 // Send transmits a request payload to the server (client_send): one RDMA
@@ -116,11 +222,12 @@ func (c *Client) Send(p *sim.Proc, payload []byte) error {
 	}
 	start := p.Now()
 	defer func() { c.Stats.SendNs += int64(p.Now().Sub(start)) }()
-	// A mode switch decided while the ring was busy applies now that it has
-	// quiesced.
+	// A mode switch or parameter change decided while the ring was busy
+	// applies now that it has quiesced.
 	if err := c.applyPendingMode(p); err != nil {
 		return err
 	}
+	c.applyPendingParams()
 	c.seq++
 	// Clear the local landing header so a reply-mode delivery for this
 	// call is unambiguous.

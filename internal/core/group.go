@@ -1,0 +1,123 @@
+package core
+
+// Fan-out groups: one client thread keeping several connections' rings full
+// at once. Post and Poll are per-connection, but every member of a Group
+// shares one completion queue, so a Poll on any member reaps and dispatches
+// completions for all of them and re-issues fetch reads for every member
+// with slots awaiting responses. That is what makes multi-server pipelining
+// work from a single simulated thread: while one server's ring waits on its
+// round trip, the thread's poll loop is driving every other server's ring
+// instead of blocking on the first — the Storm-style "keep many one-sided
+// ops in flight" discipline lifted from one connection to a whole fan-out.
+//
+// Completions route by the member tag in WR ID bits 48+ (ring.go); tag 0 is
+// both member 0 and the ungrouped encoding, which is unambiguous because an
+// ungrouped connection never posts to a group's CQ.
+
+import (
+	"errors"
+
+	"rfp/internal/fabric"
+	"rfp/internal/rnic"
+	"rfp/internal/sim"
+)
+
+// maxGroupMembers bounds the member tag field (WR ID bits 48+).
+const maxGroupMembers = 1 << 16
+
+// Group errors.
+var (
+	// ErrGrouped reports adding a client that already belongs to a group.
+	ErrGrouped = errors.New("core: client already belongs to a group")
+	// ErrGroupMachine reports mixing clients of different machines in one
+	// group; a group is driven by one simulated thread.
+	ErrGroupMachine = errors.New("core: group members must share a machine")
+)
+
+// Group ties several Clients (typically one per server or partition) to a
+// shared completion queue so their rings progress together. Like a Client,
+// a Group must be driven by a single simulated thread.
+type Group struct {
+	machine *fabric.Machine
+	cq      *rnic.CQ
+	members []*Client
+}
+
+// NewGroup creates an empty fan-out group.
+func NewGroup() *Group { return &Group{} }
+
+// Members returns the group's clients in Add order.
+func (g *Group) Members() []*Client { return g.members }
+
+// Add joins a connection to the group. The connection must be quiescent
+// (nothing posted), ungrouped, and on the same machine as existing members.
+func (g *Group) Add(c *Client) error {
+	if c.group != nil {
+		return ErrGrouped
+	}
+	if c.outstanding > 0 {
+		return ErrRingBusy
+	}
+	if len(g.members) >= maxGroupMembers {
+		return errors.New("core: group member limit reached")
+	}
+	if g.machine == nil {
+		g.machine = c.machine
+		g.cq = rnic.NewCQ(g.machine.NIC())
+	} else if c.machine != g.machine {
+		return ErrGroupMachine
+	}
+	c.group = g
+	c.tag = uint64(len(g.members)) << 48
+	c.cq = g.cq
+	g.members = append(g.members, c)
+	return nil
+}
+
+// progress is the group engine: one reap/issue/await cycle spanning every
+// member (the grouped counterpart of Client.progress). Reaping first means
+// freshly delivered requests immediately join the members' fetch doorbells.
+func (g *Group) progress(p *sim.Proc) {
+	advanced := false
+	for {
+		e, ok := g.cq.Poll(p)
+		if !ok {
+			break
+		}
+		if g.dispatch(p, e) {
+			advanced = true
+		}
+	}
+	for _, m := range g.members {
+		if m.issue(p) {
+			advanced = true
+		}
+	}
+	if advanced {
+		return
+	}
+	// Nothing moved: block for a completion if any member is owed one —
+	// whichever connection's hardware finishes first wakes the whole
+	// group — else nap on the sparse reply-mode poll interval.
+	for _, m := range g.members {
+		if m.anyInState(slotPosted, slotReading) {
+			g.dispatch(p, g.cq.Wait(p))
+			return
+		}
+	}
+	for _, m := range g.members {
+		if m.mode == ModeReply && m.anyInState(slotWaiting) {
+			m.replyNap(p)
+			return
+		}
+	}
+}
+
+// dispatch routes one completion to the member its WR ID names. Stale tags
+// (beyond the member list) are dropped like stale slots.
+func (g *Group) dispatch(p *sim.Proc, e rnic.CQE) bool {
+	if i := int(e.ID >> 48); i < len(g.members) {
+		return g.members[i].handleCQE(p, e)
+	}
+	return false
+}

@@ -58,6 +58,16 @@ type Params struct {
 	// the pipelining extension the paper sets aside as orthogonal
 	// (Sec. 2.2/5). Clamped to [1, MaxDepth].
 	Depth int
+
+	// MaxDepth is the ring's slot capacity: the largest depth SetDepth may
+	// resize the ring to at runtime. Region registration is a control-path
+	// operation whose buffer locations are exchanged exactly once (paper
+	// Sec. 3.1), so Accept sizes the registered region for MaxDepth slots
+	// up front and resizes only reallocate client-local slot arrays. Zero
+	// means "same as Depth": fixed-depth connections pay no extra memory,
+	// and depth-1 defaults keep the seed's single-slot layout byte for
+	// byte. Clamped to [Depth, the MaxDepth constant].
+	MaxDepth int
 }
 
 // MaxDepth bounds the request-ring depth; beyond the initiator engine's
@@ -103,6 +113,12 @@ func (p Params) withDefaults() Params {
 	}
 	if p.Depth > MaxDepth {
 		p.Depth = MaxDepth
+	}
+	if p.MaxDepth < p.Depth {
+		p.MaxDepth = p.Depth
+	}
+	if p.MaxDepth > MaxDepth {
+		p.MaxDepth = MaxDepth
 	}
 	return p
 }

@@ -66,9 +66,11 @@ type slot struct {
 	err     error
 }
 
-// Work-request ID encoding: kind | slot<<8 | seq<<32, so completions route
-// back to their slot and stale completions (a slot resolved by Close and
-// reused) are detectable.
+// Work-request ID encoding: kind | slot<<8 | seq<<32 | member<<48, so
+// completions route back to their slot and stale completions (a slot
+// resolved by Close and reused) are detectable. The member field is the
+// client's group tag (group.go): zero for ungrouped connections, so their
+// IDs are unchanged from the single-connection encoding.
 const (
 	wrKindSend   = iota // request RDMA Write
 	wrKindFetch         // first fetch read (F bytes)
@@ -77,6 +79,11 @@ const (
 
 func wrID(kind, slot int, seq uint16) uint64 {
 	return uint64(kind) | uint64(slot)<<8 | uint64(seq)<<32
+}
+
+// ringID is wrID with the client's group member tag OR-ed in.
+func (c *Client) ringID(kind, slot int, seq uint16) uint64 {
+	return c.tag | wrID(kind, slot, seq)
 }
 
 // Depth returns the connection's request-ring depth.
@@ -100,11 +107,12 @@ func (c *Client) Post(p *sim.Proc, req []byte) (Handle, error) {
 	}
 	start := p.Now()
 	defer func() { c.Stats.SendNs += int64(p.Now().Sub(start)) }()
-	// A mode switch decided while the ring was busy applies once it has
-	// quiesced (see the file comment).
+	// A mode switch or parameter change decided while the ring was busy
+	// applies once it has quiesced (see the file comment).
 	if err := c.applyPendingMode(p); err != nil {
 		return Handle{}, err
 	}
+	c.applyPendingParams()
 	si := -1
 	for i := 0; i < c.depth; i++ {
 		if j := (c.nextSlot + i) % c.depth; c.slots[j].state == slotFree {
@@ -129,7 +137,7 @@ func (c *Client) Post(p *sim.Proc, req []byte) (Handle, error) {
 	putHeader(stage, header{valid: true, size: len(req), seq: c.seq})
 	copy(stage[HeaderSize:], req)
 	c.qp.Post(p, c.cq, rnic.WR{
-		ID:     wrID(wrKindSend, si, c.seq),
+		ID:     c.ringID(wrKindSend, si, c.seq),
 		Op:     rnic.WRWrite,
 		Remote: c.server,
 		Roff:   c.reqOffs[si],
@@ -201,6 +209,11 @@ func (c *Client) applyPendingMode(p *sim.Proc) error {
 func (c *Client) releaseSlot(i int) {
 	c.slots[i] = slot{}
 	c.outstanding--
+	// The claim that empties the ring is the other quiesce point (besides
+	// Post/Send): deferred F/depth changes land here, so a tuner decision
+	// takes effect as soon as the ring drains even if the caller never
+	// posts again.
+	c.applyPendingParams()
 }
 
 // anyInState reports whether any slot is in one of the given phases.
@@ -218,8 +231,26 @@ func (c *Client) anyInState(states ...slotPhase) bool {
 // progress advances the in-flight slots by one engine step: reap available
 // completions, issue work for slots that can proceed, and otherwise block
 // until the next completion (or, in reply mode, the next sparse local
-// poll).
+// poll). A grouped connection delegates to the group engine, which runs the
+// same reap/issue/await cycle across every member at once.
 func (c *Client) progress(p *sim.Proc) {
+	if c.group != nil {
+		c.group.progress(p)
+		return
+	}
+	advanced := c.reap(p)
+	if c.issue(p) {
+		advanced = true
+	}
+	if advanced {
+		return
+	}
+	c.await(p)
+}
+
+// reap drains the connection's completion queue without blocking, routing
+// each completion to its slot.
+func (c *Client) reap(p *sim.Proc) bool {
 	advanced := false
 	for {
 		e, ok := c.cq.Poll(p)
@@ -230,9 +261,14 @@ func (c *Client) progress(p *sim.Proc) {
 			advanced = true
 		}
 	}
+	return advanced
+}
+
+// issue posts work for every slot that can proceed: in fetch mode one fetch
+// read per awaiting slot, the batch sharing a doorbell; in reply mode a
+// check of each awaiting slot's local landing.
+func (c *Client) issue(p *sim.Proc) bool {
 	if c.mode == ModeFetch {
-		// Issue one fetch read for every slot awaiting its response; the
-		// batch shares a doorbell.
 		var wrs []rnic.WR
 		for i := range c.slots {
 			sl := &c.slots[i]
@@ -240,7 +276,7 @@ func (c *Client) progress(p *sim.Proc) {
 				continue
 			}
 			wrs = append(wrs, rnic.WR{
-				ID:     wrID(wrKindFetch, i, sl.seq),
+				ID:     c.ringID(wrKindFetch, i, sl.seq),
 				Op:     rnic.WRRead,
 				Remote: c.server,
 				Roff:   c.respOffs[i],
@@ -255,41 +291,49 @@ func (c *Client) progress(p *sim.Proc) {
 		}
 		if len(wrs) > 0 {
 			c.Stats.FetchReads += uint64(len(wrs))
+			return true
+		}
+		return false
+	}
+	// Reply mode: check the local landing of every awaiting slot.
+	advanced := false
+	for i := range c.slots {
+		sl := &c.slots[i]
+		if sl.state != slotWaiting {
+			continue
+		}
+		lb := c.local.Buf[i*c.respStride:]
+		hdr := parseHeader(lb)
+		if hdr.valid && hdr.seq == sl.seq {
+			copy(c.fetches[i], lb[:HeaderSize+hdr.size])
+			sl.hdr = hdr
+			sl.state = slotReady
+			c.Stats.ReplyDeliveries++
 			advanced = true
 		}
-	} else {
-		// Reply mode: check the local landing of every awaiting slot.
-		for i := range c.slots {
-			sl := &c.slots[i]
-			if sl.state != slotWaiting {
-				continue
-			}
-			lb := c.local.Buf[i*c.respStride:]
-			hdr := parseHeader(lb)
-			if hdr.valid && hdr.seq == sl.seq {
-				copy(c.fetches[i], lb[:HeaderSize+hdr.size])
-				sl.hdr = hdr
-				sl.state = slotReady
-				c.Stats.ReplyDeliveries++
-				advanced = true
-			}
-		}
 	}
-	if advanced {
-		return
-	}
-	// Nothing to do until hardware or the server moves: wait for the next
-	// completion if one is owed, else poll the reply landing sparsely
-	// (cheap for the CPU, exactly like the sync reply wait).
+	return advanced
+}
+
+// await blocks until hardware or the server moves: wait for the next
+// completion if one is owed, else poll the reply landing sparsely (cheap
+// for the CPU, exactly like the sync reply wait).
+func (c *Client) await(p *sim.Proc) {
 	if c.anyInState(slotPosted, slotReading) {
 		c.handleCQE(p, c.cq.Wait(p))
 		return
 	}
 	if c.mode == ModeReply && c.anyInState(slotWaiting) {
-		p.Sleep(sim.Duration(c.params.ReplyPollNs))
-		if idle := c.params.ReplyPollNs - c.machine.Profile().LocalPollNs; idle > 0 {
-			c.Stats.IdleNs += idle
-		}
+		c.replyNap(p)
+	}
+}
+
+// replyNap is one sparse reply-mode poll interval, with the CPU idle for
+// everything past the poll itself.
+func (c *Client) replyNap(p *sim.Proc) {
+	p.Sleep(sim.Duration(c.params.ReplyPollNs))
+	if idle := c.params.ReplyPollNs - c.machine.Profile().LocalPollNs; idle > 0 {
+		c.Stats.IdleNs += idle
 	}
 }
 
@@ -300,7 +344,9 @@ func (c *Client) handleCQE(p *sim.Proc, e rnic.CQE) bool {
 	kind := int(e.ID & 0xff)
 	si := int(e.ID >> 8 & 0xffffff)
 	seq := uint16(e.ID >> 32)
-	if si >= c.depth {
+	if si >= len(c.slots) {
+		// Stale completion for a slot beyond the current depth (the ring
+		// shrank since it was posted): nothing references it any more.
 		return false
 	}
 	sl := &c.slots[si]
@@ -346,7 +392,7 @@ func (c *Client) handleCQE(p *sim.Proc, e rnic.CQE) bool {
 			// continuation read, no size-probe round trip.
 			f := c.fetchLen()
 			c.qp.Post(p, c.cq, rnic.WR{
-				ID:     wrID(wrKindFetch2, si, sl.seq),
+				ID:     c.ringID(wrKindFetch2, si, sl.seq),
 				Op:     rnic.WRRead,
 				Remote: c.server,
 				Roff:   c.respOffs[si] + f,

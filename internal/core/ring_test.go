@@ -437,3 +437,126 @@ func BenchmarkRingDepth(b *testing.B) {
 		})
 	}
 }
+
+// TestRingResizeUnderTraffic drives depth-8 traffic while resizing the ring
+// (shrink, grow to capacity, and back), checking the quiesce rule end to
+// end: a resize requested with posts in flight stays pending, lands exactly
+// when the ring drains, and never loses a completion or leaks a request
+// buffer from the registered region.
+func TestRingResizeUnderTraffic(t *testing.T) {
+	const depth = 8
+	r := newRig(t, 1, ServerConfig{})
+	params := DefaultParams()
+	params.Depth = depth
+	params.MaxDepth = 16
+	cli, conn := r.srv.Accept(r.cluster.Clients[0], params)
+	if cli.MaxDepth() != 16 {
+		t.Fatalf("MaxDepth = %d, want 16", cli.MaxDepth())
+	}
+	r.srv.AddThreads(1)
+	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {
+		Serve(p, []*Conn{conn}, echoHandler)
+	})
+	ok := false
+	r.cluster.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		alloc := NewBufAllocator(r.cluster.Clients[0].NIC(), 8192)
+		out := make([]byte, 64)
+		// postWave fills the ring to its current depth with allocated
+		// request buffers; drain polls every handle, checks the echo, and
+		// returns the buffers to the region.
+		var hs []Handle
+		var bufs [][]byte
+		wave := 0
+		postWave := func() bool {
+			wave++
+			for i := 0; len(hs) < cli.Depth(); i++ {
+				buf, err := alloc.MallocBuf(32)
+				if err != nil {
+					t.Errorf("wave %d malloc: %v", wave, err)
+					return false
+				}
+				copy(buf, fmt.Sprintf("rz-%02d-%02d", wave, i))
+				h, err := cli.Post(p, buf[:len(fmt.Sprintf("rz-%02d-%02d", wave, i))])
+				if err != nil {
+					t.Errorf("wave %d post %d: %v", wave, i, err)
+					return false
+				}
+				hs = append(hs, h)
+				bufs = append(bufs, buf)
+			}
+			return true
+		}
+		drain := func() bool {
+			for i, h := range hs {
+				n, err := cli.Poll(p, h, out)
+				if err != nil {
+					t.Errorf("wave %d poll %d: %v", wave, i, err)
+					return false
+				}
+				if want := fmt.Sprintf("rz-%02d-%02d", wave, i); string(out[:n]) != want {
+					t.Errorf("wave %d slot %d: got %q want %q", wave, i, out[:n], want)
+					return false
+				}
+				if err := alloc.FreeBuf(bufs[i]); err != nil {
+					t.Errorf("wave %d free %d: %v", wave, i, err)
+					return false
+				}
+			}
+			hs, bufs = hs[:0], bufs[:0]
+			return true
+		}
+		for _, newDepth := range []int{2, 16, 8} {
+			if !postWave() {
+				return
+			}
+			cli.SetDepth(newDepth)
+			// In flight: the resize must defer, not reshape the live ring.
+			if cli.Depth() == newDepth || cli.PendingDepth() != newDepth {
+				t.Errorf("SetDepth(%d) in flight: depth=%d pending=%d, want deferred",
+					newDepth, cli.Depth(), cli.PendingDepth())
+				return
+			}
+			if !drain() {
+				return
+			}
+			// Quiesced: the pending depth landed with the last completion.
+			if cli.Depth() != newDepth || cli.PendingDepth() != 0 {
+				t.Errorf("after drain: depth=%d pending=%d, want %d/0",
+					cli.Depth(), cli.PendingDepth(), newDepth)
+				return
+			}
+			// A full wave at the new geometry completes cleanly, and the
+			// ring bound moved with the resize.
+			if !postWave() {
+				return
+			}
+			if _, err := cli.Post(p, []byte("over")); err != ErrRingFull {
+				t.Errorf("post past depth %d: err = %v, want ErrRingFull", newDepth, err)
+				return
+			}
+			if !drain() {
+				return
+			}
+		}
+		// Clamped above capacity: applies immediately (ring is idle).
+		cli.SetDepth(99)
+		if cli.Depth() != cli.MaxDepth() || cli.PendingDepth() != 0 {
+			t.Errorf("SetDepth(99): depth=%d pending=%d, want clamp to %d",
+				cli.Depth(), cli.PendingDepth(), cli.MaxDepth())
+			return
+		}
+		if live := alloc.LiveAllocs(); live != 0 {
+			t.Errorf("LiveAllocs = %d after all waves, want 0", live)
+			return
+		}
+		if cli.Outstanding() != 0 {
+			t.Errorf("Outstanding = %d after drain", cli.Outstanding())
+			return
+		}
+		ok = true
+	})
+	r.env.Run(sim.Time(50 * sim.Millisecond))
+	if !ok {
+		t.Fatal("did not complete")
+	}
+}

@@ -148,6 +148,105 @@ func SelectR(cal Calibration, procTimesNs []int64) int {
 	return r
 }
 
+// Depth selection (the control plane's third knob, beyond the paper). The
+// multi-slot request ring (DESIGN.md §8) overlaps whole calls: with D
+// requests in flight, a call's round trip is amortized over D-1 neighbours,
+// and throughput is bounded by whichever serial resource saturates first —
+// the client's issue engine and CPU, or the server's per-request occupancy.
+// Depth therefore reduces to the same hardware-bounded enumeration shape as
+// Eq. 2: candidate depths are bounded by the ring capacity, and the sampled
+// (result size, process time) window scores each candidate.
+
+// pipeSerialNs models the pipeline's per-call serial cost at full depth:
+// the time one more in-flight call adds, i.e. the reciprocal of the
+// saturated rate. Three resources work in parallel, so the slowest governs:
+//
+//   - client NIC engine: one request Write plus (at least) one fetch Read
+//     issue per call;
+//   - client CPU: one post, one doorbell-batched fetch issue, and two
+//     completion reaps;
+//   - server CPU: slot pickup, the process time itself, and the two
+//     header+payload copies (request consume, response publish).
+func pipeSerialNs(prof hw.Profile, size int, procNs int64) float64 {
+	engine := 2 * prof.OutEngineNs
+	client := prof.PostNs + prof.PostBatchNs + 2*prof.PollNs
+	server := procNs + prof.LocalPollNs + 2*prof.CopyNs(HeaderSize+size)
+	c := engine
+	if client > c {
+		c = client
+	}
+	if server > c {
+		c = server
+	}
+	return float64(c)
+}
+
+// pipeRTTNs models one call's unloaded round trip: request delivery, server
+// pickup and processing, then the remote fetch (plus the continuation read
+// when F does not cover the result — the same refinement SelectF applies to
+// Eq. 2's I/2 term).
+func pipeRTTNs(cal Calibration, f, size int, procNs int64) float64 {
+	prof := cal.Prof
+	deliver := prof.PostNs + prof.OutEngineNs + prof.WireNs(HeaderSize+size) +
+		prof.PropagationNs + prof.InEngineNs
+	pickup := prof.MemPollIntervalNs + procNs
+	rtt := float64(deliver + pickup + ReadRTTNs(prof, f))
+	if total := HeaderSize + size; total > f {
+		rtt += float64(ReadRTTNs(prof, total-f))
+	}
+	return rtt
+}
+
+// DepthThroughput scores one candidate depth against the sample window:
+// each sampled call completes in max(serial cost, RTT/D) — at depth D the
+// round trip is overlapped with D-1 other calls — and the score is the
+// reciprocal of the mean (calls per ns; only meaningful for comparison
+// across D).
+func DepthThroughput(cal Calibration, f, d int, sizes []int, procTimesNs []int64) float64 {
+	if d < 1 || len(sizes) == 0 {
+		return 0
+	}
+	var sum float64
+	for i, s := range sizes {
+		proc := int64(0)
+		if i < len(procTimesNs) {
+			proc = procTimesNs[i]
+		}
+		per := pipeRTTNs(cal, f, s, proc) / float64(d)
+		if serial := pipeSerialNs(cal.Prof, s, proc); serial > per {
+			per = serial
+		}
+		sum += per
+	}
+	return float64(len(sizes)) / sum
+}
+
+// SelectDepth enumerates Depth over [1, maxDepth] and returns the smallest
+// depth whose modeled throughput is within 2% of the best candidate —
+// deeper rings past the knee only add memory and occupancy, exactly as
+// extra retries past N only burn client CPU. maxDepth is the ring capacity
+// (Params.MaxDepth), the hardware-ish bound of this enumeration.
+func SelectDepth(cal Calibration, f int, sizes []int, procTimesNs []int64, maxDepth int) int {
+	if maxDepth < 1 {
+		maxDepth = 1
+	}
+	if len(sizes) == 0 {
+		return 1
+	}
+	best := 0.0
+	for d := 1; d <= maxDepth; d++ {
+		if t := DepthThroughput(cal, f, d, sizes, procTimesNs); t > best {
+			best = t
+		}
+	}
+	for d := 1; d <= maxDepth; d++ {
+		if DepthThroughput(cal, f, d, sizes, procTimesNs) >= 0.98*best {
+			return d
+		}
+	}
+	return maxDepth
+}
+
 // Select runs the full Sec. 3.2 procedure: derive bounds from hardware,
 // then pick (R, F) from application samples gathered by pre-running or
 // on-line sampling. The enumeration considers (H-L)/64 * N candidates —

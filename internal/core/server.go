@@ -223,12 +223,18 @@ func (s *Server) Accept(clientMachine *fabric.Machine, params Params) (*Client, 
 		params.F = HeaderSize + 1
 	}
 
+	// The region (and the client's reply landing) are registered for the
+	// ring's slot *capacity*, not its active depth: registration exchanges
+	// buffer locations exactly once, so a runtime resize (Client.SetDepth)
+	// only ever reallocates client-local slot arrays. The server scans all
+	// capacity slots — inactive ones simply never hold a valid request.
 	depth := params.Depth
-	region := s.machine.NIC().RegisterMemory(regionSize(s.cfg, depth))
+	capacity := params.MaxDepth
+	region := s.machine.NIC().RegisterMemory(regionSize(s.cfg, capacity))
 	qpC, qpS := rnic.Connect(clientMachine.NIC(), s.machine.NIC())
 	// The client-side landing region mirrors the ring's response slots:
 	// reply-mode pushes for slot i land at i*respArea.
-	clientMR := clientMachine.NIC().RegisterMemory(depth * respArea(s.cfg))
+	clientMR := clientMachine.NIC().RegisterMemory(capacity * respArea(s.cfg))
 
 	conn := &Conn{
 		srv:     s,
@@ -236,7 +242,7 @@ func (s *Server) Accept(clientMachine *fabric.Machine, params Params) (*Client, 
 		region:  region,
 		qp:      qpS,
 		client:  clientMR.Handle(),
-		depth:   depth,
+		depth:   capacity,
 		scratch: make([]byte, s.cfg.MaxResponse),
 	}
 	s.conns = append(s.conns, conn)
@@ -247,19 +253,22 @@ func (s *Server) Accept(clientMachine *fabric.Machine, params Params) (*Client, 
 		qp:         qpC,
 		server:     region.Handle(),
 		depth:      depth,
+		maxDepth:   capacity,
 		respStride: respArea(s.cfg),
 		maxReq:     s.cfg.MaxRequest,
 		maxResp:    s.cfg.MaxResponse,
 		local:      clientMR,
 		slots:      make([]slot, depth),
-		reqOffs:    make([]int, depth),
-		respOffs:   make([]int, depth),
+		reqOffs:    make([]int, capacity),
+		respOffs:   make([]int, capacity),
 		stages:     make([][]byte, depth),
 		fetches:    make([][]byte, depth),
 	}
-	for i := 0; i < depth; i++ {
+	for i := 0; i < capacity; i++ {
 		cli.reqOffs[i] = reqOffAt(s.cfg, i)
 		cli.respOffs[i] = respOffAt(s.cfg, i)
+	}
+	for i := 0; i < depth; i++ {
 		cli.stages[i] = make([]byte, HeaderSize+s.cfg.MaxRequest)
 		cli.fetches[i] = make([]byte, HeaderSize+s.cfg.MaxResponse)
 	}

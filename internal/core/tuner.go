@@ -1,15 +1,24 @@
 package core
 
-// On-line parameter tuning. The paper's Sec. 3.2 offers two ways to gather
-// the M samples its enumeration needs: "pre-running it for a certain time
-// or sampling periodically during its run". Tuner implements the second:
-// attach one to a Client (or share one across the clients of a service)
-// and every call's result size and server process time feed a bounded
-// sample window; every Period observations the enumeration re-runs and the
-// client's F (and R) are updated in place. Workload drift — say, a value-
-// size distribution that grows — is then absorbed without restarting.
+// The on-line control plane. The paper's Sec. 3.2 offers two ways to
+// gather the M samples its enumeration needs: "pre-running it for a
+// certain time or sampling periodically during its run". Tuner implements
+// the second: attach one to a Client (or share one across the clients of a
+// service) and every call's result size and server process time feed a
+// bounded sample window; every Period observations the enumerations re-run
+// and the clients' parameters are updated in place. Workload drift — say,
+// a value-size distribution that grows — is then absorbed without
+// restarting.
+//
+// Three knobs hang off the same window: F (SelectF, Eq. 2), R (SelectR,
+// Eq. 1's bound), and — with TuneDepth — the request-ring depth
+// (SelectDepth, the pipelining extension). F and depth changes go through
+// the clients' quiesce path (SetFetchSize / SetDepth), so a re-selection
+// never races a post in flight; a deferred depth shows up in
+// Client.PendingDepth until the ring drains.
 
-// Tuner adapts a connection's R and F from on-line samples.
+// Tuner adapts a connection's R, F — and optionally ring depth — from
+// on-line samples.
 type Tuner struct {
 	cal     Calibration
 	sampler *Sampler
@@ -20,6 +29,13 @@ type Tuner struct {
 	// TuneR controls whether the retry threshold is re-selected too
 	// (default true).
 	TuneR bool
+
+	// TuneDepth controls whether the ring depth is re-selected as well —
+	// the control plane's third knob. Off by default: a resize reshapes
+	// the ring (quiesce plus slot-array reallocation), so callers running
+	// pipelined load opt in and cooperate by draining when a new depth is
+	// pending.
+	TuneDepth bool
 
 	// Retunes counts how many times re-selection changed a parameter.
 	Retunes uint64
@@ -58,13 +74,22 @@ func (t *Tuner) observe(c *Client, respSize int, procNs int64) {
 	}
 	changed := false
 	for _, cc := range t.clients {
-		if newF != cc.params.F {
+		if newF != cc.params.F && newF != cc.pendingF {
 			cc.SetFetchSize(newF)
 			changed = true
 		}
 		if t.TuneR && newR != cc.params.R {
 			cc.params.R = newR
 			changed = true
+		}
+		if t.TuneDepth {
+			// Depth is bounded per client by its ring capacity, so the
+			// enumeration runs against each client's own MaxDepth.
+			d := SelectDepth(t.cal, newF, t.sampler.Sizes, t.sampler.ProcTimes, cc.maxDepth)
+			if d != cc.targetDepth() {
+				cc.SetDepth(d)
+				changed = true
+			}
 		}
 	}
 	if changed {

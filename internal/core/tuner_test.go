@@ -143,3 +143,80 @@ func TestTunerRSelection(t *testing.T) {
 		t.Fatalf("R = %d after tuning on a fast server, want < 5", got)
 	}
 }
+
+// TestTunerSharedAcrossModeSwitch attaches one tuner to two clients and
+// drives the workload through a shift that both grows the responses and
+// slows the server enough to force the hybrid switch to reply mode. The
+// control plane must keep working across the switch: samples gathered in
+// reply mode still feed the window, and the re-selected F and ring depth
+// land on every attached client.
+func TestTunerSharedAcrossModeSwitch(t *testing.T) {
+	r := newRig(t, 2, ServerConfig{MaxResponse: 2048})
+	params := DefaultParams()
+	params.F = 256
+	params.MaxDepth = 8
+	params.SwitchBackUs = 1 // stay in reply mode once there
+	cal := Calibrate(hw.ConnectX3(), 1)
+	tuner := NewTuner(cal, 128, 32)
+	tuner.TuneR = false
+	tuner.TuneDepth = true
+	cliA, connA := r.srv.Accept(r.cluster.Clients[0], params)
+	cliB, connB := r.srv.Accept(r.cluster.Clients[1], params)
+	cliA.AttachTuner(tuner)
+	cliB.AttachTuner(tuner)
+	r.srv.AddThreads(1)
+	// Phase variables, mutated only between env.Run calls (sim parked).
+	respSize, procUs := 32, sim.Duration(0)
+	m := r.srv.Machine()
+	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {
+		Serve(p, []*Conn{connA, connB}, func(p *sim.Proc, c *Conn, req, resp []byte) int {
+			if procUs > 0 {
+				m.Compute(p, procUs*sim.Microsecond)
+			}
+			return respSize
+		})
+	})
+	calls := [2]int{}
+	for i, cli := range []*Client{cliA, cliB} {
+		i, cli := i, cli
+		r.cluster.Clients[i].Spawn("cli", func(p *sim.Proc) {
+			out := make([]byte, 2048)
+			for {
+				if _, err := cli.Call(p, []byte("q"), out); err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+				calls[i]++
+			}
+		})
+	}
+	r.env.Run(sim.Time(3 * sim.Millisecond))
+	fast := calls
+	if fast[0] == 0 || fast[1] == 0 {
+		t.Fatalf("no progress in the fast phase: %v", fast)
+	}
+	if cliA.Mode() != ModeFetch || cliB.Mode() != ModeFetch {
+		t.Fatalf("fast phase modes: %v/%v, want fetch", cliA.Mode(), cliB.Mode())
+	}
+	respSize, procUs = 600, 40 // the shift: bigger results, slow server
+	r.env.Run(sim.Time(43 * sim.Millisecond))
+	if calls[0] <= fast[0] || calls[1] <= fast[1] {
+		t.Fatalf("no progress after the shift: %v vs %v", calls, fast)
+	}
+	// Both connections crossed the hybrid switch...
+	if cliA.Mode() != ModeReply || cliB.Mode() != ModeReply {
+		t.Fatalf("modes after shift: %v/%v, want reply", cliA.Mode(), cliB.Mode())
+	}
+	// ...and the tuner kept adapting them afterward, as a pair.
+	if tuner.Retunes == 0 {
+		t.Fatal("tuner never retuned")
+	}
+	if cliA.Params().F <= 600 || cliA.Params().F != cliB.Params().F {
+		t.Fatalf("F after shift: A=%d B=%d, want equal and > 600",
+			cliA.Params().F, cliB.Params().F)
+	}
+	if cliA.Depth() <= 1 || cliA.Depth() != cliB.Depth() {
+		t.Fatalf("depth after shift: A=%d B=%d, want equal and > 1",
+			cliA.Depth(), cliB.Depth())
+	}
+}

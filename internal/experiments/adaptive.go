@@ -1,0 +1,238 @@
+package experiments
+
+// ext-adaptive-depth: the control plane's third knob exercised end to end.
+// A static ring-depth sweep (ext-pipeline's harness) establishes the best
+// fixed depth for a light workload (Jakiro-style 150 ns dispatch) and a
+// heavy one (~4 µs per-request processing). Then one adaptive client runs
+// the same load with a Tuner{TuneDepth} attached, the workload shifts from
+// light to heavy mid-run, and the experiment checks that the on-line
+// enumeration lands within one doubling step of the best static depth on
+// both sides of the shift. The depth trace over time makes the transition
+// visible in `rfpbench -json` output.
+
+import (
+	"fmt"
+
+	"rfp/internal/core"
+	"rfp/internal/fabric"
+	"rfp/internal/kvstore/kv"
+	"rfp/internal/sim"
+	"rfp/internal/stats"
+	"rfp/internal/workload"
+)
+
+func init() {
+	register("ext-adaptive-depth", "On-line ring-depth tuning across a workload shift", extAdaptiveDepth)
+}
+
+const (
+	// adaptiveLightNs is the light phase's per-request server CPU charge
+	// (dispatch + hash, as in the Jakiro handler).
+	adaptiveLightNs = 150
+	// adaptiveHeavyNs models the post-shift heavy requests: ~4 µs of
+	// processing moves the pipeline bound from the initiator engines to the
+	// serve loop, so a shallower ring already saturates it.
+	adaptiveHeavyNs = 4000
+)
+
+// adaptiveRun is the adaptive client's measured outcome.
+type adaptiveRun struct {
+	trace               *stats.Series // selected depth over time
+	preDepth, postDepth int
+	preMOPS, postMOPS   float64
+}
+
+// extAdaptiveDepth compares the tuner's on-line depth selection against the
+// best static depth of a sweep, before and after a process-time shift.
+func extAdaptiveDepth(o Options) Result {
+	depths := o.pick([]int{1, 2, 4, 8, 16}, []int{1, 2, 4, 8})
+	const valueSize = 32
+
+	light := &stats.Series{Label: "static, light", XLabel: "ring depth", YLabel: "MOPS"}
+	heavy := &stats.Series{Label: "static, heavy", XLabel: "ring depth", YLabel: "MOPS"}
+	for _, d := range depths {
+		light.Add(float64(d), runPipelineDepth(o, d, valueSize, adaptiveLightNs))
+		heavy.Add(float64(d), runPipelineDepth(o, d, valueSize, adaptiveHeavyNs))
+	}
+	bestLight := bestStaticDepth(depths, light.Y)
+	bestHeavy := bestStaticDepth(depths, heavy.Y)
+
+	ad := runAdaptiveDepth(o, valueSize)
+
+	rows := []string{fmt.Sprintf("%-14s%12s%12s", "ring depth", "light MOPS", "heavy MOPS")}
+	for i, d := range depths {
+		rows = append(rows, fmt.Sprintf("%-14d%12.3f%12.3f", d, light.Y[i], heavy.Y[i]))
+	}
+	rows = append(rows,
+		fmt.Sprintf("best static depth: light %d, heavy %d", bestLight, bestHeavy),
+		fmt.Sprintf("adaptive depth: light %d (%.3f MOPS), heavy %d (%.3f MOPS)",
+			ad.preDepth, ad.preMOPS, ad.postDepth, ad.postMOPS),
+	)
+	return Result{
+		ID: "ext-adaptive-depth", Title: "on-line ring-depth tuning, one client thread (32 B values)",
+		// Only the depth trace goes in Series: the static sweeps run on a
+		// different x axis (depth, not time) and are tabulated in Rows.
+		Series: []*stats.Series{ad.trace},
+		Rows:   rows,
+		Notes: []string{
+			"the tuner enumerates Depth in [1, MaxDepth] from the same sample window as F/R, modeling post/poll overlap against the fetched round trip",
+			"a re-selected depth is applied under the quiesce rule: the load loop drains its ring when Client.PendingDepth is set, mirroring the hybrid mode switch",
+			"acceptance: the adaptive depth is within one doubling step of the best static depth both before and after the mid-run shift",
+		},
+	}
+}
+
+// bestStaticDepth returns the smallest swept depth whose throughput is
+// within 5% of the sweep's best — the static reference the adaptive run is
+// judged against.
+func bestStaticDepth(depths []int, mops []float64) int {
+	best := 0.0
+	for _, v := range mops {
+		if v > best {
+			best = v
+		}
+	}
+	for i, v := range mops {
+		if v >= 0.95*best {
+			return depths[i]
+		}
+	}
+	return depths[len(depths)-1]
+}
+
+// withinOneStep reports whether the adaptive depth d lands within one
+// doubling step of the static reference (the sweep's grid spacing).
+func withinOneStep(d, ref int) bool {
+	return 2*d >= ref && d <= 2*ref
+}
+
+// runAdaptiveDepth runs the adaptive client: starts at depth 1 with ring
+// capacity 16, attaches a depth-tuning tuner, and shifts the server's
+// per-request processing from light to heavy mid-run.
+func runAdaptiveDepth(o Options, valueSize int) adaptiveRun {
+	env := sim.NewEnv(o.Seed)
+	defer env.Close()
+	cl := fabric.NewCluster(env, o.Profile, 1)
+
+	store := kv.NewBucketStore(pipelineKeys)
+	kbuf := make([]byte, workload.KeySize)
+	val := make([]byte, valueSize)
+	for k := uint64(0); k < pipelineKeys; k++ {
+		workload.FillValue(val, k, 0)
+		store.Put(workload.EncodeKey(kbuf, k), val)
+	}
+
+	srv := core.NewServer(cl.Server, core.ServerConfig{
+		MaxRequest:  1 + workload.KeySize,
+		MaxResponse: 1 + valueSize,
+	})
+	srv.AddThreads(1)
+	params := core.DefaultParams()
+	params.Depth = 1
+	params.MaxDepth = 16
+	cli, conn := srv.Accept(cl.Clients[0], params)
+	cl.Clients[0].AddThreads(1)
+
+	// procNs is only mutated between env.Run calls, when every simulated
+	// proc is parked (same pattern as ext-tuning's respSize shift).
+	procNs := int64(adaptiveLightNs)
+	m := cl.Server
+	prof := m.Profile()
+	cl.Server.Spawn("srv", func(p *sim.Proc) {
+		core.Serve(p, []*core.Conn{conn}, func(p *sim.Proc, c *core.Conn, req, resp []byte) int {
+			m.ComputeNs(p, procNs)
+			r, err := kv.DecodeRequest(req)
+			if err != nil || r.Op != kv.OpGet {
+				return kv.EncodeResponse(resp, kv.StatusError, nil)
+			}
+			v, ok := store.Get(r.Key)
+			if !ok {
+				return kv.EncodeResponse(resp, kv.StatusNotFound, nil)
+			}
+			m.ComputeNs(p, prof.CopyNs(len(v)))
+			return kv.EncodeResponse(resp, kv.StatusOK, v)
+		})
+	})
+
+	// A tight window/period so the heavy phase's slower call rate still
+	// turns the sample window over within a couple of measurement windows.
+	tuner := core.NewTuner(core.Calibrate(o.Profile, 1), 512, 256)
+	tuner.TuneR = false
+	tuner.TuneDepth = true
+	cli.AttachTuner(tuner)
+
+	done := uint64(0)
+	cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		reqBuf := make([]byte, 1+workload.KeySize)
+		out := make([]byte, 1+valueSize)
+		hs := make([]core.Handle, 0, params.MaxDepth)
+		key := uint64(0)
+		poll := func() {
+			n, err := cli.Poll(p, hs[0], out)
+			if err != nil {
+				panic(err)
+			}
+			if status, _, err := kv.DecodeResponse(out[:n]); err != nil || status != kv.StatusOK {
+				panic(fmt.Sprintf("ext-adaptive-depth: bad response (status %d, err %v)", status, err))
+			}
+			hs = hs[:copy(hs, hs[1:])]
+			done++
+		}
+		for {
+			// Cooperate with the control plane: a pending depth applies
+			// only when the ring is quiescent, so drain before refilling.
+			if cli.PendingDepth() != 0 {
+				for len(hs) > 0 {
+					poll()
+				}
+				continue
+			}
+			for len(hs) < cli.Depth() {
+				req := kv.EncodeGet(reqBuf, key%pipelineKeys)
+				key++
+				h, err := cli.Post(p, req)
+				if err != nil {
+					panic(err)
+				}
+				hs = append(hs, h)
+			}
+			poll()
+		}
+	})
+
+	trace := &stats.Series{Label: "adaptive depth", XLabel: "time (us)", YLabel: "ring depth"}
+	sample := func() {
+		trace.Add(float64(env.Now())/float64(sim.Microsecond), float64(cli.Depth()))
+	}
+	measure := func() float64 {
+		before := done
+		start := env.Now()
+		slice := o.Window / 4
+		for i := 0; i < 4; i++ {
+			env.Run(start.Add(sim.Duration(i+1) * slice))
+			sample()
+		}
+		return stats.MOPS(done-before, int64(4*slice))
+	}
+	settle := func(n int) {
+		start := env.Now()
+		for i := 0; i < n; i++ {
+			env.Run(start.Add(sim.Duration(i+1) * o.Window))
+			sample()
+		}
+	}
+
+	env.Run(sim.Time(o.Warmup))
+	sample()
+	settle(2) // let the tuner climb out of the depth-1 start
+	var out adaptiveRun
+	out.preMOPS = measure()
+	out.preDepth = cli.Depth()
+
+	procNs = adaptiveHeavyNs // the workload shift
+	settle(3)                // sample window turns over with heavy calls
+	out.postMOPS = measure()
+	out.postDepth = cli.Depth()
+	out.trace = trace
+	return out
+}

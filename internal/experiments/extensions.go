@@ -24,6 +24,7 @@ import (
 	"rfp/internal/kvstore/jakiro"
 	"rfp/internal/kvstore/kv"
 	"rfp/internal/rnic"
+	"rfp/internal/shard"
 	"rfp/internal/sim"
 	"rfp/internal/stats"
 	"rfp/internal/workload"
@@ -219,33 +220,55 @@ func extLoss(o Options) Result {
 
 func extScaleout(o Options) Result {
 	counts := o.pick([]int{1, 2, 3, 4}, []int{1, 2, 4})
-	s := &stats.Series{Label: "aggregate", XLabel: "server machines", YLabel: "MOPS"}
+	pipe := &stats.Series{Label: "sharded pipelined (depth 8)", XLabel: "server machines", YLabel: "MOPS"}
+	syn := &stats.Series{Label: "synchronous fan-out", XLabel: "server machines", YLabel: "MOPS"}
 	for _, n := range counts {
-		s.Add(float64(n), runScaleout(o, n))
+		pipe.Add(float64(n), runScaleout(o, n, true))
+		syn.Add(float64(n), runScaleout(o, n, false))
 	}
+	last := len(counts) - 1
 	return Result{
-		ID: "ext-scaleout", Title: "Jakiro across multiple server machines (70 clients on 14 machines)",
-		Series: []*stats.Series{s},
-		Notes:  []string{"in-bound capacity adds per server machine until the clients' issue capacity binds"},
+		ID: "ext-scaleout", Title: "Jakiro across multiple server machines (14 client threads on 14 machines)",
+		Series: []*stats.Series{pipe, syn},
+		Rows: []string{
+			fmt.Sprintf("%-10s%24s%24s", "servers", "pipelined MOPS", "synchronous MOPS"),
+			func() string {
+				s := ""
+				for i := range counts {
+					s += fmt.Sprintf("%-10d%24.2f%24.2f\n", counts[i], pipe.Y[i], syn.Y[i])
+				}
+				return s[:len(s)-1]
+			}(),
+			fmt.Sprintf("pipelined/synchronous at %d servers: %.1fx", counts[last], pipe.Y[last]/syn.Y[last]),
+		},
+		Notes: []string{
+			"synchronous fan-out is round-trip-bound: one call in flight per thread, so added servers buy almost nothing",
+			"the sharded pipelined client (core.Group) keeps every server's rings full from the same 14 threads: in-bound capacity adds per server until the clients' issue engines bind",
+		},
 	}
 }
 
-// runScaleout shards Jakiro across n server machines with 70 client
-// threads over 14 client machines.
-func runScaleout(o Options, nServers int) float64 {
+// runScaleout shards Jakiro across n server machines with one client
+// thread on each of 14 client machines — a deliberately latency-bound
+// topology. Synchronous clients route each call to the owning server and
+// wait it out; pipelined clients keep a window of posted operations spread
+// over every server's rings (internal/shard over core.Group).
+func runScaleout(o Options, nServers int, pipelined bool) float64 {
 	env := sim.NewEnv(o.Seed)
 	defer env.Close()
 	cl := fabric.NewCluster(env, o.Profile, 14)
 	servers := make([]*jakiro.Server, nServers)
-	serverMachines := make([]*fabric.Machine, nServers)
 	cfg := jakiro.Config{Threads: 4, BucketsPerPartition: 8192, MaxValue: 64}
+	if pipelined {
+		cfg.Params = core.DefaultParams()
+		cfg.Params.Depth = 8
+	}
 	const keys = 100_000
 	for i := range servers {
 		m := cl.Server
 		if i > 0 {
 			m = fabric.NewMachine(env, fmt.Sprintf("server%d", i), o.Profile)
 		}
-		serverMachines[i] = m
 		servers[i] = jakiro.NewServer(m, cfg)
 	}
 	// Shard keys across servers with the same decorrelated hash family the
@@ -255,38 +278,76 @@ func runScaleout(o Options, nServers int) float64 {
 	for k := uint64(0); k < keys; k++ {
 		key := workload.EncodeKey(kbuf, k)
 		workload.FillValue(val, k, 0)
-		srv := servers[serverFor(key, nServers)]
+		srv := servers[shard.For(key, nServers)]
 		srv.Partition(kv.PartitionFor(key, cfg.Threads)).Put(key, val)
 	}
 
-	placements := cl.ClientThreads(70)
-	type multiClient struct{ per []*jakiro.Client }
-	clients := make([]multiClient, len(placements))
+	placements := cl.ClientThreads(14)
+	clients := make([]*shard.Client, len(placements))
 	for i, pl := range placements {
-		mc := multiClient{per: make([]*jakiro.Client, nServers)}
-		for sidx, srv := range servers {
-			mc.per[sidx] = srv.NewClient(pl.Machine)
+		sc, err := shard.New(pl.Machine, servers, pipelined)
+		if err != nil {
+			panic(err)
 		}
-		clients[i] = mc
+		clients[i] = sc
 	}
 	for _, srv := range servers {
 		srv.Start()
 	}
 	ops := make([]uint64, len(placements))
+	window := 8 * nServers
 	for i, pl := range placements {
 		i := i
-		mc := clients[i]
+		sc := clients[i]
 		gen := workload.NewGenerator(workload.Config{Keys: keys, GetFraction: 0.95}, o.Seed*100+int64(i))
 		pl.Machine.Spawn("load", func(p *sim.Proc) {
 			scratch := make([]byte, 128)
-			kb := make([]byte, workload.KeySize)
-			for {
-				op := gen.Next()
-				srv := serverFor(workload.EncodeKey(kb, op.Key), nServers)
-				if _, err := mc.per[srv].Do(p, op, scratch); err != nil {
+			if !pipelined {
+				for {
+					if _, err := sc.Do(p, gen.Next(), scratch); err != nil {
+						panic(err)
+					}
+					ops[i]++
+				}
+			}
+			// Keep a window of operations in flight across every server's
+			// rings; claim the oldest once the window is full (or a ring
+			// fills), so completions count as they resolve.
+			var inflight []shard.PendingOp
+			pollHead := func() {
+				if _, err := sc.PollOp(p, inflight[0], scratch); err != nil {
 					panic(err)
 				}
+				inflight = inflight[1:]
 				ops[i]++
+			}
+			for {
+				op := gen.Next()
+				if op.Kind == workload.ReadModifyWrite {
+					for len(inflight) > 0 {
+						pollHead()
+					}
+					if _, err := sc.Do(p, op, scratch); err != nil {
+						panic(err)
+					}
+					ops[i]++
+					continue
+				}
+				for {
+					pd, err := sc.PostOp(p, op)
+					if err == core.ErrRingFull {
+						pollHead()
+						continue
+					}
+					if err != nil {
+						panic(err)
+					}
+					inflight = append(inflight, pd)
+					break
+				}
+				if len(inflight) >= window {
+					pollHead()
+				}
 			}
 		})
 	}
@@ -295,18 +356,6 @@ func runScaleout(o Options, nServers int) float64 {
 	start := env.Now()
 	env.Run(start.Add(o.Window))
 	return stats.MOPS(sumU64(ops)-before, int64(o.Window))
-}
-
-// serverFor shards a key across server machines with yet another hash mix,
-// independent of both the partition and bucket hashes.
-func serverFor(key []byte, n int) int {
-	if n <= 1 {
-		return 0
-	}
-	h := kv.HashKey(key)
-	h *= 0x9E3779B97F4A7C15
-	h ^= h >> 31
-	return int(h % uint64(n))
 }
 
 // extTuning drives an echo service whose result size shifts from 32 B to

@@ -34,7 +34,7 @@ func extPipeline(o Options) Result {
 	rows := []string{fmt.Sprintf("%-14s%10s%12s", "ring depth", "MOPS", "speedup")}
 	base := 0.0
 	for _, d := range depths {
-		v := runPipelineDepth(o, d, valueSize)
+		v := runPipelineDepth(o, d, valueSize, 150)
 		mops.Add(float64(d), v)
 		if base == 0 {
 			base = v
@@ -52,9 +52,11 @@ func extPipeline(o Options) Result {
 	}
 }
 
-// runPipelineDepth measures one (depth, value size) point: a store-backed
-// echo-style GET server on one thread, one pipelining client.
-func runPipelineDepth(o Options, depth, valueSize int) float64 {
+// runPipelineDepth measures one (depth, value size, process time) point: a
+// store-backed echo-style GET server on one thread, one pipelining client.
+// procNs is the per-request dispatch+processing CPU charge (150 matches the
+// Jakiro handler; ext-adaptive-depth raises it to model heavier requests).
+func runPipelineDepth(o Options, depth, valueSize int, procNs int64) float64 {
 	env := sim.NewEnv(o.Seed)
 	defer env.Close()
 	cl := fabric.NewCluster(env, o.Profile, 1)
@@ -81,7 +83,7 @@ func runPipelineDepth(o Options, depth, valueSize int) float64 {
 	prof := m.Profile()
 	cl.Server.Spawn("srv", func(p *sim.Proc) {
 		core.Serve(p, []*core.Conn{conn}, func(p *sim.Proc, c *core.Conn, req, resp []byte) int {
-			m.ComputeNs(p, 150) // dispatch + hash, as in the Jakiro handler
+			m.ComputeNs(p, procNs) // dispatch + hash (+ modeled processing)
 			r, err := kv.DecodeRequest(req)
 			if err != nil || r.Op != kv.OpGet {
 				return kv.EncodeResponse(resp, kv.StatusError, nil)

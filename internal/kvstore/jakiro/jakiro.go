@@ -238,10 +238,27 @@ type Client struct {
 	posted  []pendingGet // MultiGet in-flight handles scratch
 }
 
-// pendingGet tracks one posted per-partition multi-get.
+// pendingGet tracks one posted per-partition multi-get: the keys it covers
+// and either its in-flight handle or its post-time error.
 type pendingGet struct {
 	part int
 	h    core.Handle
+	keys []uint64
+	err  error
+}
+
+// JoinGroup adds every per-partition connection to a fan-out group
+// (core.Group), so one thread's Poll drives all of them — including the
+// connections of other Jakiro clients sharing the group, which is how the
+// sharded layer (internal/shard) keeps several servers' rings full at once.
+// Must be called before any traffic on the connections.
+func (c *Client) JoinGroup(g *core.Group) error {
+	for _, cc := range c.conns {
+		if err := g.Add(cc); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // connFor routes a key to the connection of the owning partition.
@@ -341,18 +358,47 @@ func (c *Client) Do(p *sim.Proc, op workload.Op, scratch []byte) (bool, error) {
 	}
 }
 
+// MultiGetFunc receives one key's outcome from a multi-get batch. A
+// partition that fails — its connection closed, its post or poll erroring,
+// its response malformed — reports that error against each of its keys;
+// keys on healthy partitions are unaffected.
+type MultiGetFunc func(key uint64, value []byte, found bool, err error)
+
+// PendingMultiGet tracks the in-flight per-partition requests of one posted
+// batch. It borrows the client's grouping scratch: collect it before
+// posting the next batch on the same client.
+type PendingMultiGet struct {
+	posted []pendingGet
+}
+
 // MultiGet fetches a batch of keys with one RPC per involved partition,
 // amortizing round trips (and in-bound operations) across the batch. The
 // per-partition requests are posted without waiting and polled afterwards,
 // so they overlap: each partition lives on its own RFP connection, and the
 // batch costs roughly one round trip instead of one per partition. fn is
-// invoked once per key, grouped by partition in partition order.
-func (c *Client) MultiGet(p *sim.Proc, keys []uint64, fn func(key uint64, value []byte, found bool)) error {
+// invoked once per key, grouped by partition in partition order; the
+// returned error is the first partition failure (per-key outcomes still
+// arrive through fn for every key).
+func (c *Client) MultiGet(p *sim.Proc, keys []uint64, fn MultiGetFunc) error {
+	pend, err := c.PostMultiGet(p, keys)
+	if err != nil {
+		return err
+	}
+	return c.CollectMultiGet(p, pend, fn)
+}
+
+// PostMultiGet groups keys by owning partition and posts one batched GET
+// per involved partition, without waiting for any response. The returned
+// batch must be redeemed with CollectMultiGet. Only a malformed batch
+// (too many keys for the request buffer) fails the post as a whole; a
+// per-partition post failure is carried in the batch and reported per key
+// at collect time, so one dead partition never blocks the others.
+func (c *Client) PostMultiGet(p *sim.Proc, keys []uint64) (PendingMultiGet, error) {
 	if len(keys) == 0 {
-		return nil
+		return PendingMultiGet{}, nil
 	}
 	if 3+len(keys)*workload.KeySize > len(c.reqBuf) {
-		return fmt.Errorf("jakiro: multi-get of %d keys exceeds the request buffer", len(keys))
+		return PendingMultiGet{}, fmt.Errorf("jakiro: multi-get of %d keys exceeds the request buffer", len(keys))
 	}
 	// Group keys by owning partition (index order keeps the fan-out
 	// deterministic).
@@ -370,54 +416,123 @@ func (c *Client) MultiGet(p *sim.Proc, keys []uint64, fn func(key uint64, value 
 		groups[part] = append(groups[part], k)
 	}
 	// Post one request per involved partition. Post stages the payload
-	// before returning, so reqBuf is immediately reusable. On a post
-	// failure the already-posted handles are still drained below — every
-	// handle gets its definite outcome.
+	// before returning, so reqBuf is immediately reusable.
 	posted := c.posted[:0]
-	var firstErr error
 	for part, group := range groups {
 		if len(group) == 0 {
 			continue
 		}
 		req := kv.EncodeMultiGet(c.reqBuf, group)
 		h, err := c.conns[part].Post(p, req)
-		if err != nil {
-			firstErr = err
-			break
-		}
-		posted = append(posted, pendingGet{part: part, h: h})
+		posted = append(posted, pendingGet{part: part, h: h, keys: group, err: err})
 	}
 	c.posted = posted[:0]
-	// Poll in posted order, decoding each response before the next poll
-	// reuses respBuf.
-	for _, pd := range posted {
-		n, err := c.conns[pd.part].Poll(p, pd.h, c.respBuf)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
+	return PendingMultiGet{posted: posted}, nil
+}
+
+// CollectMultiGet polls the batch's partitions in posted order, decoding
+// each response before the next poll reuses the response buffer, and
+// invokes fn once per key. The returned error is the first partition
+// failure; fn still sees every key (failed partitions report their error
+// per key).
+func (c *Client) CollectMultiGet(p *sim.Proc, pend PendingMultiGet, fn MultiGetFunc) error {
+	var firstErr error
+	fail := func(pd *pendingGet, err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+		for _, k := range pd.keys {
+			fn(k, nil, false, err)
+		}
+	}
+	for i := range pend.posted {
+		pd := &pend.posted[i]
+		if pd.err != nil {
+			fail(pd, pd.err)
 			continue
 		}
-		if firstErr != nil {
-			continue // a sibling already failed; just drain
+		n, err := c.conns[pd.part].Poll(p, pd.h, c.respBuf)
+		if err != nil {
+			fail(pd, err)
+			continue
 		}
 		status, payload, err := kv.DecodeResponse(c.respBuf[:n])
 		if err != nil {
-			firstErr = err
+			fail(pd, err)
 			continue
 		}
 		if status != kv.StatusOK {
-			firstErr = ErrBadResponse
+			fail(pd, ErrBadResponse)
 			continue
 		}
-		group := groups[pd.part]
-		if err := kv.DecodeMultiGetResponse(payload, len(group), func(i int, v []byte, found bool) {
-			fn(group[i], v, found)
+		if err := kv.DecodeMultiGetResponse(payload, len(pd.keys), func(i int, v []byte, found bool) {
+			fn(pd.keys[i], v, found, nil)
 		}); err != nil {
-			firstErr = err
+			if firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
 	return firstErr
+}
+
+// PendingOp tracks one posted single-key operation (PostOp/PollOp), the
+// building block the sharded pipelined client keeps many of in flight.
+type PendingOp struct {
+	part int
+	get  bool
+	h    core.Handle
+}
+
+// PostOp stages one GET or PUT on the owning partition's ring without
+// waiting (ReadModifyWrite is inherently sequential — use Do). The value
+// bytes of a PUT are derived from the key, as in Do. A full ring surfaces
+// as core.ErrRingFull: poll an earlier operation and retry.
+func (c *Client) PostOp(p *sim.Proc, op workload.Op) (PendingOp, error) {
+	var req []byte
+	get := false
+	switch op.Kind {
+	case workload.Get:
+		req = kv.EncodeGet(c.reqBuf, op.Key)
+		get = true
+	case workload.ReadModifyWrite:
+		return PendingOp{}, fmt.Errorf("jakiro: PostOp cannot pipeline %v", op.Kind)
+	default:
+		v := c.reqBuf[1+workload.KeySize : 1+workload.KeySize+op.ValueSize]
+		workload.FillValue(v, op.Key, 0)
+		req = kv.EncodePut(c.reqBuf, op.Key, v)
+	}
+	part := kv.PartitionFor(req[1:1+workload.KeySize], len(c.conns))
+	h, err := c.conns[part].Post(p, req)
+	if err != nil {
+		return PendingOp{}, err
+	}
+	return PendingOp{part: part, get: get, h: h}, nil
+}
+
+// PollOp blocks until the posted operation completes, reporting whether it
+// found/stored its key (Do's convention). GET values are copied into
+// scratch.
+func (c *Client) PollOp(p *sim.Proc, pd PendingOp, scratch []byte) (bool, error) {
+	n, err := c.conns[pd.part].Poll(p, pd.h, c.respBuf)
+	if err != nil {
+		return false, err
+	}
+	status, val, err := kv.DecodeResponse(c.respBuf[:n])
+	if err != nil {
+		return false, err
+	}
+	switch status {
+	case kv.StatusOK:
+		if pd.get {
+			copy(scratch, val)
+		}
+		return true, nil
+	case kv.StatusNotFound:
+		return false, nil
+	default:
+		return false, ErrBadResponse
+	}
 }
 
 // Stats aggregates the RFP client statistics over all per-thread

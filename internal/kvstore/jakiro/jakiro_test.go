@@ -323,7 +323,7 @@ func TestMultiGet(t *testing.T) {
 	misses := 0
 	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
 		keys := []uint64{1, 5, 9, 50, 120, 199, 5000} // 5000 is absent
-		err := cli.MultiGet(p, keys, func(k uint64, v []byte, found bool) {
+		err := cli.MultiGet(p, keys, func(k uint64, v []byte, found bool, kerr error) {
 			if !found {
 				misses++
 				return
@@ -359,7 +359,7 @@ func TestMultiGetAmortizesRoundTrips(t *testing.T) {
 		for i := range keys {
 			keys[i] = uint64(i)
 		}
-		if err := cli.MultiGet(p, keys, func(uint64, []byte, bool) {}); err != nil {
+		if err := cli.MultiGet(p, keys, func(uint64, []byte, bool, error) {}); err != nil {
 			t.Errorf("MultiGet: %v", err)
 		}
 	})
@@ -377,7 +377,7 @@ func TestMultiGetEmptyAndOversize(t *testing.T) {
 	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
 		emptyErr = cli.MultiGet(p, nil, nil)
 		big := make([]uint64, 4096)
-		bigErr = cli.MultiGet(p, big, func(uint64, []byte, bool) {})
+		bigErr = cli.MultiGet(p, big, func(uint64, []byte, bool, error) {})
 	})
 	r.env.Run(sim.Time(sim.Millisecond))
 	if emptyErr != nil {
@@ -435,7 +435,7 @@ func TestMultiGetOverlapsPartitions(t *testing.T) {
 		for i := range keys {
 			keys[i] = uint64(i)
 		}
-		if err := cli.MultiGet(p, keys, func(uint64, []byte, bool) {}); err != nil {
+		if err := cli.MultiGet(p, keys, func(uint64, []byte, bool, error) {}); err != nil {
 			t.Errorf("warmup multi-get: %v", err)
 			return
 		}
@@ -446,7 +446,7 @@ func TestMultiGetOverlapsPartitions(t *testing.T) {
 		}
 		single = p.Now().Sub(start)
 		start = p.Now()
-		if err := cli.MultiGet(p, keys, func(uint64, []byte, bool) {}); err != nil {
+		if err := cli.MultiGet(p, keys, func(uint64, []byte, bool, error) {}); err != nil {
 			t.Errorf("multi-get: %v", err)
 			return
 		}

@@ -1,0 +1,188 @@
+// Package shard fans one client thread's KV operations out across several
+// Jakiro servers. The synchronous path (Do) just routes each key to its
+// owning server; the pipelined path (PostOp/PollOp, MultiGet) rides the
+// core.Group fan-out engine: every per-partition connection of every server
+// joins one group with a shared completion queue, so a single client thread
+// keeps all the servers' request rings full concurrently instead of
+// blocking on one round trip at a time. This is the multi-server form of
+// jakiro.MultiGet's per-partition overlap — the ROADMAP's "one client keeps
+// several servers' rings full at once".
+package shard
+
+import (
+	"rfp/internal/core"
+	"rfp/internal/fabric"
+	"rfp/internal/kvstore/jakiro"
+	"rfp/internal/kvstore/kv"
+	"rfp/internal/sim"
+	"rfp/internal/workload"
+)
+
+// For shards a key across n server machines with a decorrelated hash mix,
+// independent of both the partition and bucket hashes the stores use
+// internally.
+func For(key []byte, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := kv.HashKey(key)
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 31
+	return int(h % uint64(n))
+}
+
+// Client is one client thread's handle to a set of sharded Jakiro servers.
+// Like the per-server clients it wraps, it must be driven by a single
+// simulated thread.
+type Client struct {
+	per    []*jakiro.Client
+	group  *core.Group
+	kb     []byte
+	groups [][]uint64 // MultiGet per-server key grouping scratch
+	pends  []pendingServer
+}
+
+// pendingServer tracks one server's posted share of a MultiGet batch.
+type pendingServer struct {
+	server int
+	pend   jakiro.PendingMultiGet
+}
+
+// New connects a client thread on machine cm to every server. With
+// pipeline set, all the per-partition connections join one fan-out group,
+// so posted operations on different servers progress together; without it
+// the client is a plain synchronous router (the pre-group baseline).
+func New(cm *fabric.Machine, servers []*jakiro.Server, pipeline bool) (*Client, error) {
+	c := &Client{kb: make([]byte, workload.KeySize)}
+	if pipeline {
+		c.group = core.NewGroup()
+	}
+	for _, srv := range servers {
+		jc := srv.NewClient(cm)
+		if c.group != nil {
+			if err := jc.JoinGroup(c.group); err != nil {
+				return nil, err
+			}
+		}
+		c.per = append(c.per, jc)
+	}
+	return c, nil
+}
+
+// Server returns the per-server client for shard s (for stats and tests).
+func (c *Client) Server(s int) *jakiro.Client { return c.per[s] }
+
+// NumServers returns the fan-out width.
+func (c *Client) NumServers() int { return len(c.per) }
+
+// ServerFor routes a key to its owning server.
+func (c *Client) ServerFor(key uint64) int {
+	return For(workload.EncodeKey(c.kb, key), len(c.per))
+}
+
+// Do executes one workload operation synchronously on the owning server.
+func (c *Client) Do(p *sim.Proc, op workload.Op, scratch []byte) (bool, error) {
+	return c.per[c.ServerFor(op.Key)].Do(p, op, scratch)
+}
+
+// PendingOp tracks one posted operation and the server carrying it.
+type PendingOp struct {
+	server int
+	pd     jakiro.PendingOp
+}
+
+// PostOp stages one GET or PUT on the owning server's ring without
+// waiting. A full ring surfaces as core.ErrRingFull: poll an earlier
+// operation and retry.
+func (c *Client) PostOp(p *sim.Proc, op workload.Op) (PendingOp, error) {
+	s := c.ServerFor(op.Key)
+	pd, err := c.per[s].PostOp(p, op)
+	if err != nil {
+		return PendingOp{}, err
+	}
+	return PendingOp{server: s, pd: pd}, nil
+}
+
+// PollOp blocks until the posted operation completes (driving every
+// grouped ring while it waits), reporting whether it found/stored its key.
+func (c *Client) PollOp(p *sim.Proc, pd PendingOp, scratch []byte) (bool, error) {
+	return c.per[pd.server].PollOp(p, pd.pd, scratch)
+}
+
+// MultiGet fetches a batch of keys spanning servers: each involved server
+// gets its per-partition posts up front, then the responses are collected
+// — so the batch overlaps across servers as well as across partitions. fn
+// sees every key once; a failed partition reports its error against each
+// of its keys (jakiro.MultiGetFunc semantics), and the returned error is
+// the first such failure.
+func (c *Client) MultiGet(p *sim.Proc, keys []uint64, fn jakiro.MultiGetFunc) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	groups := c.groups
+	if groups == nil {
+		groups = make([][]uint64, len(c.per))
+		c.groups = groups
+	}
+	for i := range groups {
+		groups[i] = groups[i][:0]
+	}
+	for _, k := range keys {
+		s := c.ServerFor(k)
+		groups[s] = append(groups[s], k)
+	}
+	pends := c.pends[:0]
+	var firstErr error
+	for s, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		pend, err := c.per[s].PostMultiGet(p, group)
+		if err != nil {
+			// A malformed batch (oversized for the request buffer): report
+			// it per key and keep the other servers going.
+			if firstErr == nil {
+				firstErr = err
+			}
+			for _, k := range group {
+				fn(k, nil, false, err)
+			}
+			continue
+		}
+		pends = append(pends, pendingServer{server: s, pend: pend})
+	}
+	c.pends = pends[:0]
+	for _, ps := range pends {
+		if err := c.per[ps.server].CollectMultiGet(p, ps.pend, fn); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Stats aggregates the RFP client statistics over every server's
+// connections.
+func (c *Client) Stats() core.ClientStats {
+	var agg core.ClientStats
+	for _, jc := range c.per {
+		s := jc.Stats()
+		agg.Calls += s.Calls
+		agg.FetchReads += s.FetchReads
+		agg.SecondReads += s.SecondReads
+		agg.ReplyDeliveries += s.ReplyDeliveries
+		agg.Retries += s.Retries
+		agg.SwitchToReply += s.SwitchToReply
+		agg.SwitchToFetch += s.SwitchToFetch
+		agg.IdleNs += s.IdleNs
+		agg.SendNs += s.SendNs
+		agg.FetchNs += s.FetchNs
+		agg.ReplyWaitNs += s.ReplyWaitNs
+		if s.MaxRetries > agg.MaxRetries {
+			agg.MaxRetries = s.MaxRetries
+		}
+		for i, v := range s.RetryHist {
+			agg.RetryHist[i] += v
+		}
+	}
+	return agg
+}

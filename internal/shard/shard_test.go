@@ -1,0 +1,202 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rfp/internal/fabric"
+	"rfp/internal/hw"
+	"rfp/internal/kvstore/jakiro"
+	"rfp/internal/kvstore/kv"
+	"rfp/internal/sim"
+	"rfp/internal/workload"
+)
+
+const (
+	shardTestServers = 3
+	shardTestKeys    = 256
+	shardTestValue   = 32
+)
+
+type rig struct {
+	env     *sim.Env
+	cl      *fabric.Cluster
+	servers []*jakiro.Server
+}
+
+// newRig builds shardTestServers Jakiro servers and preloads every key to
+// its owning server. Tests call start after connecting their clients
+// (Jakiro accepts no connections once the serve loops run).
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	env := sim.NewEnv(21)
+	t.Cleanup(env.Close)
+	cl := fabric.NewCluster(env, hw.ConnectX3(), 1)
+	// MaxValue sizes the RFP response buffers: a multi-get response packs
+	// several values into one response, so leave headroom for the batches
+	// these tests post (the server rejects overflowing batches by design).
+	cfg := jakiro.Config{Threads: 2, SpikeProb: -1, MaxValue: 256}
+	servers := make([]*jakiro.Server, shardTestServers)
+	for i := range servers {
+		m := cl.Server
+		if i > 0 {
+			m = fabric.NewMachine(env, fmt.Sprintf("server%d", i), hw.ConnectX3())
+		}
+		servers[i] = jakiro.NewServer(m, cfg)
+	}
+	kbuf := make([]byte, workload.KeySize)
+	val := make([]byte, shardTestValue)
+	for k := uint64(0); k < shardTestKeys; k++ {
+		key := workload.EncodeKey(kbuf, k)
+		workload.FillValue(val, k, 0)
+		srv := servers[For(key, shardTestServers)]
+		srv.Partition(kv.PartitionFor(key, cfg.Threads)).Put(key, val)
+	}
+	return &rig{env: env, cl: cl, servers: servers}
+}
+
+func (r *rig) start() {
+	for _, srv := range r.servers {
+		srv.Start()
+	}
+}
+
+// batchSpanningServers picks keys so every server owns at least perServer
+// of them.
+func batchSpanningServers(sc *Client, perServer int) []uint64 {
+	counts := make([]int, sc.NumServers())
+	var keys []uint64
+	for k := uint64(0); k < shardTestKeys; k++ {
+		s := sc.ServerFor(k)
+		if counts[s] < perServer {
+			counts[s]++
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// TestShardMultiGetSpansServers checks the pipelined fan-out end to end: a
+// batch with keys on every server comes back complete and correct.
+func TestShardMultiGetSpansServers(t *testing.T) {
+	r := newRig(t)
+	sc, err := New(r.cl.Clients[0], r.servers, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.start()
+	ok := false
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		keys := batchSpanningServers(sc, 4)
+		want := make([]byte, shardTestValue)
+		got := map[uint64]bool{}
+		err := sc.MultiGet(p, keys, func(k uint64, v []byte, found bool, kerr error) {
+			if kerr != nil || !found {
+				t.Errorf("key %d: found=%v err=%v", k, found, kerr)
+				return
+			}
+			workload.FillValue(want, k, 0)
+			if !bytes.Equal(v, want) {
+				t.Errorf("key %d: wrong value", k)
+				return
+			}
+			got[k] = true
+		})
+		if err != nil {
+			t.Errorf("MultiGet: %v", err)
+			return
+		}
+		if len(got) != len(keys) {
+			t.Errorf("saw %d/%d keys", len(got), len(keys))
+			return
+		}
+		ok = true
+	})
+	r.env.Run(sim.Time(10 * sim.Millisecond))
+	if !ok {
+		t.Fatal("did not complete")
+	}
+}
+
+// TestShardMultiGetDeadPartition kills one server mid-run and checks the
+// failure contract: its keys report per-key errors (and the batch returns
+// the first of them), while every key on the surviving servers still comes
+// back with its value.
+func TestShardMultiGetDeadPartition(t *testing.T) {
+	r := newRig(t)
+	sc, err := New(r.cl.Clients[0], r.servers, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.start()
+	const dead = 1
+	ok := false
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		keys := batchSpanningServers(sc, 4)
+		for _, cc := range sc.Server(dead).Conns() {
+			if err := cc.Close(p); err != nil {
+				t.Errorf("close: %v", err)
+				return
+			}
+		}
+		want := make([]byte, shardTestValue)
+		var live, failed int
+		err := sc.MultiGet(p, keys, func(k uint64, v []byte, found bool, kerr error) {
+			if sc.ServerFor(k) == dead {
+				if kerr == nil {
+					t.Errorf("key %d on dead server: no error", k)
+				}
+				failed++
+				return
+			}
+			if kerr != nil || !found {
+				t.Errorf("key %d on live server: found=%v err=%v", k, found, kerr)
+				return
+			}
+			workload.FillValue(want, k, 0)
+			if !bytes.Equal(v, want) {
+				t.Errorf("key %d: wrong value", k)
+				return
+			}
+			live++
+		})
+		if err == nil {
+			t.Error("MultiGet over a dead server returned no error")
+			return
+		}
+		if failed != 4 || live != len(keys)-4 {
+			t.Errorf("failed=%d live=%d, want 4/%d", failed, live, len(keys)-4)
+			return
+		}
+		ok = true
+	})
+	r.env.Run(sim.Time(10 * sim.Millisecond))
+	if !ok {
+		t.Fatal("did not complete")
+	}
+}
+
+// TestShardRouting checks the key->server map is total, stable, and
+// reasonably balanced (the decorrelated hash must not collapse shards).
+func TestShardRouting(t *testing.T) {
+	r := newRig(t)
+	sc, err := New(r.cl.Clients[0], r.servers, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.start()
+	counts := make([]int, sc.NumServers())
+	for k := uint64(0); k < shardTestKeys; k++ {
+		s := sc.ServerFor(k)
+		if s != sc.ServerFor(k) {
+			t.Fatalf("unstable routing for key %d", k)
+		}
+		counts[s]++
+	}
+	for s, n := range counts {
+		if n == 0 {
+			t.Fatalf("server %d owns no keys: %v", s, counts)
+		}
+	}
+}
