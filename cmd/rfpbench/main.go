@@ -11,6 +11,7 @@
 //	rfpbench -json fig3            # machine-readable per-experiment output
 //	rfpbench -quick -stable -json ext-pipeline ext-adaptive-depth
 //	                               # byte-stable JSON for archived runs
+//	rfpbench -quick ext-chaos      # the fault-injection sweep (DESIGN.md §10)
 //
 // Each experiment prints the same rows/series the paper plots; absolute
 // values come from the calibrated simulation (see EXPERIMENTS.md for the

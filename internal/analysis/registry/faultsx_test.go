@@ -1,0 +1,54 @@
+package registry
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rfp/internal/analysis"
+)
+
+// TestSuiteCoversInjectorPackages runs the full rfpvet suite over the
+// faultsx golden package — code shaped like internal/faults — and checks
+// that both ways a fault plan can stop replaying deterministically are
+// flagged: host-clock reads (simtime) and draws from the process-global
+// generator (globalrand). TestModuleIsClean already proves the live
+// internal/faults package is clean; this test proves the analyzers would
+// notice if it were not.
+func TestSuiteCoversInjectorPackages(t *testing.T) {
+	dir, err := filepath.Abs("../testdata/src/rfp/internal/faultsx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.LoadDir(dir, "rfp/internal/faultsx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"rand.Float64 draws from the process-global generator",
+		"time.Now reads the host clock",
+		"time.Sleep reads the host clock",
+	}
+	for _, w := range want {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("suite missed the %q violation in an injector-style package", w)
+		}
+	}
+	if len(diags) != len(want) {
+		for _, d := range diags {
+			t.Logf("diagnostic: %s", d)
+		}
+		t.Errorf("suite reported %d diagnostics, want %d (legal seeded-RNG use must stay legal)", len(diags), len(want))
+	}
+}

@@ -1,0 +1,44 @@
+// Package faultsx is golden testdata shaped like the fault-injection
+// fabric (internal/faults): a package under rfp/internal/ whose whole value
+// is seed-deterministic replay. It proves the simtime and globalrand
+// analyzers cover injector-style code — host clocks and the process-global
+// generator are exactly the two ways a fault plan stops replaying.
+package faultsx
+
+import (
+	"math/rand"
+	"time"
+)
+
+type injector struct {
+	rng *rand.Rand
+}
+
+// newInjector: seeding a private generator from the plan seed is the legal
+// pattern (internal/faults does exactly this).
+func newInjector(seed int64) *injector {
+	return &injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// decide: drawing from the injector's own generator is legal.
+func (in *injector) decide() bool {
+	return in.rng.Float64() < 0.5
+}
+
+// badDecide: the process-global generator would make every fault plan
+// depend on test order.
+func badDecide() bool {
+	return rand.Float64() < 0.5 // want `rand\.Float64 draws from the process-global generator`
+}
+
+// badStamp: a host-clock timestamp in a trace event would differ between
+// two runs of the same seed.
+func badStamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the host clock`
+}
+
+// badWindow: scheduling a crash window off the host clock instead of
+// sim.Time.
+func badWindow() {
+	time.Sleep(10 * time.Millisecond) // want `time\.Sleep reads the host clock`
+}

@@ -40,6 +40,13 @@ type ClientStats struct {
 	SendNs      int64 // request delivery (client_send)
 	FetchNs     int64 // remote fetching, including retries
 	ReplyWaitNs int64 // waiting in reply mode (polls + idle)
+
+	// Recovery path (extension, DESIGN.md §10); all zero on a lossless run.
+	FaultRetries uint64 // transport errors absorbed by the recovery loop
+	Resends      uint64 // request re-deliveries (request lost or corrupted)
+	Reconnects   uint64 // connection re-establishments
+	Demotions    uint64 // permanent demotions to server-reply mode
+	Deadlines    uint64 // calls failed terminally at their deadline
 }
 
 // Client is the client-side endpoint of one RFP connection. A Client must
@@ -91,6 +98,19 @@ type Client struct {
 	// so completions on the shared CQ route back to this member.
 	group *Group
 	tag   uint64
+
+	// Recovery state (recover.go). srv/conn are the server-side endpoints
+	// this connection re-establishes against after a fatal transport error.
+	srv           *Server
+	conn          *Conn
+	needReconnect bool
+	demoted       bool
+	attempts      int      // sync-path backoff counter for the current call
+	deadline      sim.Time // sync-path terminal failure time
+	resendDue     sim.Time // sync-path next request re-delivery
+	lastReqLen    int      // staged request length (slot 0), for resends
+	callFaulted   bool     // the current sync call needed fault recovery
+	faultedCalls  int      // consecutive fault-recovered calls (demotion)
 
 	Stats ClientStats
 }
@@ -222,6 +242,13 @@ func (c *Client) Send(p *sim.Proc, payload []byte) error {
 	}
 	start := p.Now()
 	defer func() { c.Stats.SendNs += int64(p.Now().Sub(start)) }()
+	if c.needReconnect && c.recoveryOn() {
+		// The transport died after the previous call resolved: the ring is
+		// quiesced, so re-establish before staging anything.
+		if err := c.reconnect(p); err != nil {
+			return err
+		}
+	}
 	// A mode switch or parameter change decided while the ring was busy
 	// applies now that it has quiesced.
 	if err := c.applyPendingMode(p); err != nil {
@@ -235,7 +262,9 @@ func (c *Client) Send(p *sim.Proc, payload []byte) error {
 	stage := c.stages[0]
 	putHeader(stage, header{valid: true, size: len(payload), seq: c.seq})
 	copy(stage[HeaderSize:], payload)
-	return c.qp.Write(p, c.server, c.reqOffs[0], stage[:HeaderSize+len(payload)])
+	c.lastReqLen = len(payload)
+	c.beginCall(p)
+	return c.deliver(p)
 }
 
 // Recv obtains the response for the last Send (client_recv), returning the
@@ -262,6 +291,16 @@ func (c *Client) Recv(p *sim.Proc, out []byte) (int, error) {
 func (c *Client) Close(p *sim.Proc) error {
 	if c.closed {
 		return nil
+	}
+	// A deferred F/depth change can never land once the connection closes —
+	// the ring will not quiesce into further posts — so drop it; a late
+	// claim must not reshape a dead ring.
+	c.pendingF, c.pendingDepth = 0, 0
+	c.hasPending = false
+	if c.needReconnect && c.recoveryOn() {
+		// Best effort: tear-down wants to reach the (restarted) server's
+		// flag byte so its Serve loops drop the connection.
+		_ = c.reconnect(p)
 	}
 	c.closed = true
 	for i := range c.slots {
@@ -295,7 +334,13 @@ func (c *Client) recvFetch(p *sim.Proc, out []byte) (int, error) {
 	for {
 		hdr, n, err := c.fetchOnce(p, out)
 		if err != nil {
-			return 0, err
+			if !c.recoverable(err) {
+				return 0, err
+			}
+			if rerr := c.recoverSync(p, err); rerr != nil {
+				return 0, rerr
+			}
+			continue
 		}
 		if hdr.valid && hdr.seq == c.seq {
 			c.recordRetries(failed)
@@ -305,6 +350,7 @@ func (c *Client) recvFetch(p *sim.Proc, out []byte) (int, error) {
 				c.consecOverruns = 0
 			}
 			c.observeCall(hdr)
+			c.noteCallOutcome(p)
 			return n, nil
 		}
 		failed++
@@ -320,6 +366,13 @@ func (c *Client) recvFetch(p *sim.Proc, out []byte) (int, error) {
 					return 0, err
 				}
 				return c.recvReply(p, out)
+			}
+		}
+		if c.recoveryOn() {
+			// A request lost to corruption or a restart never produces a
+			// valid header: re-deliver at resendDue, give up at deadline.
+			if rerr := c.checkCallTimers(p); rerr != nil {
+				return 0, rerr
 			}
 		}
 	}
@@ -388,13 +441,20 @@ func (c *Client) recvReply(p *sim.Proc, out []byte) (int, error) {
 				return 0, err
 			}
 			c.observeCall(hdr)
+			c.noteCallOutcome(p)
 			return n, nil
 		}
 		if fallback && waited >= nextFallback {
 			nextFallback += c.params.FallbackFetchNs
 			fhdr, n, err := c.fetchOnce(p, out)
 			if err != nil {
-				return 0, err
+				if !c.recoverable(err) {
+					return 0, err
+				}
+				if rerr := c.recoverSync(p, err); rerr != nil {
+					return 0, rerr
+				}
+				continue
 			}
 			if fhdr.valid && fhdr.seq == c.seq {
 				c.Stats.ReplyDeliveries++
@@ -402,7 +462,13 @@ func (c *Client) recvReply(p *sim.Proc, out []byte) (int, error) {
 					return 0, err
 				}
 				c.observeCall(fhdr)
+				c.noteCallOutcome(p)
 				return n, nil
+			}
+		}
+		if c.recoveryOn() {
+			if rerr := c.checkCallTimers(p); rerr != nil {
+				return 0, rerr
 			}
 		}
 		p.Sleep(sim.Duration(c.params.ReplyPollNs))
@@ -417,7 +483,7 @@ func (c *Client) recvReply(p *sim.Proc, out []byte) (int, error) {
 // maybeSwitchBack returns the connection to fetch mode when the server's
 // reported process time has dropped back below the threshold.
 func (c *Client) maybeSwitchBack(p *sim.Proc, hdr header) error {
-	if c.params.ForceReply || int(hdr.timeUs) > c.params.SwitchBackUs {
+	if c.params.ForceReply || c.demoted || int(hdr.timeUs) > c.params.SwitchBackUs {
 		return nil
 	}
 	return c.switchMode(p, ModeFetch)

@@ -111,6 +111,21 @@ func (g *Group) progress(p *sim.Proc) {
 			return
 		}
 	}
+	// Every live slot across the group is backing off or awaiting a
+	// resend/deadline: sleep until the earliest member's recovery timer.
+	var next sim.Time
+	found := false
+	for _, m := range g.members {
+		if !m.recoveryOn() {
+			continue
+		}
+		if t, ok := m.nextTimer(); ok && (!found || t < next) {
+			next, found = t, true
+		}
+	}
+	if found && next > p.Now() {
+		p.SleepUntil(next)
+	}
 }
 
 // dispatch routes one completion to the member its WR ID names. Stale tags

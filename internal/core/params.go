@@ -59,6 +59,36 @@ type Params struct {
 	// (Sec. 2.2/5). Clamped to [1, MaxDepth].
 	Depth int
 
+	// DeadlineNs enables the recovery path (extension, DESIGN.md §10): a
+	// call that has not produced a response after this much virtual time —
+	// across fetch retries, transport errors, backoff and reconnects —
+	// fails terminally with ErrDeadline. Zero (the default) disables
+	// recovery entirely: transport errors surface immediately and the
+	// connection behaves exactly like the paper's lossless-fabric model.
+	DeadlineNs int64
+
+	// BackoffNs is the base of the capped exponential backoff slept after a
+	// transport error before the operation is retried. Only meaningful with
+	// DeadlineNs > 0; defaults to 2000 ns then.
+	BackoffNs int64
+
+	// BackoffMaxNs caps the exponential backoff. Defaults to 32*BackoffNs.
+	BackoffMaxNs int64
+
+	// ResendNs is how long a call waits for a valid response before
+	// re-sending its request (same sequence number): a corrupted request
+	// write or a server restart loses the request silently, and only a
+	// resend can revive the call. Defaults to DeadlineNs/8 (at least
+	// 5000 ns). Handlers must tolerate re-execution (at-least-once).
+	ResendNs int64
+
+	// DemoteAfter demotes the connection permanently to server-reply mode
+	// after this many consecutive calls needed fault recovery — the
+	// fetch path is persistently failing, so stop probing it. Zero (the
+	// default) never demotes. Demotion suppresses switch-back and is
+	// surfaced through the tuner (Tuner.Demotions).
+	DemoteAfter int
+
 	// MaxDepth is the ring's slot capacity: the largest depth SetDepth may
 	// resize the ring to at runtime. Region registration is a control-path
 	// operation whose buffer locations are exchanged exactly once (paper
@@ -107,6 +137,20 @@ func (p Params) withDefaults() Params {
 	}
 	if p.FallbackFetchNs <= 0 {
 		p.FallbackFetchNs = d.FallbackFetchNs
+	}
+	if p.DeadlineNs > 0 {
+		if p.BackoffNs <= 0 {
+			p.BackoffNs = 2000
+		}
+		if p.BackoffMaxNs <= 0 {
+			p.BackoffMaxNs = 32 * p.BackoffNs
+		}
+		if p.ResendNs <= 0 {
+			p.ResendNs = p.DeadlineNs / 8
+			if p.ResendNs < 5000 {
+				p.ResendNs = 5000
+			}
+		}
 	}
 	if p.Depth <= 0 {
 		p.Depth = 1

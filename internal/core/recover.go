@@ -1,0 +1,351 @@
+package core
+
+// Recovery path (extension, DESIGN.md §10). The paper assumes a lossless
+// fabric: every RDMA operation completes and every buffered response is
+// eventually fetched. Under fault injection (internal/faults) that stops
+// being true, so connections with Params.DeadlineNs set gain a recovery
+// state machine:
+//
+//   - transient errors (a lost completion, rnic.ErrTimeout) retry the
+//     failed operation after capped exponential backoff;
+//   - connection-level errors (QP in error state, deregistered region,
+//     crashed machine) resolve every in-flight call, then re-establish the
+//     connection — fresh region, landing buffers and QP pair swapped into
+//     the same server-side Conn — at the next quiesce point, reusing the
+//     ring's quiesce rule (DESIGN.md §8);
+//   - a call with no valid response after ResendNs re-delivers its request
+//     (same sequence number; handlers are at-least-once), which is the only
+//     way to revive a request lost to corruption or a server restart;
+//   - DeadlineNs bounds all of it: past the deadline the call fails
+//     terminally with ErrDeadline, so no fault plan can wedge a caller.
+//
+// With DeadlineNs zero (the default) none of this machinery runs and the
+// connection behaves exactly like the paper's lossless model.
+
+import (
+	"errors"
+	"fmt"
+
+	"rfp/internal/rnic"
+	"rfp/internal/sim"
+)
+
+// Recovery errors.
+var (
+	// ErrDeadline reports a call that found no response within
+	// Params.DeadlineNs despite retries, resends and reconnects.
+	ErrDeadline = errors.New("core: call deadline exceeded")
+	// ErrServerDown reports a reconnect attempt against a crashed machine.
+	ErrServerDown = errors.New("core: server machine is down")
+	// ErrReconnect reports a Post on a connection that lost its transport
+	// while handles were still unclaimed: claim them (each resolves with
+	// the original error), and the next Post re-establishes the connection.
+	ErrReconnect = errors.New("core: connection lost; claim outstanding handles to reconnect")
+)
+
+// reconnectSetupNs is the CPU/control cost of re-establishing a connection,
+// on top of the out-of-band round trips.
+const reconnectSetupNs = 2000
+
+// recoveryOn reports whether this connection has the recovery path enabled.
+func (c *Client) recoveryOn() bool { return c.params.DeadlineNs > 0 }
+
+// recoverable reports whether the recovery loop should absorb err and keep
+// the call alive. Always false with recovery disabled, so the lossless
+// model's error surface is unchanged.
+func (c *Client) recoverable(err error) bool {
+	if !c.recoveryOn() {
+		return false
+	}
+	return errors.Is(err, rnic.ErrTimeout) || connLevel(err)
+}
+
+// connLevel reports whether err means the connection itself is gone and
+// only a reconnect can help. ErrTimeout is the one transient error; the
+// rest are fatal to the QP or the remote registration.
+func connLevel(err error) bool {
+	return errors.Is(err, rnic.ErrQPState) || errors.Is(err, rnic.ErrNICDown) ||
+		errors.Is(err, rnic.ErrDeregister) || errors.Is(err, rnic.ErrBadKey)
+}
+
+// beginCall arms the synchronous path's per-call recovery timers.
+func (c *Client) beginCall(p *sim.Proc) {
+	if !c.recoveryOn() {
+		return
+	}
+	now := p.Now()
+	c.deadline = now.Add(sim.Duration(c.params.DeadlineNs))
+	c.resendDue = now.Add(sim.Duration(c.params.ResendNs))
+	c.attempts = 0
+	c.callFaulted = false
+}
+
+// backoffFor computes the capped exponential backoff for the given attempt
+// number (1-based).
+func backoffFor(params Params, attempt int) sim.Duration {
+	d := params.BackoffNs
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= params.BackoffMaxNs {
+			d = params.BackoffMaxNs
+			break
+		}
+	}
+	if d <= 0 {
+		d = 1000
+	}
+	return sim.Duration(d)
+}
+
+// recoverSync absorbs one transport error on the synchronous call path:
+// count it, enforce the deadline, back off, and re-establish the connection
+// if the error says it is gone. Returning nil means "retry the operation".
+func (c *Client) recoverSync(p *sim.Proc, cause error) error {
+	c.Stats.FaultRetries++
+	c.callFaulted = true
+	if p.Now() >= c.deadline {
+		return c.terminalDeadline(p, cause)
+	}
+	c.attempts++
+	p.Sleep(backoffFor(c.params, c.attempts))
+	if connLevel(cause) {
+		c.needReconnect = true
+	}
+	if c.needReconnect {
+		// Failure here is not terminal — the server may still be down; the
+		// caller's loop keeps backing off until the deadline.
+		if err := c.reconnect(p); err == nil {
+			// The server-side slots are fresh, so any in-flight request is
+			// gone: resend as soon as the caller's loop comes around.
+			c.resendDue = p.Now()
+		}
+	}
+	return nil
+}
+
+// terminalDeadline fails the synchronous in-flight call at its deadline.
+func (c *Client) terminalDeadline(p *sim.Proc, cause error) error {
+	c.Stats.Deadlines++
+	c.noteCallOutcome(p)
+	if cause != nil {
+		return fmt.Errorf("%w (last transport error: %v)", ErrDeadline, cause)
+	}
+	return ErrDeadline
+}
+
+// checkCallTimers fires the synchronous call's due recovery timers: the
+// terminal deadline, and the request re-delivery for a call that has seen
+// no valid response in ResendNs (lost or corrupted request, server
+// restart). Called from the fetch-retry and reply-poll loops.
+func (c *Client) checkCallTimers(p *sim.Proc) error {
+	if p.Now() >= c.deadline {
+		return c.terminalDeadline(p, nil)
+	}
+	if p.Now() >= c.resendDue {
+		c.resendDue = p.Now().Add(sim.Duration(c.params.ResendNs))
+		c.Stats.Resends++
+		c.callFaulted = true
+		return c.deliver(p)
+	}
+	return nil
+}
+
+// deliver pushes the staged request (slot 0) to the server, entering the
+// recovery loop on transport errors when recovery is enabled.
+func (c *Client) deliver(p *sim.Proc) error {
+	for {
+		stage := c.stages[0]
+		err := c.qp.Write(p, c.server, c.reqOffs[0], stage[:HeaderSize+c.lastReqLen])
+		if err == nil || !c.recoverable(err) {
+			return err
+		}
+		if rerr := c.recoverSync(p, err); rerr != nil {
+			return rerr
+		}
+	}
+}
+
+// reconnect re-establishes the connection in place after a fatal transport
+// error: a fresh server-side region, client landing registration and QP
+// pair are swapped into the existing server-side Conn, so Serve loops keep
+// polling the same connection object and WR-ID member tags stay valid. This
+// is ring re-registration under the quiesce rule: the caller guarantees no
+// posted request still references the old buffers.
+func (c *Client) reconnect(p *sim.Proc) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if c.srv == nil || c.conn == nil {
+		return errors.New("core: connection cannot be re-established")
+	}
+	cfg := c.srv.cfg
+	// Control-plane exchange: buffer locations travel out of band exactly
+	// as at Accept (paper Sec. 3.1), a few round trips plus setup work. The
+	// attempt is charged before the outcome is known — discovering a dead
+	// server costs the round trip too, which keeps failed-reconnect loops
+	// advancing virtual time.
+	p.Sleep(sim.Duration(3*c.machine.Profile().PropagationNs + reconnectSetupNs))
+	if c.srv.machine.Down() {
+		return ErrServerDown
+	}
+	region := c.srv.machine.NIC().RegisterMemory(regionSize(cfg, c.maxDepth))
+	qpC, qpS := rnic.Connect(c.machine.NIC(), c.srv.machine.NIC())
+	landing := c.machine.NIC().RegisterMemory(c.maxDepth * respArea(cfg))
+	c.conn.region.Deregister()
+	c.local.Deregister()
+	c.conn.region, c.conn.qp, c.conn.client = region, qpS, landing.Handle()
+	c.qp, c.server, c.local = qpC, region.Handle(), landing
+	if c.mode == ModeReply {
+		region.Buf[0] = byte(ModeReply) // exchanged during setup, like Accept
+	}
+	c.needReconnect = false
+	c.Stats.Reconnects++
+	return nil
+}
+
+// reconnectBlocking retries reconnect with backoff for up to DeadlineNs —
+// the next Post's bounded wait for a restarting server.
+func (c *Client) reconnectBlocking(p *sim.Proc) error {
+	limit := p.Now().Add(sim.Duration(c.params.DeadlineNs))
+	attempt := 0
+	for {
+		err := c.reconnect(p)
+		if err == nil || errors.Is(err, ErrClosed) {
+			return err
+		}
+		attempt++
+		d := backoffFor(c.params, attempt)
+		if p.Now().Add(d) >= limit {
+			return err
+		}
+		p.Sleep(d)
+	}
+}
+
+// noteCallOutcome tracks consecutive fault-recovered calls for permanent
+// demotion (Params.DemoteAfter). Free on the healthy path.
+func (c *Client) noteCallOutcome(p *sim.Proc) {
+	if !c.callFaulted {
+		c.faultedCalls = 0
+		return
+	}
+	c.callFaulted = false
+	c.faultedCalls++
+	if d := c.params.DemoteAfter; d > 0 && !c.demoted && c.faultedCalls >= d {
+		c.demote(p)
+	}
+}
+
+// demote pins the connection to server-reply mode permanently: the fetch
+// path keeps needing fault recovery, so stop probing it. Switch-back is
+// suppressed from here on; the tuner surfaces the event.
+func (c *Client) demote(p *sim.Proc) {
+	c.demoted = true
+	c.Stats.Demotions++
+	if c.tuner != nil {
+		c.tuner.Demotions++
+	}
+	if c.mode == ModeReply {
+		return
+	}
+	if c.outstanding == 0 {
+		// A failed flag write is tolerable: the client is locally in reply
+		// mode and keeps fallback-fetching (justSwitched) until the flag
+		// eventually lands via resend-path reconnects.
+		_ = c.switchMode(p, ModeReply)
+		return
+	}
+	c.pendingMode = ModeReply
+	c.hasPending = true
+}
+
+// Demoted reports whether the connection has been permanently demoted to
+// server-reply mode.
+func (c *Client) Demoted() bool { return c.demoted }
+
+// failInflight resolves every in-flight slot with err — a crash must leave
+// no handle unresolved — and marks the connection for re-establishment at
+// the next quiesce point.
+func (c *Client) failInflight(err error) {
+	for i := range c.slots {
+		sl := &c.slots[i]
+		switch sl.state {
+		case slotFree, slotReady, slotFailed:
+		default:
+			sl.state = slotFailed
+			sl.err = err
+		}
+	}
+	c.needReconnect = true
+}
+
+// slotTimers fires one slot's due recovery timers: terminal deadline,
+// deferred request (re)post after backoff, and request re-delivery for a
+// call unanswered past resendAt. Reports whether the slot advanced.
+func (c *Client) slotTimers(p *sim.Proc, i int) bool {
+	sl := &c.slots[i]
+	switch sl.state {
+	case slotFree, slotReady, slotFailed:
+		return false
+	}
+	now := p.Now()
+	if now >= sl.deadline {
+		sl.state = slotFailed
+		sl.err = ErrDeadline
+		c.Stats.Deadlines++
+		return true
+	}
+	if sl.state == slotRepost && now >= sl.retryAt {
+		c.repostSend(p, i)
+		return true
+	}
+	if sl.state == slotWaiting && now >= sl.resendAt {
+		sl.resendAt = now.Add(sim.Duration(c.params.ResendNs))
+		sl.faulted = true
+		c.Stats.Resends++
+		c.repostSend(p, i)
+		return true
+	}
+	return false
+}
+
+// repostSend (re)posts slot i's request write — same slot, same sequence
+// number; the staging buffer still holds the request bytes.
+func (c *Client) repostSend(p *sim.Proc, i int) {
+	sl := &c.slots[i]
+	sl.state = slotPosted
+	c.qp.Post(p, c.cq, rnic.WR{
+		ID:     c.ringID(wrKindSend, i, sl.seq),
+		Op:     rnic.WRWrite,
+		Remote: c.server,
+		Roff:   c.reqOffs[i],
+		Local:  c.stages[i][:HeaderSize+sl.reqLen],
+	})
+}
+
+// nextTimer returns the earliest pending recovery timer across the ring,
+// so an otherwise-idle poll loop can sleep exactly until it is due.
+func (c *Client) nextTimer() (sim.Time, bool) {
+	var t sim.Time
+	found := false
+	min := func(v sim.Time) {
+		if v != 0 && (!found || v < t) {
+			t, found = v, true
+		}
+	}
+	for i := range c.slots {
+		sl := &c.slots[i]
+		switch sl.state {
+		case slotRepost:
+			min(sl.retryAt)
+			min(sl.deadline)
+		case slotWaiting:
+			min(sl.retryAt)
+			min(sl.resendAt)
+			min(sl.deadline)
+		case slotPosted, slotReading:
+			min(sl.deadline)
+		}
+	}
+	return t, found
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"rfp/internal/faults"
+	"rfp/internal/sim"
+)
+
+// recoveryParams returns DefaultParams with the recovery path armed.
+func recoveryParams(deadlineNs int64) Params {
+	pr := DefaultParams()
+	pr.DeadlineNs = deadlineNs
+	pr.DisableSwitch = true // keep the hybrid switch out of recovery tests
+	return pr
+}
+
+// TestRecoveryFetchDropRetry: lost fetch completions are absorbed by the
+// retry loop; every call still returns the correct bytes.
+func TestRecoveryFetchDropRetry(t *testing.T) {
+	r := newRig(t, 1, ServerConfig{})
+	cli, conn := r.srv.Accept(r.cluster.Clients[0], recoveryParams(2_000_000))
+	r.srv.AddThreads(1)
+	inj := faults.New(faults.Plan{Seed: 11, DropProb: 0.2, ReadsOnly: true})
+	faults.Install(r.env, inj, r.cluster.Clients[0])
+	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {
+		Serve(p, []*Conn{conn}, echoHandler)
+	})
+	const calls = 60
+	done := 0
+	r.cluster.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		out := make([]byte, 64)
+		for i := 0; i < calls; i++ {
+			req := []byte(fmt.Sprintf("drop-req-%03d", i))
+			n, err := cli.Call(p, req, out)
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			if !bytes.Equal(out[:n], req) {
+				t.Errorf("call %d: echo = %q, want %q", i, out[:n], req)
+				return
+			}
+			done++
+		}
+	})
+	r.env.Run(sim.Time(50 * sim.Millisecond))
+	if done != calls {
+		t.Fatalf("completed %d/%d calls (deadlock?)", done, calls)
+	}
+	if cli.Stats.FaultRetries == 0 {
+		t.Fatalf("no fault retries despite DropProb=0.2 (%d drops injected)", inj.Counts().Drops)
+	}
+	if inj.Counts().Drops == 0 {
+		t.Fatalf("injector never dropped a completion")
+	}
+	if cli.Stats.Deadlines != 0 {
+		t.Fatalf("Deadlines = %d, want 0 (deadline is generous)", cli.Stats.Deadlines)
+	}
+}
+
+// TestRecoveryServerCrashRestart: calls during the crash window fail within
+// their deadline; after the restart the connection re-establishes and calls
+// succeed again.
+func TestRecoveryServerCrashRestart(t *testing.T) {
+	r := newRig(t, 1, ServerConfig{})
+	cli, conn := r.srv.Accept(r.cluster.Clients[0], recoveryParams(50_000))
+	r.srv.AddThreads(1)
+	crashAt := sim.Time(sim.Micros(200))
+	restartAt := sim.Time(sim.Micros(400))
+	inj := faults.New(faults.Plan{
+		Seed:    5,
+		Crashes: []faults.Window{{Machine: "server", Start: crashAt, End: restartAt}},
+	})
+	faults.Install(r.env, inj, r.cluster.Server, r.cluster.Clients[0])
+	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {
+		Serve(p, []*Conn{conn}, echoHandler)
+	})
+	var before, failed, after int
+	r.cluster.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		out := make([]byte, 64)
+		for i := 0; i < 200; i++ {
+			req := []byte(fmt.Sprintf("crash-req-%03d", i))
+			n, err := cli.Call(p, req, out)
+			switch {
+			case err == nil:
+				if !bytes.Equal(out[:n], req) {
+					t.Errorf("call %d: echo = %q, want %q", i, out[:n], req)
+					return
+				}
+				if p.Now() < crashAt {
+					before++
+				} else if p.Now() > restartAt {
+					after++
+				}
+			case errors.Is(err, ErrDeadline) || errors.Is(err, ErrServerDown):
+				failed++
+				p.Sleep(sim.Micros(5))
+			default:
+				t.Errorf("call %d: unexpected error %v", i, err)
+				return
+			}
+		}
+	})
+	r.env.Run(sim.Time(50 * sim.Millisecond))
+	if before == 0 || after == 0 {
+		t.Fatalf("successes before crash = %d, after restart = %d; want both > 0 (failed=%d)", before, after, failed)
+	}
+	if failed == 0 {
+		t.Fatalf("no call failed during the crash window")
+	}
+	if cli.Stats.Reconnects == 0 {
+		t.Fatalf("client never reconnected")
+	}
+	if inj.Counts().Crashes != 1 || inj.Counts().Restarts != 1 {
+		t.Fatalf("injector counts = %+v, want 1 crash / 1 restart", inj.Counts())
+	}
+}
+
+// TestRecoveryDemotion: a fetch path that keeps failing demotes the
+// connection permanently to server-reply mode, which then works.
+func TestRecoveryDemotion(t *testing.T) {
+	r := newRig(t, 1, ServerConfig{})
+	pr := recoveryParams(30_000)
+	pr.DemoteAfter = 3
+	cli, conn := r.srv.Accept(r.cluster.Clients[0], pr)
+	r.srv.AddThreads(1)
+	// Every fetch read times out; writes (requests, mode flag, server
+	// pushes) are untouched, so reply mode still works.
+	inj := faults.New(faults.Plan{Seed: 3, DropProb: 1.0, ReadsOnly: true})
+	faults.Install(r.env, inj, r.cluster.Clients[0])
+	tun := NewTuner(Calibration{}, 0, 0)
+	cli.AttachTuner(tun)
+	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {
+		Serve(p, []*Conn{conn}, echoHandler)
+	})
+	var failed, succeeded int
+	r.cluster.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		out := make([]byte, 64)
+		for i := 0; i < 20; i++ {
+			req := []byte(fmt.Sprintf("demote-%02d", i))
+			n, err := cli.Call(p, req, out)
+			if err != nil {
+				failed++
+				continue
+			}
+			if !bytes.Equal(out[:n], req) {
+				t.Errorf("call %d: echo = %q, want %q", i, out[:n], req)
+				return
+			}
+			succeeded++
+		}
+	})
+	r.env.Run(sim.Time(100 * sim.Millisecond))
+	if !cli.Demoted() {
+		t.Fatalf("client not demoted after %d failed calls", failed)
+	}
+	if cli.Mode() != ModeReply {
+		t.Fatalf("mode = %v, want reply after demotion", cli.Mode())
+	}
+	if succeeded == 0 {
+		t.Fatalf("no call succeeded after demotion (failed=%d)", failed)
+	}
+	if cli.Stats.Demotions != 1 {
+		t.Fatalf("Demotions = %d, want 1", cli.Stats.Demotions)
+	}
+	if tun.Demotions != 1 {
+		t.Fatalf("tuner Demotions = %d, want 1", tun.Demotions)
+	}
+}
+
+// TestRecoveryPipelinedUnderDrops: the ring's per-slot recovery absorbs
+// lost completions; every posted handle resolves with the right payload.
+func TestRecoveryPipelinedUnderDrops(t *testing.T) {
+	r := newRig(t, 1, ServerConfig{})
+	pr := recoveryParams(2_000_000)
+	pr.Depth = 4
+	cli, conn := r.srv.Accept(r.cluster.Clients[0], pr)
+	r.srv.AddThreads(1)
+	inj := faults.New(faults.Plan{Seed: 17, DropProb: 0.1})
+	faults.Install(r.env, inj, r.cluster.Clients[0])
+	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {
+		Serve(p, []*Conn{conn}, echoHandler)
+	})
+	const calls = 80
+	done := 0
+	r.cluster.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		out := make([]byte, 64)
+		var handles []Handle
+		var reqs [][]byte
+		flush := func(p *sim.Proc) bool {
+			for k, h := range handles {
+				n, err := cli.Poll(p, h, out)
+				if err != nil {
+					t.Errorf("poll %d: %v", k, err)
+					return false
+				}
+				if !bytes.Equal(out[:n], reqs[k]) {
+					t.Errorf("poll %d: echo = %q, want %q", k, out[:n], reqs[k])
+					return false
+				}
+				done++
+			}
+			handles, reqs = handles[:0], reqs[:0]
+			return true
+		}
+		for i := 0; i < calls; i++ {
+			req := []byte(fmt.Sprintf("pipe-req-%03d", i))
+			h, err := cli.Post(p, req)
+			if errors.Is(err, ErrRingFull) {
+				if !flush(p) {
+					return
+				}
+				h, err = cli.Post(p, req)
+			}
+			if err != nil {
+				t.Errorf("post %d: %v", i, err)
+				return
+			}
+			handles = append(handles, h)
+			reqs = append(reqs, req)
+		}
+		flush(p)
+	})
+	r.env.Run(sim.Time(100 * sim.Millisecond))
+	if done != calls {
+		t.Fatalf("completed %d/%d pipelined calls (deadlock?)", done, calls)
+	}
+	if inj.Counts().Drops == 0 {
+		t.Fatalf("injector never dropped a completion")
+	}
+	if cli.Stats.FaultRetries == 0 {
+		t.Fatalf("no fault retries recorded")
+	}
+}
+
+// TestCloseDuringPendingResize: Close while a SetDepth resize is deferred
+// behind in-flight posts must resolve every handle with ErrClosed, drop the
+// pending resize, and leave the connection unusable — the satellite
+// regression for the close-mid-quiesce race.
+func TestCloseDuringPendingResize(t *testing.T) {
+	r := newRig(t, 1, ServerConfig{})
+	pr := DefaultParams()
+	pr.Depth = 4
+	cli, conn := r.srv.Accept(r.cluster.Clients[0], pr)
+	r.srv.AddThreads(1)
+	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {
+		Serve(p, []*Conn{conn}, slowHandler(r.srv.Machine(), sim.Micros(50)))
+	})
+	ran := false
+	r.cluster.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		var handles []Handle
+		for i := 0; i < 3; i++ {
+			h, err := cli.Post(p, []byte{byte(i)})
+			if err != nil {
+				t.Errorf("post %d: %v", i, err)
+				return
+			}
+			handles = append(handles, h)
+		}
+		cli.SetDepth(2) // deferred: ring is busy
+		if cli.PendingDepth() != 2 {
+			t.Errorf("PendingDepth = %d, want 2", cli.PendingDepth())
+			return
+		}
+		if err := cli.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+			return
+		}
+		// Every in-flight handle resolves with a terminal error.
+		out := make([]byte, 8)
+		for k, h := range handles {
+			if _, err := cli.Poll(p, h, out); !errors.Is(err, ErrClosed) {
+				t.Errorf("poll %d after close: err = %v, want ErrClosed", k, err)
+				return
+			}
+		}
+		// The deferred resize must not have survived the close.
+		if cli.PendingDepth() != 0 {
+			t.Errorf("PendingDepth = %d after close, want 0", cli.PendingDepth())
+			return
+		}
+		if _, err := cli.Post(p, []byte{9}); !errors.Is(err, ErrClosed) {
+			t.Errorf("post after close: err = %v, want ErrClosed", err)
+			return
+		}
+		if err := cli.Send(p, []byte{9}); !errors.Is(err, ErrClosed) {
+			t.Errorf("send after close: err = %v, want ErrClosed", err)
+			return
+		}
+		ran = true
+	})
+	end := r.env.RunAll() // no runnable process may remain (leak check)
+	if !ran {
+		t.Fatalf("client body did not complete")
+	}
+	if end == 0 {
+		t.Fatalf("simulation never advanced")
+	}
+}

@@ -52,6 +52,7 @@ const (
 	slotPosted            // request write posted, completion not yet seen
 	slotWaiting           // request delivered; awaiting response
 	slotReading           // a fetch (or continuation) read is in flight
+	slotRepost            // request write must be re-posted after backoff
 	slotReady             // response validated, waiting for Poll to claim
 	slotFailed            // definite error; Poll returns it
 )
@@ -64,6 +65,14 @@ type slot struct {
 	overrun bool // failed count crossed R
 	hdr     header
 	err     error
+
+	// Recovery state (recover.go); zero unless Params.DeadlineNs is set.
+	reqLen   int      // staged request length, for resends
+	attempts int      // transport-error retries, drives the backoff
+	retryAt  sim.Time // earliest next transport retry
+	resendAt sim.Time // next request re-delivery if still unanswered
+	deadline sim.Time // terminal failure time
+	faulted  bool     // this call needed fault recovery (demotion input)
 }
 
 // Work-request ID encoding: kind | slot<<8 | seq<<32 | member<<48, so
@@ -107,6 +116,17 @@ func (c *Client) Post(p *sim.Proc, req []byte) (Handle, error) {
 	}
 	start := p.Now()
 	defer func() { c.Stats.SendNs += int64(p.Now().Sub(start)) }()
+	if c.needReconnect && c.recoveryOn() {
+		if c.outstanding > 0 {
+			// In-flight handles were resolved with the fatal error; they
+			// must be claimed before the ring can re-register its buffers
+			// (the quiesce rule, exactly as for resizes).
+			return Handle{}, ErrReconnect
+		}
+		if err := c.reconnectBlocking(p); err != nil {
+			return Handle{}, err
+		}
+	}
 	// A mode switch or parameter change decided while the ring was busy
 	// applies once it has quiesced (see the file comment).
 	if err := c.applyPendingMode(p); err != nil {
@@ -125,7 +145,12 @@ func (c *Client) Post(p *sim.Proc, req []byte) (Handle, error) {
 	}
 	c.nextSlot = (si + 1) % c.depth
 	c.seq++
-	c.slots[si] = slot{state: slotPosted, seq: c.seq}
+	c.slots[si] = slot{state: slotPosted, seq: c.seq, reqLen: len(req)}
+	if c.recoveryOn() {
+		now := p.Now()
+		c.slots[si].deadline = now.Add(sim.Duration(c.params.DeadlineNs))
+		c.slots[si].resendAt = now.Add(sim.Duration(c.params.ResendNs))
+	}
 	c.outstanding++
 	if c.cq == nil {
 		c.cq = rnic.NewCQ(c.machine.NIC())
@@ -171,12 +196,19 @@ func (c *Client) Poll(p *sim.Proc, h Handle, out []byte) (int, error) {
 	}
 	if sl.state == slotFailed {
 		err := sl.err
+		if sl.faulted {
+			c.callFaulted = true
+		}
+		c.noteCallOutcome(p)
 		c.releaseSlot(h.slot)
 		return 0, err
 	}
 	c.Stats.Calls++
 	hdr := sl.hdr
 	n := copy(out, c.fetches[h.slot][HeaderSize:HeaderSize+hdr.size])
+	if sl.faulted {
+		c.callFaulted = true
+	}
 	c.recordRetries(sl.failed)
 	if sl.overrun {
 		c.consecOverruns++
@@ -188,11 +220,12 @@ func (c *Client) Poll(p *sim.Proc, h Handle, out []byte) (int, error) {
 	} else {
 		c.consecOverruns = 0
 	}
-	if c.mode == ModeReply && !c.params.ForceReply && int(hdr.timeUs) <= c.params.SwitchBackUs {
+	if c.mode == ModeReply && !c.params.ForceReply && !c.demoted && int(hdr.timeUs) <= c.params.SwitchBackUs {
 		c.pendingMode = ModeFetch
 		c.hasPending = true
 	}
 	c.observeCall(hdr)
+	c.noteCallOutcome(p)
 	c.releaseSlot(h.slot)
 	return n, nil
 }
@@ -269,11 +302,19 @@ func (c *Client) reap(p *sim.Proc) bool {
 // check of each awaiting slot's local landing.
 func (c *Client) issue(p *sim.Proc) bool {
 	if c.mode == ModeFetch {
+		advanced := false
 		var wrs []rnic.WR
 		for i := range c.slots {
 			sl := &c.slots[i]
+			if c.recoveryOn() && c.slotTimers(p, i) {
+				advanced = true
+				continue
+			}
 			if sl.state != slotWaiting {
 				continue
+			}
+			if c.recoveryOn() && sl.retryAt > p.Now() {
+				continue // backing off after a failed fetch
 			}
 			wrs = append(wrs, rnic.WR{
 				ID:     c.ringID(wrKindFetch, i, sl.seq),
@@ -293,12 +334,16 @@ func (c *Client) issue(p *sim.Proc) bool {
 			c.Stats.FetchReads += uint64(len(wrs))
 			return true
 		}
-		return false
+		return advanced
 	}
 	// Reply mode: check the local landing of every awaiting slot.
 	advanced := false
 	for i := range c.slots {
 		sl := &c.slots[i]
+		if c.recoveryOn() && c.slotTimers(p, i) {
+			advanced = true
+			continue
+		}
 		if sl.state != slotWaiting {
 			continue
 		}
@@ -325,6 +370,14 @@ func (c *Client) await(p *sim.Proc) {
 	}
 	if c.mode == ModeReply && c.anyInState(slotWaiting) {
 		c.replyNap(p)
+		return
+	}
+	if c.recoveryOn() {
+		// Every live slot is backing off or awaiting a resend/deadline:
+		// sleep exactly until the earliest recovery timer is due.
+		if t, ok := c.nextTimer(); ok && t > p.Now() {
+			p.SleepUntil(t)
+		}
 	}
 }
 
@@ -354,8 +407,32 @@ func (c *Client) handleCQE(p *sim.Proc, e rnic.CQE) bool {
 		return false
 	}
 	if e.Err != nil {
-		sl.state = slotFailed
-		sl.err = e.Err
+		if !c.recoverable(e.Err) {
+			sl.state = slotFailed
+			sl.err = e.Err
+			return true
+		}
+		c.Stats.FaultRetries++
+		sl.faulted = true
+		if connLevel(e.Err) {
+			// The connection is gone: every in-flight handle resolves with
+			// the error, and the next quiesced Post reconnects.
+			c.failInflight(e.Err)
+			return true
+		}
+		if p.Now() >= sl.deadline {
+			sl.state = slotFailed
+			sl.err = ErrDeadline
+			c.Stats.Deadlines++
+			return true
+		}
+		sl.attempts++
+		sl.retryAt = p.Now().Add(backoffFor(c.params, sl.attempts))
+		if kind == wrKindSend {
+			sl.state = slotRepost // re-post the request write after backoff
+		} else {
+			sl.state = slotWaiting // re-fetch after backoff
+		}
 		return true
 	}
 	switch kind {

@@ -128,8 +128,9 @@ func (c *Conn) Send(p *sim.Proc, payload []byte) error {
 	procNs := int64(p.Now().Sub(c.recvAt))
 	hdr := header{valid: true, size: len(payload), timeUs: clampTimeUs(procNs), seq: c.curSeq}
 	buf := c.region.Buf[respOffAt(c.srv.cfg, c.curSlot):]
-	putHeader(buf, hdr)
-	copy(buf[HeaderSize:], payload)
+	// Payload and size first, status bit last: a fetch racing this publish
+	// sees an invalid (or stale-seq) header, never a torn valid response.
+	putResponse(buf, hdr, payload)
 	c.srv.machine.ComputeNs(p, c.srv.machine.Profile().CopyNs(len(payload)+HeaderSize))
 	if c.Mode() == ModeReply {
 		c.ServedReply++
@@ -146,6 +147,10 @@ func (c *Conn) RespScratch() []byte { return c.scratch }
 // Handler processes one request and writes the response into resp
 // (RespScratch-sized), returning the response length.
 type Handler func(p *sim.Proc, conn *Conn, req []byte, resp []byte) int
+
+// crashedIdleNs is how often a Serve loop re-checks a crashed machine for
+// restart (virtual time; the modeled process is simply gone meanwhile).
+const crashedIdleNs = 10_000
 
 // Serve runs a server-thread loop over a set of connections: poll each
 // connection's request buffer, process requests with h, publish responses.
@@ -170,6 +175,14 @@ func Serve(p *sim.Proc, conns []*Conn, h Handler) {
 	backoff := int64(1)
 	live := append([]*Conn(nil), conns...)
 	for {
+		if m.Down() {
+			// The machine is crashed: the process makes no progress until
+			// Restart. The loop itself idles (a sim artifact — the real
+			// process would be gone and restarted by an operator).
+			p.Sleep(sim.Duration(crashedIdleNs))
+			backoff = 1
+			continue
+		}
 		found := false
 		kept := live[:0]
 		for _, c := range live {
@@ -187,7 +200,13 @@ func Serve(p *sim.Proc, conns []*Conn, h Handler) {
 				found = true
 				n := h(p, c, req, c.scratch)
 				if err := c.Send(p, c.scratch[:n]); err != nil {
-					panic(fmt.Sprintf("core: Serve send: %v", err))
+					// A reply-mode push can fail mid-recovery: the client's
+					// landing region is being re-registered, or the client
+					// machine itself is gone. The response stays in the
+					// server-local buffer (fetchable after reconnect); the
+					// connection is kept — the client swaps fresh buffers
+					// into this same Conn when it re-establishes.
+					continue
 				}
 			}
 		}
@@ -251,6 +270,8 @@ func (s *Server) Accept(clientMachine *fabric.Machine, params Params) (*Client, 
 		machine:    clientMachine,
 		params:     params,
 		qp:         qpC,
+		srv:        s,
+		conn:       conn,
 		server:     region.Handle(),
 		depth:      depth,
 		maxDepth:   capacity,

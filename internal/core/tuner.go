@@ -39,6 +39,11 @@ type Tuner struct {
 
 	// Retunes counts how many times re-selection changed a parameter.
 	Retunes uint64
+
+	// Demotions counts clients that permanently fell back to server-reply
+	// mode after persistent fault recovery (recover.go); the control plane
+	// surfaces it so operators can spot a degraded fabric.
+	Demotions uint64
 }
 
 // NewTuner creates a tuner with the given sample-window capacity and

@@ -62,6 +62,33 @@ func parseHeader(buf []byte) header {
 	}
 }
 
+// stageResponse writes everything about a response *except* its validity:
+// payload bytes, process time, sequence number, and the size word with the
+// status bit clear. Until commitResponse runs, a concurrent remote fetch of
+// the slot parses as invalid (or as the previous, stale sequence) — never as
+// a valid response with half-written contents.
+func stageResponse(buf []byte, h header, payload []byte) {
+	copy(buf[HeaderSize:], payload)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(h.size))
+	binary.LittleEndian.PutUint16(buf[4:6], h.timeUs)
+	binary.LittleEndian.PutUint16(buf[6:8], h.seq)
+}
+
+// commitResponse publishes a staged response by setting the status bit —
+// the single byte written last, which is what makes the fetch-side validity
+// check sound (paper Fig. 7; property-tested in wire_prop_test.go).
+func commitResponse(buf []byte, h header) {
+	if h.valid {
+		buf[3] |= 1 << 7
+	}
+}
+
+// putResponse is stage + commit in order: the full response publish.
+func putResponse(buf []byte, h header, payload []byte) {
+	stageResponse(buf, h, payload)
+	commitResponse(buf, h)
+}
+
 // clampTimeUs converts a nanosecond duration to the header's 16-bit
 // microsecond field, saturating at the field's maximum.
 func clampTimeUs(ns int64) uint16 {

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Property-based checks of the wire format and slot-ring geometry: random
+// (Depth, F, payload size) triples must round-trip through the header
+// encode/decode, keep every slot 64-aligned and non-overlapping inside the
+// registered region, and — the invariant RFP's incomplete-fetch detection
+// rests on — never parse as valid until commitResponse writes the status
+// bit, which is the last byte touched.
+
+func randomCfg(rng *rand.Rand) ServerConfig {
+	return ServerConfig{
+		MaxRequest:  1 + rng.Intn(4096),
+		MaxResponse: 1 + rng.Intn(4096),
+	}
+}
+
+func TestGeometryProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 500; iter++ {
+		cfg := randomCfg(rng)
+		depth := 1 + rng.Intn(64)
+		size := regionSize(cfg, depth)
+		if size%connAlign != 0 {
+			t.Fatalf("cfg=%+v depth=%d: regionSize %d not %d-aligned", cfg, depth, size, connAlign)
+		}
+		if reqArea(cfg) < HeaderSize+cfg.MaxRequest || respArea(cfg) < HeaderSize+cfg.MaxResponse {
+			t.Fatalf("cfg=%+v: slot areas %d/%d cannot hold max header+payload", cfg, reqArea(cfg), respArea(cfg))
+		}
+		prevEnd := connAlign // byte 0 is the mode flag; slots start past it
+		for i := 0; i < depth; i++ {
+			ro, po := reqOffAt(cfg, i), respOffAt(cfg, i)
+			if ro%connAlign != 0 || po%connAlign != 0 {
+				t.Fatalf("cfg=%+v slot %d: offsets %d/%d not aligned", cfg, i, ro, po)
+			}
+			if ro < prevEnd {
+				t.Fatalf("cfg=%+v slot %d: request area %d overlaps previous slot end %d", cfg, i, ro, prevEnd)
+			}
+			if po < ro+HeaderSize+cfg.MaxRequest {
+				t.Fatalf("cfg=%+v slot %d: response area %d overlaps request extent", cfg, i, po)
+			}
+			prevEnd = po + respArea(cfg)
+			if prevEnd > size {
+				t.Fatalf("cfg=%+v slot %d: slot end %d beyond region size %d", cfg, i, prevEnd, size)
+			}
+		}
+		// Depth 1 must reproduce the original single-slot layout.
+		if reqOffAt(cfg, 0) != connAlign {
+			t.Fatalf("cfg=%+v: slot 0 request not at %d", cfg, connAlign)
+		}
+	}
+}
+
+// TestStatusBitWrittenLast: over random payload sizes and stale slot
+// contents, a staged-but-uncommitted response must never parse as the new
+// call's valid response, and the commit must flip exactly the status bit.
+func TestStatusBitWrittenLast(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for iter := 0; iter < 500; iter++ {
+		maxResp := 1 + rng.Intn(1024)
+		buf := make([]byte, HeaderSize+maxResp)
+		// Stale state: the slot may hold the previous call's valid response.
+		staleSeq := uint16(rng.Intn(1 << 16))
+		stale := make([]byte, rng.Intn(maxResp+1))
+		rng.Read(stale)
+		putResponse(buf, header{valid: rng.Intn(2) == 1, size: len(stale), seq: staleSeq}, stale)
+
+		payload := make([]byte, rng.Intn(maxResp+1))
+		rng.Read(payload)
+		seq := staleSeq + 1 + uint16(rng.Intn(100))
+		h := header{valid: true, size: len(payload), timeUs: uint16(rng.Intn(1 << 16)), seq: seq}
+
+		stageResponse(buf, h, payload)
+		if got := parseHeader(buf); got.valid {
+			// A fetch racing the stage may still see validity only with the
+			// stale sequence — never the new one.
+			t.Fatalf("iter %d: staged response parses valid (seq=%d, new seq=%d)", iter, got.seq, seq)
+		}
+		snapshot := append([]byte(nil), buf...)
+		commitResponse(buf, h)
+		if got := parseHeader(buf); !got.valid || got.size != len(payload) || got.seq != seq || got.timeUs != h.timeUs {
+			t.Fatalf("iter %d: committed header = %+v, want %+v", iter, got, h)
+		}
+		if !bytes.Equal(buf[HeaderSize:HeaderSize+len(payload)], payload) {
+			t.Fatalf("iter %d: payload damaged by commit", iter)
+		}
+		// The commit wrote exactly one bit of one byte.
+		snapshot[3] |= 1 << 7
+		if !bytes.Equal(snapshot, buf) {
+			t.Fatalf("iter %d: commit touched more than the status bit", iter)
+		}
+	}
+}

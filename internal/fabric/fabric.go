@@ -19,6 +19,7 @@ type Machine struct {
 	prof    hw.Profile
 	nic     *rnic.NIC
 	threads int
+	down    bool
 
 	// BusyNs accumulates CPU time charged through Compute, for coarse
 	// utilization accounting.
@@ -49,6 +50,27 @@ func (m *Machine) Env() *sim.Env { return m.env }
 
 // Threads returns the number of declared threads.
 func (m *Machine) Threads() int { return m.threads }
+
+// Fail crashes the machine: its NIC stops initiating and serving, and every
+// memory registration is torn down with its backing buffer zeroed — the
+// process's memory is gone. Server loops on the machine idle until Restart;
+// peers see in-flight and subsequent operations fail.
+func (m *Machine) Fail() {
+	m.down = true
+	m.nic.SetDown(true)
+	m.nic.InvalidateRegions()
+}
+
+// Restart brings a crashed machine back up with fresh (empty) memory.
+// Registrations from before the crash stay invalid: clients must
+// re-establish connections and re-register rings.
+func (m *Machine) Restart() {
+	m.down = false
+	m.nic.SetDown(false)
+}
+
+// Down reports whether the machine is currently crashed.
+func (m *Machine) Down() bool { return m.down }
 
 // CPUFactor returns the time dilation applied to CPU bursts: 1 while the
 // machine has at least as many cores as threads, threads/cores beyond that.

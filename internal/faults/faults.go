@@ -1,0 +1,235 @@
+// Package faults is the deterministic fault-injection fabric (extension,
+// DESIGN.md §10). A Plan describes what can go wrong — probabilistic
+// completion drops, extra in-flight delay, payload corruption, QP error
+// transitions, scheduled whole-machine crash windows and region
+// invalidations — and an Injector executes it against the rnic data path
+// through the rnic.FaultInjector seam.
+//
+// Everything is driven off the simulation clock and a private PRNG seeded
+// from Plan.Seed: the simulation is single-threaded and schedules events
+// deterministically, so every run of the same workload under the same plan
+// replays byte-identically — the injector's event trace (TraceString,
+// Digest) is the replay witness the chaos harness asserts on.
+//
+// Corruption semantics: Damage clears the slot header's status bit before
+// flipping payload bytes, modeling a torn delivery whose last byte (the
+// status bit, written last by the wire protocol) never landed. RFP's
+// incomplete-fetch detection therefore always classifies a corrupted image
+// as "not yet valid" and retries — corrupted data is exercised, never
+// accepted.
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+
+	"rfp/internal/dist"
+	"rfp/internal/fabric"
+	"rfp/internal/rnic"
+	"rfp/internal/sim"
+)
+
+// Window schedules a whole-machine crash: the machine fails at Start and, if
+// End > Start, restarts at End. While down its NIC refuses all operations and
+// every registered region is invalidated and zeroed (memory does not survive
+// a crash).
+type Window struct {
+	Machine    string
+	Start, End sim.Time
+}
+
+// Invalidation schedules the loss of one memory registration at a point in
+// time — an MR revoked underneath live remote handles.
+type Invalidation struct {
+	Machine string
+	At      sim.Time
+	Region  int // registration-order index, wrapped into range
+}
+
+// Plan is a complete, seeded description of the faults to inject. The zero
+// Plan injects nothing. Probabilities are per one-sided operation.
+type Plan struct {
+	Seed int64
+
+	DropProb    float64 // lose the completion (op may have executed)
+	DelayProb   float64 // add Delay-distributed in-flight latency
+	CorruptProb float64 // damage the delivered bytes (status bit last)
+	QPErrorProb float64 // fail the op and error the QP
+
+	// Delay samples the extra latency for delay faults (default: fixed 2µs).
+	Delay dist.DurationDist
+	// TimeoutNs is the initiator's detection latency for dropped completions
+	// (default 10µs).
+	TimeoutNs int64
+	// ReadsOnly restricts probabilistic faults to RDMA Reads — the fetch
+	// path — leaving request delivery untouched.
+	ReadsOnly bool
+
+	Crashes       []Window
+	Invalidations []Invalidation
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (pl Plan) Enabled() bool {
+	return pl.DropProb > 0 || pl.DelayProb > 0 || pl.CorruptProb > 0 ||
+		pl.QPErrorProb > 0 || len(pl.Crashes) > 0 || len(pl.Invalidations) > 0
+}
+
+// Counts tallies injected faults by kind.
+type Counts struct {
+	Drops, Delays, Corruptions, QPErrors uint64
+	Crashes, Restarts, Invalidations     uint64
+}
+
+// Injector executes a Plan. It implements rnic.FaultInjector; attach it with
+// Install (or NIC.SetInjector directly). All state is confined to the
+// simulation's single-threaded event loop.
+type Injector struct {
+	plan   Plan
+	rng    *rand.Rand
+	events []string
+	counts Counts
+}
+
+// New creates an injector for the plan, applying defaults.
+func New(plan Plan) *Injector {
+	if plan.TimeoutNs <= 0 {
+		plan.TimeoutNs = 10_000
+	}
+	if plan.Delay == nil {
+		plan.Delay = dist.FixedDur(2000)
+	}
+	return &Injector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Decide implements rnic.FaultInjector: one decision per one-sided op.
+// Fault kinds are mutually exclusive per op (first match wins) except delay,
+// which composes with drop and corrupt.
+func (in *Injector) Decide(now sim.Time, op rnic.FaultOp) rnic.FaultAction {
+	pl := &in.plan
+	if pl.ReadsOnly && op.Op != rnic.WRRead {
+		return rnic.FaultAction{}
+	}
+	var act rnic.FaultAction
+	switch {
+	case pl.QPErrorProb > 0 && in.rng.Float64() < pl.QPErrorProb:
+		act.Err = rnic.ErrQPState
+		act.QPError = true
+		in.counts.QPErrors++
+		in.note(now, "qperror", op)
+	case pl.DropProb > 0 && in.rng.Float64() < pl.DropProb:
+		act.DropNs = pl.TimeoutNs
+		in.counts.Drops++
+		in.note(now, "drop", op)
+	// Ops of ≤4 bytes (the mode flag) carry no payload past the status
+	// word; corrupting them would model nothing the protocol can see.
+	case pl.CorruptProb > 0 && op.Bytes > 4 && in.rng.Float64() < pl.CorruptProb:
+		act.Corrupt = true
+		in.counts.Corruptions++
+		in.note(now, "corrupt", op)
+	}
+	if act.Err == nil && pl.DelayProb > 0 && in.rng.Float64() < pl.DelayProb {
+		if d := pl.Delay.NextNs(in.rng); d > 0 {
+			act.ExtraNs = d
+			in.counts.Delays++
+			in.note(now, "delay", op)
+		}
+	}
+	return act
+}
+
+// Damage implements rnic.FaultInjector: clear the status bit (buf[3] bit 7 —
+// the byte the wire protocol writes last), then flip 1–3 bytes of payload.
+// The bit is never re-set, so a damaged image can only parse as invalid.
+func (in *Injector) Damage(op rnic.FaultOp, buf []byte) {
+	if len(buf) >= 4 {
+		buf[3] &^= 0x80
+	}
+	if len(buf) <= 4 {
+		return
+	}
+	flips := 1 + in.rng.Intn(3)
+	for i := 0; i < flips; i++ {
+		j := 4 + in.rng.Intn(len(buf)-4)
+		buf[j] ^= byte(1 + in.rng.Intn(255))
+	}
+}
+
+// note appends one event to the replay trace.
+func (in *Injector) note(now sim.Time, kind string, op rnic.FaultOp) {
+	in.events = append(in.events, fmt.Sprintf("t=%d %s %s %s->%s %dB",
+		int64(now), kind, op.Op, op.Initiator, op.Target, op.Bytes))
+}
+
+// noteAt appends one scheduled (crash/invalidate) event to the trace.
+func (in *Injector) noteAt(at sim.Time, what string) {
+	in.events = append(in.events, fmt.Sprintf("t=%d %s", int64(at), what))
+}
+
+// Counts returns the fault tallies so far.
+func (in *Injector) Counts() Counts { return in.counts }
+
+// Events returns how many events the trace holds.
+func (in *Injector) Events() int { return len(in.events) }
+
+// TraceString returns the full event trace, one event per line. Two runs of
+// the same seeded workload must produce equal traces — the replay contract.
+func (in *Injector) TraceString() string { return strings.Join(in.events, "\n") }
+
+// Digest returns an FNV-1a hash of the trace, a compact replay witness for
+// experiment reports.
+func (in *Injector) Digest() uint64 {
+	h := fnv.New64a()
+	for _, e := range in.events {
+		h.Write([]byte(e))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}
+
+// Install attaches the injector to every machine's NIC and schedules the
+// plan's crash windows and invalidations on the environment's clock.
+// Machines named by the plan must be among those passed in.
+func Install(env *sim.Env, in *Injector, machines ...*fabric.Machine) {
+	byName := make(map[string]*fabric.Machine, len(machines))
+	for _, m := range machines {
+		m.NIC().SetInjector(in)
+		byName[m.Name()] = m
+	}
+	lookup := func(name string) *fabric.Machine {
+		m := byName[name]
+		if m == nil {
+			panic(fmt.Sprintf("faults: plan names unknown machine %q", name))
+		}
+		return m
+	}
+	for _, w := range in.plan.Crashes {
+		m, w := lookup(w.Machine), w
+		env.At(w.Start, func() {
+			in.counts.Crashes++
+			in.noteAt(w.Start, "crash "+w.Machine)
+			m.Fail()
+		})
+		if w.End > w.Start {
+			env.At(w.End, func() {
+				in.counts.Restarts++
+				in.noteAt(w.End, "restart "+w.Machine)
+				m.Restart()
+			})
+		}
+	}
+	for _, iv := range in.plan.Invalidations {
+		m, iv := lookup(iv.Machine), iv
+		env.At(iv.At, func() {
+			n := m.NIC()
+			if n.RegionCount() == 0 {
+				return
+			}
+			in.counts.Invalidations++
+			in.noteAt(iv.At, fmt.Sprintf("invalidate %s region %d", iv.Machine, iv.Region))
+			n.Region(iv.Region % n.RegionCount()).Deregister()
+		})
+	}
+}

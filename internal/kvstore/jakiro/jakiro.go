@@ -552,6 +552,11 @@ func (c *Client) Stats() core.ClientStats {
 		agg.SendNs += s.SendNs
 		agg.FetchNs += s.FetchNs
 		agg.ReplyWaitNs += s.ReplyWaitNs
+		agg.FaultRetries += s.FaultRetries
+		agg.Resends += s.Resends
+		agg.Reconnects += s.Reconnects
+		agg.Demotions += s.Demotions
+		agg.Deadlines += s.Deadlines
 		if s.MaxRetries > agg.MaxRetries {
 			agg.MaxRetries = s.MaxRetries
 		}

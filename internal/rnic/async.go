@@ -100,9 +100,18 @@ func (q *QP) ensureEngine() {
 		for {
 			a := q.sendQ.Get(p)
 			wr, cq := a.wr, a.cq
-			// Validation errors complete immediately.
+			// Dead-endpoint and validation errors complete immediately.
+			if err := q.gate(); err != nil {
+				cq.entries.Put(CQE{ID: wr.ID, Op: wr.Op, Err: err})
+				continue
+			}
 			if err := q.checkTarget(wr.Remote, wr.Roff, len(wr.Local)); err != nil {
 				cq.entries.Put(CQE{ID: wr.ID, Op: wr.Op, Err: err})
+				continue
+			}
+			act := q.decide(p, wr.Op, len(wr.Local))
+			if act.Err != nil {
+				cq.entries.Put(CQE{ID: wr.ID, Op: wr.Op, Err: act.Err})
 				continue
 			}
 			// Initiator engine: serialized per NIC, in post order.
@@ -110,15 +119,17 @@ func (q *QP) ensureEngine() {
 			q.issuePhase(p, wr.Op, len(wr.Local))
 			// Network + responder phases overlap with later WRs: hand off.
 			local.env.Go("wr-flight", func(p2 *sim.Proc) {
-				q.remotePhase(p2, wr.Op, wr.Remote, wr.Roff, wr.Local)
+				err := q.flight(p2, wr.Op, wr.Remote, wr.Roff, wr.Local, act)
 				p2.Sleep(sim.Duration(local.prof.PropagationNs))
-				kind := trace.Write
-				if wr.Op == WRRead {
-					kind = trace.Read
+				if err == nil {
+					kind := trace.Write
+					if wr.Op == WRRead {
+						kind = trace.Read
+					}
+					local.tracer.Record(trace.Event{Start: start, End: p2.Now(), Kind: kind,
+						Src: local.name, Dst: remote.name, Bytes: len(wr.Local)})
 				}
-				local.tracer.Record(trace.Event{Start: start, End: p2.Now(), Kind: kind,
-					Src: local.name, Dst: remote.name, Bytes: len(wr.Local)})
-				cq.entries.Put(CQE{ID: wr.ID, Op: wr.Op})
+				cq.entries.Put(CQE{ID: wr.ID, Op: wr.Op, Err: err})
 			})
 		}
 	})

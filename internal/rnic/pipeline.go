@@ -51,9 +51,19 @@ func (q *QP) issuePhase(p *sim.Proc, op WROp, size int) {
 // responder NIC work, and the payload copy. The return propagation of the
 // ack/response is left to the caller (the sync path folds it into the
 // completion reap, the async flight sleeps it before posting the CQE).
-func (q *QP) remotePhase(p *sim.Proc, op WROp, remote RemoteMR, roff int, local []byte) {
+//
+// The target was validated at post time, but a crash can land while the
+// request is on the wire — so the responder state is re-checked on arrival.
+// On a lossless run both checks are free and always pass.
+func (q *QP) remotePhase(p *sim.Proc, op WROp, remote RemoteMR, roff int, local []byte) error {
 	p.Sleep(sim.Duration(q.local.prof.PropagationNs))
 	r := q.remote
+	if r.down {
+		return ErrNICDown
+	}
+	if err := remote.check(roff, len(local)); err != nil {
+		return err
+	}
 	size := len(local)
 	switch op {
 	case WRWrite:
@@ -78,4 +88,5 @@ func (q *QP) remotePhase(p *sim.Proc, op WROp, remote RemoteMR, roff int, local 
 	}
 	r.Stats.InOps++
 	r.Stats.InBytes += uint64(size)
+	return nil
 }

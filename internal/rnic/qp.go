@@ -21,11 +21,12 @@ type message struct {
 // discrete messages. A QP endpoint must only be driven by processes running
 // on its local machine.
 type QP struct {
-	local  *NIC
-	remote *NIC
-	peer   *QP
-	recvQ  *sim.Queue[message]
-	sendQ  *sim.Queue[asyncWR] // async engine input (lazily created)
+	local   *NIC
+	remote  *NIC
+	peer    *QP
+	recvQ   *sim.Queue[message]
+	sendQ   *sim.Queue[asyncWR] // async engine input (lazily created)
+	errored bool                // QP transitioned to error state (faults.go)
 }
 
 // Connect establishes a reliable connection between NICs a and b and
@@ -57,14 +58,23 @@ func (q *QP) completeOneSided(p *sim.Proc) {
 // offset roff, blocking until completion. The remote CPU is not involved:
 // only the responder NIC's in-bound engine and RX pipe are charged.
 func (q *QP) Write(p *sim.Proc, remote RemoteMR, roff int, local []byte) error {
+	if err := q.gate(); err != nil {
+		return err
+	}
 	if err := q.checkTarget(remote, roff, len(local)); err != nil {
 		return err
 	}
 	n := q.local
 	start := p.Now()
 	p.Sleep(n.cpu(n.prof.PostNs) + n.jitter(p))
+	act := q.decide(p, WRWrite, len(local))
+	if act.Err != nil {
+		return act.Err
+	}
 	q.issuePhase(p, WRWrite, len(local))
-	q.remotePhase(p, WRWrite, remote, roff, local)
+	if err := q.flight(p, WRWrite, remote, roff, local, act); err != nil {
+		return err
+	}
 	q.completeOneSided(p)
 	n.tracer.Record(trace.Event{Start: start, End: p.Now(), Kind: trace.Write,
 		Src: n.name, Dst: q.remote.name, Bytes: len(local)})
@@ -75,14 +85,23 @@ func (q *QP) Write(p *sim.Proc, remote RemoteMR, roff int, local []byte) error {
 // region at offset roff into local, blocking until completion. The response
 // payload occupies the responder's TX pipe; the responder CPU is bypassed.
 func (q *QP) Read(p *sim.Proc, remote RemoteMR, roff int, local []byte) error {
+	if err := q.gate(); err != nil {
+		return err
+	}
 	if err := q.checkTarget(remote, roff, len(local)); err != nil {
 		return err
 	}
 	n := q.local
 	start := p.Now()
 	p.Sleep(n.cpu(n.prof.PostNs) + n.jitter(p))
+	act := q.decide(p, WRRead, len(local))
+	if act.Err != nil {
+		return act.Err
+	}
 	q.issuePhase(p, WRRead, len(local))
-	q.remotePhase(p, WRRead, remote, roff, local)
+	if err := q.flight(p, WRRead, remote, roff, local, act); err != nil {
+		return err
+	}
 	q.completeOneSided(p)
 	n.tracer.Record(trace.Event{Start: start, End: p.Now(), Kind: trace.Read,
 		Src: n.name, Dst: q.remote.name, Bytes: len(local)})
@@ -94,6 +113,9 @@ func (q *QP) Read(p *sim.Proc, remote RemoteMR, roff int, local []byte) error {
 // no in/out-bound asymmetry: the receive side pays a symmetric engine cost
 // when the message is consumed by Recv.
 func (q *QP) Send(p *sim.Proc, data []byte) error {
+	if err := q.gate(); err != nil {
+		return err
+	}
 	n := q.local
 	start := p.Now()
 	p.Sleep(n.cpu(n.prof.PostNs) + n.jitter(p))

@@ -65,6 +65,10 @@ type NIC struct {
 
 	nextRKey uint32
 
+	injector FaultInjector // optional fault-injection seam (faults.go)
+	down     bool          // machine crashed: refuse to serve or issue
+	mrs      []*MR         // every registration, for crash invalidation
+
 	// Stats accumulates since construction; callers snapshot it around
 	// measurement windows.
 	Stats Stats
@@ -153,7 +157,9 @@ func (n *NIC) RegisterMemory(size int) *MR {
 		panic(fmt.Sprintf("rnic: invalid region size %d", size))
 	}
 	n.nextRKey++
-	return &MR{nic: n, Buf: make([]byte, size), rkey: n.nextRKey, valid: true}
+	mr := &MR{nic: n, Buf: make([]byte, size), rkey: n.nextRKey, valid: true}
+	n.mrs = append(n.mrs, mr)
+	return mr
 }
 
 // Deregister invalidates the region; subsequent remote access fails.
