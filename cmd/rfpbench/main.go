@@ -25,85 +25,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
 	"rfp/internal/experiments"
 	"rfp/internal/sim"
 )
-
-// jsonSeries is one plotted line in -json output.
-type jsonSeries struct {
-	Label  string    `json:"label"`
-	XLabel string    `json:"x_label,omitempty"`
-	YLabel string    `json:"y_label,omitempty"`
-	X      []float64 `json:"x"`
-	Y      []float64 `json:"y"`
-}
-
-// jsonCDF is one latency distribution, summarized at fixed quantiles.
-type jsonCDF struct {
-	Label       string             `json:"label"`
-	Count       uint64             `json:"count"`
-	MeanUs      float64            `json:"mean_us"`
-	Percentiles map[string]float64 `json:"percentiles_us"`
-}
-
-// jsonResult is the machine-readable form of one experiment run.
-type jsonResult struct {
-	ID         string       `json:"id"`
-	Title      string       `json:"title"`
-	Seed       int64        `json:"seed"`
-	Quick      bool         `json:"quick"`
-	WindowUs   float64      `json:"window_us"`
-	WarmupUs   float64      `json:"warmup_us"`
-	Series     []jsonSeries `json:"series,omitempty"`
-	CDFs       []jsonCDF    `json:"cdfs,omitempty"`
-	Rows       []string     `json:"rows,omitempty"`
-	Notes      []string     `json:"notes,omitempty"`
-	WallTimeMs float64      `json:"wall_time_ms"`
-}
-
-// cdfQuantiles are the summary points emitted for each latency histogram.
-var cdfQuantiles = []float64{0.5, 0.9, 0.99, 0.999}
-
-func toJSON(res experiments.Result, o experiments.Options, wall time.Duration) jsonResult {
-	out := jsonResult{
-		ID:         res.ID,
-		Title:      res.Title,
-		Seed:       o.Seed,
-		Quick:      o.Quick,
-		WindowUs:   float64(o.Window) / 1e3,
-		WarmupUs:   float64(o.Warmup) / 1e3,
-		Rows:       res.Rows,
-		Notes:      res.Notes,
-		WallTimeMs: float64(wall.Nanoseconds()) / 1e6,
-	}
-	for _, s := range res.Series {
-		out.Series = append(out.Series, jsonSeries{
-			Label: s.Label, XLabel: s.XLabel, YLabel: s.YLabel, X: s.X, Y: s.Y,
-		})
-	}
-	labels := make([]string, 0, len(res.CDFs))
-	for label := range res.CDFs {
-		labels = append(labels, label)
-	}
-	sort.Strings(labels)
-	for _, label := range labels {
-		h := res.CDFs[label]
-		c := jsonCDF{
-			Label:       label,
-			Count:       h.Count(),
-			MeanUs:      h.Mean() / 1e3,
-			Percentiles: make(map[string]float64, len(cdfQuantiles)),
-		}
-		for _, pt := range h.CDF(cdfQuantiles) {
-			c.Percentiles[fmt.Sprintf("p%g", pt.Q*100)] = float64(pt.Ns) / 1e3
-		}
-		out.CDFs = append(out.CDFs, c)
-	}
-	return out
-}
 
 func main() {
 	var (
@@ -113,6 +39,7 @@ func main() {
 		chart  = flag.Bool("chart", false, "render an ASCII chart under each series table")
 		asJSON = flag.Bool("json", false, "emit one JSON document per experiment instead of text")
 		stable = flag.Bool("stable", false, "zero the wall-time field so -json output is diffable across runs")
+		telem  = flag.Bool("telemetry", false, "record per-call telemetry (latency percentiles, round-trips/call, tuner decisions)")
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		window = flag.Duration("window", 1600*time.Microsecond, "virtual measurement window per point")
 		warmup = flag.Duration("warmup", 800*time.Microsecond, "virtual warmup per point")
@@ -139,6 +66,7 @@ func main() {
 	o := experiments.DefaultOptions()
 	o.Quick = *quick
 	o.Seed = *seed
+	o.Telemetry = *telem
 	o.Window = sim.Duration(window.Nanoseconds())
 	o.Warmup = sim.Duration(warmup.Nanoseconds())
 
@@ -158,7 +86,7 @@ func main() {
 				// byte-stable, so archived runs (BENCH_*.json) diff cleanly.
 				wall = 0
 			}
-			if err := enc.Encode(toJSON(res, o, wall)); err != nil {
+			if err := enc.Encode(experiments.ToJSON(res, o, wall)); err != nil {
 				fmt.Fprintf(os.Stderr, "rfpbench: encoding %s: %v\n", id, err)
 				os.Exit(1)
 			}

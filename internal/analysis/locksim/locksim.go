@@ -27,10 +27,13 @@ import (
 const simPrefix = "rfp/internal/"
 
 // allowed packages: the scheduler kernel itself, the host-time trace
-// recorder, and the analysis tooling.
+// recorder, the telemetry recorder (its mutex guards the decision log
+// against concurrent Snapshot readers, never a sim process against another),
+// and the analysis tooling.
 var allowed = []string{
 	"rfp/internal/sim",
 	"rfp/internal/trace",
+	"rfp/internal/telemetry",
 	"rfp/internal/analysis",
 }
 

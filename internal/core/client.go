@@ -14,6 +14,8 @@ import (
 	"rfp/internal/fabric"
 	"rfp/internal/rnic"
 	"rfp/internal/sim"
+	"rfp/internal/telemetry"
+	"rfp/internal/trace"
 )
 
 // ErrClosed reports use of a closed connection.
@@ -98,6 +100,12 @@ type Client struct {
 	// so completions on the shared CQ route back to this member.
 	group *Group
 	tag   uint64
+
+	// Telemetry (telemetry.go): optional recorder plus the synchronous
+	// path's call timestamps (the ring path keeps per-slot times in slot).
+	rec        *telemetry.Recorder
+	callPostAt sim.Time // sync path: Send entry
+	callSentAt sim.Time // sync path: request delivered
 
 	// Recovery state (recover.go). srv/conn are the server-side endpoints
 	// this connection re-establishes against after a fatal transport error.
@@ -264,7 +272,14 @@ func (c *Client) Send(p *sim.Proc, payload []byte) error {
 	copy(stage[HeaderSize:], payload)
 	c.lastReqLen = len(payload)
 	c.beginCall(p)
-	return c.deliver(p)
+	c.callPostAt = start
+	if err := c.deliver(p); err != nil {
+		return err
+	}
+	c.callSentAt = p.Now()
+	c.rec.Occupancy(1)
+	c.callEvent(trace.CallPost, start, c.callSentAt, -1, c.seq, len(payload))
+	return nil
 }
 
 // Recv obtains the response for the last Send (client_recv), returning the
@@ -349,8 +364,14 @@ func (c *Client) recvFetch(p *sim.Proc, out []byte) (int, error) {
 			} else {
 				c.consecOverruns = 0
 			}
-			c.observeCall(hdr)
+			c.observeCall(p, hdr)
 			c.noteCallOutcome(p)
+			if c.rec != nil {
+				done := p.Now()
+				c.rec.Call(int64(done.Sub(c.callPostAt)), int64(c.callSentAt.Sub(c.callPostAt)),
+					int64(done.Sub(start)), false)
+				c.callEvent(trace.CallDone, done, done, -1, c.seq, n)
+			}
 			return n, nil
 		}
 		failed++
@@ -362,6 +383,8 @@ func (c *Client) recvFetch(p *sim.Proc, out []byte) (int, error) {
 			if !c.params.DisableSwitch && c.consecOverruns+1 >= c.params.K {
 				c.recordRetries(failed)
 				c.consecOverruns = 0
+				c.rec.Fallback()
+				c.callEvent(trace.Fallback, p.Now(), p.Now(), -1, c.seq, 0)
 				if err := c.switchMode(p, ModeReply); err != nil {
 					return 0, err
 				}
@@ -383,14 +406,18 @@ func (c *Client) recvFetch(p *sim.Proc, out []byte) (int, error) {
 // single continuation read. Under NoInline the first read covers only the
 // header, so every successful fetch costs two reads.
 func (c *Client) fetchOnce(p *sim.Proc, out []byte) (header, int, error) {
+	t0 := p.Now()
 	f := c.fetchLen()
 	fetch := c.fetches[0]
 	if err := c.qp.Read(p, c.server, c.respOffs[0], fetch[:f]); err != nil {
 		return header{}, 0, err
 	}
 	c.Stats.FetchReads++
+	c.rec.Reads(1)
 	hdr := parseHeader(fetch)
 	if !hdr.valid || hdr.seq != c.seq {
+		c.rec.Retries(1)
+		c.callEvent(trace.FetchMiss, t0, p.Now(), -1, c.seq, f)
 		return hdr, 0, nil
 	}
 	if hdr.size > c.maxResp {
@@ -403,8 +430,10 @@ func (c *Client) fetchOnce(p *sim.Proc, out []byte) (header, int, error) {
 		}
 		c.Stats.FetchReads++
 		c.Stats.SecondReads++
+		c.rec.Reads(1)
 	}
 	n := copy(out, fetch[HeaderSize:total])
+	c.callEvent(trace.FetchHit, t0, p.Now(), -1, c.seq, total)
 	return hdr, n, nil
 }
 
@@ -440,8 +469,9 @@ func (c *Client) recvReply(p *sim.Proc, out []byte) (int, error) {
 			if err := c.maybeSwitchBack(p, hdr); err != nil {
 				return 0, err
 			}
-			c.observeCall(hdr)
+			c.observeCall(p, hdr)
 			c.noteCallOutcome(p)
+			c.recordReplyCall(p, start, n)
 			return n, nil
 		}
 		if fallback && waited >= nextFallback {
@@ -461,8 +491,9 @@ func (c *Client) recvReply(p *sim.Proc, out []byte) (int, error) {
 				if err := c.maybeSwitchBack(p, fhdr); err != nil {
 					return 0, err
 				}
-				c.observeCall(fhdr)
+				c.observeCall(p, fhdr)
 				c.noteCallOutcome(p)
+				c.recordReplyCall(p, start, n)
 				return n, nil
 			}
 		}
@@ -508,10 +539,22 @@ func (c *Client) switchMode(p *sim.Proc, m Mode) error {
 
 // observeCall feeds the attached tuner, if any, with the completed call's
 // result size and the server-reported process time.
-func (c *Client) observeCall(hdr header) {
+func (c *Client) observeCall(p *sim.Proc, hdr header) {
 	if c.tuner != nil {
-		c.tuner.observe(c, hdr.size, int64(hdr.timeUs)*1000)
+		c.tuner.observe(p, c, hdr.size, int64(hdr.timeUs)*1000)
 	}
+}
+
+// recordReplyCall reports one reply-mode call completion to the telemetry
+// recorder (legStart is the recvReply entry time).
+func (c *Client) recordReplyCall(p *sim.Proc, legStart sim.Time, n int) {
+	if c.rec == nil {
+		return
+	}
+	done := p.Now()
+	c.rec.Call(int64(done.Sub(c.callPostAt)), int64(c.callSentAt.Sub(c.callPostAt)),
+		int64(done.Sub(legStart)), true)
+	c.callEvent(trace.CallDone, done, done, -1, c.seq, n)
 }
 
 func (c *Client) recordRetries(failed int) {

@@ -28,6 +28,7 @@ import (
 
 	"rfp/internal/rnic"
 	"rfp/internal/sim"
+	"rfp/internal/telemetry"
 )
 
 // Recovery errors.
@@ -156,6 +157,7 @@ func (c *Client) deliver(p *sim.Proc) error {
 	for {
 		stage := c.stages[0]
 		err := c.qp.Write(p, c.server, c.reqOffs[0], stage[:HeaderSize+c.lastReqLen])
+		c.rec.Writes(1)
 		if err == nil || !c.recoverable(err) {
 			return err
 		}
@@ -245,6 +247,10 @@ func (c *Client) demote(p *sim.Proc) {
 	if c.tuner != nil {
 		c.tuner.Demotions++
 	}
+	c.rec.Decide(telemetry.Decision{
+		At: p.Now(), Conn: int(c.connID()), Param: "demote",
+		Old: int(c.mode), New: int(ModeReply),
+	})
 	if c.mode == ModeReply {
 		return
 	}
@@ -321,6 +327,7 @@ func (c *Client) repostSend(p *sim.Proc, i int) {
 		Roff:   c.reqOffs[i],
 		Local:  c.stages[i][:HeaderSize+sl.reqLen],
 	})
+	c.rec.Writes(1)
 }
 
 // nextTimer returns the earliest pending recovery timer across the ring,

@@ -24,6 +24,7 @@ import (
 
 	"rfp/internal/rnic"
 	"rfp/internal/sim"
+	"rfp/internal/trace"
 )
 
 // Ring errors.
@@ -73,6 +74,12 @@ type slot struct {
 	resendAt sim.Time // next request re-delivery if still unanswered
 	deadline sim.Time // terminal failure time
 	faulted  bool     // this call needed fault recovery (demotion input)
+
+	// Telemetry timestamps (telemetry.go); virtual times copied for free,
+	// consumed only when a recorder is attached.
+	postedAt sim.Time // Post entry
+	sentAt   sim.Time // request write completed
+	readyAt  sim.Time // response validated (the call's true completion)
 }
 
 // Work-request ID encoding: kind | slot<<8 | seq<<32 | member<<48, so
@@ -145,7 +152,7 @@ func (c *Client) Post(p *sim.Proc, req []byte) (Handle, error) {
 	}
 	c.nextSlot = (si + 1) % c.depth
 	c.seq++
-	c.slots[si] = slot{state: slotPosted, seq: c.seq, reqLen: len(req)}
+	c.slots[si] = slot{state: slotPosted, seq: c.seq, reqLen: len(req), postedAt: start}
 	if c.recoveryOn() {
 		now := p.Now()
 		c.slots[si].deadline = now.Add(sim.Duration(c.params.DeadlineNs))
@@ -168,6 +175,9 @@ func (c *Client) Post(p *sim.Proc, req []byte) (Handle, error) {
 		Roff:   c.reqOffs[si],
 		Local:  stage[:HeaderSize+len(req)],
 	})
+	c.rec.Writes(1)
+	c.rec.Occupancy(c.outstanding)
+	c.callEvent(trace.CallPost, start, p.Now(), si, c.seq, len(req))
 	return Handle{slot: si, seq: c.seq}, nil
 }
 
@@ -206,6 +216,15 @@ func (c *Client) Poll(p *sim.Proc, h Handle, out []byte) (int, error) {
 	c.Stats.Calls++
 	hdr := sl.hdr
 	n := copy(out, c.fetches[h.slot][HeaderSize:HeaderSize+hdr.size])
+	if c.rec != nil {
+		sent := sl.sentAt
+		if sent < sl.postedAt {
+			sent = sl.postedAt // reply landed before the send CQE was reaped
+		}
+		c.rec.Call(int64(sl.readyAt.Sub(sl.postedAt)), int64(sent.Sub(sl.postedAt)),
+			int64(sl.readyAt.Sub(sent)), c.mode == ModeReply)
+		c.callEvent(trace.CallDone, sl.readyAt, p.Now(), h.slot, sl.seq, n)
+	}
 	if sl.faulted {
 		c.callFaulted = true
 	}
@@ -224,7 +243,7 @@ func (c *Client) Poll(p *sim.Proc, h Handle, out []byte) (int, error) {
 		c.pendingMode = ModeFetch
 		c.hasPending = true
 	}
-	c.observeCall(hdr)
+	c.observeCall(p, hdr)
 	c.noteCallOutcome(p)
 	c.releaseSlot(h.slot)
 	return n, nil
@@ -332,6 +351,7 @@ func (c *Client) issue(p *sim.Proc) bool {
 		}
 		if len(wrs) > 0 {
 			c.Stats.FetchReads += uint64(len(wrs))
+			c.rec.Reads(len(wrs))
 			return true
 		}
 		return advanced
@@ -353,6 +373,7 @@ func (c *Client) issue(p *sim.Proc) bool {
 			copy(c.fetches[i], lb[:HeaderSize+hdr.size])
 			sl.hdr = hdr
 			sl.state = slotReady
+			sl.readyAt = p.Now()
 			c.Stats.ReplyDeliveries++
 			advanced = true
 		}
@@ -439,6 +460,7 @@ func (c *Client) handleCQE(p *sim.Proc, e rnic.CQE) bool {
 	case wrKindSend:
 		if sl.state == slotPosted {
 			sl.state = slotWaiting
+			sl.sentAt = p.Now()
 		}
 	case wrKindFetch:
 		if sl.state != slotReading {
@@ -452,6 +474,8 @@ func (c *Client) handleCQE(p *sim.Proc, e rnic.CQE) bool {
 			// overrun for the hybrid switch, counted at claim time.
 			sl.failed++
 			c.Stats.Retries++
+			c.rec.Retries(1)
+			c.callEvent(trace.FetchMiss, p.Now(), p.Now(), si, sl.seq, c.fetchLen())
 			if sl.failed > c.params.R {
 				sl.overrun = true
 			}
@@ -477,14 +501,19 @@ func (c *Client) handleCQE(p *sim.Proc, e rnic.CQE) bool {
 			})
 			c.Stats.FetchReads++
 			c.Stats.SecondReads++
+			c.rec.Reads(1)
 			return true // still slotReading, awaiting the continuation
 		}
 		sl.state = slotReady
+		sl.readyAt = p.Now()
+		c.callEvent(trace.FetchHit, p.Now(), p.Now(), si, sl.seq, HeaderSize+hdr.size)
 	case wrKindFetch2:
 		if sl.state != slotReading {
 			return false
 		}
 		sl.state = slotReady
+		sl.readyAt = p.Now()
+		c.callEvent(trace.FetchHit, p.Now(), p.Now(), si, sl.seq, HeaderSize+sl.hdr.size)
 	}
 	return true
 }

@@ -15,6 +15,8 @@ import (
 	"rfp/internal/fabric"
 	"rfp/internal/rnic"
 	"rfp/internal/sim"
+	"rfp/internal/telemetry"
+	"rfp/internal/trace"
 )
 
 // Server is an RFP server endpoint on one machine. It accepts connections
@@ -68,9 +70,16 @@ type Conn struct {
 	recvAt   sim.Time
 	scratch  []byte // handler response scratch
 
+	rec *telemetry.Recorder // optional telemetry (set via Client.SetRecorder)
+
 	// ServedFetch / ServedReply count responses by delivery mode.
 	ServedFetch uint64
 	ServedReply uint64
+
+	// BadRequests counts consumed slots whose status bit was set but whose
+	// size field was garbage (a torn or corrupt delivery); no response is
+	// served for them — the client's resend path recovers the call.
+	BadRequests uint64
 }
 
 // ID returns the connection's accept-order index.
@@ -95,22 +104,31 @@ func (c *Conn) TryRecv(p *sim.Proc) ([]byte, bool) {
 	for i := 1; i <= c.depth; i++ {
 		s := (c.lastSlot + i) % c.depth
 		off := reqOffAt(c.srv.cfg, s)
-		hdr := parseHeader(c.region.Buf[off:])
-		if !hdr.valid {
+		buf := c.region.Buf[off : off+HeaderSize+c.srv.cfg.MaxRequest]
+		hdr, req, ok := parseSlot(buf, c.srv.cfg.MaxRequest)
+		if !ok {
+			if hdr.valid {
+				// Status bit set but the size field is garbage (a torn or
+				// corrupt delivery): consume the slot so it cannot wedge the
+				// scan, and serve nothing — the client's resend recovers.
+				putHeader(buf, header{})
+				c.BadRequests++
+			}
 			continue
 		}
 		// Consume: clear the status bit so the slot is free for the
 		// client's next request, and charge unpacking cost. recvAt is
 		// per-request, so the process time the response reports (which
 		// feeds the client's (R, F) tuner) is this slot's alone.
-		putHeader(c.region.Buf[off:], header{})
+		putHeader(buf, header{})
 		c.lastSlot = s
 		c.curSlot = s
 		c.curSeq = hdr.seq
 		c.recvAt = p.Now()
 		prof := c.srv.machine.Profile()
 		c.srv.machine.ComputeNs(p, prof.LocalPollNs+prof.CopyNs(hdr.size))
-		return c.region.Buf[off+HeaderSize : off+HeaderSize+hdr.size], true
+		c.srvEvent(trace.SrvRecv, c.recvAt, p.Now(), s, hdr.seq, hdr.size)
+		return req, true
 	}
 	return nil, false
 }
@@ -130,8 +148,10 @@ func (c *Conn) Send(p *sim.Proc, payload []byte) error {
 	buf := c.region.Buf[respOffAt(c.srv.cfg, c.curSlot):]
 	// Payload and size first, status bit last: a fetch racing this publish
 	// sees an invalid (or stale-seq) header, never a torn valid response.
+	pubAt := p.Now()
 	putResponse(buf, hdr, payload)
 	c.srv.machine.ComputeNs(p, c.srv.machine.Profile().CopyNs(len(payload)+HeaderSize))
+	c.srvEvent(trace.SrvPub, pubAt, p.Now(), c.curSlot, c.curSeq, len(payload))
 	if c.Mode() == ModeReply {
 		c.ServedReply++
 		return c.qp.Write(p, c.client, c.curSlot*respArea(c.srv.cfg), buf[:HeaderSize+len(payload)])

@@ -1,0 +1,126 @@
+package core
+
+// Telemetry plumbing: attach a telemetry.Recorder to a connection and the
+// data path reports per-call latencies (post→completion, split into the
+// delivery leg and the fetch- or reply-mode completion leg), issued verb
+// counts (the paper's round-trips-per-call claim), fetch retries,
+// fallbacks, ring occupancy and — with span recording configured — the
+// call-scoped events trace.Stitch rebuilds timelines from. All hooks cost
+// host time only and are nil-safe, so a detached recorder (the default)
+// leaves virtual time, and therefore every simulated result, untouched.
+
+import (
+	"sort"
+
+	"rfp/internal/sim"
+	"rfp/internal/telemetry"
+	"rfp/internal/trace"
+)
+
+// SetRecorder attaches rec to both endpoints of the connection (nil
+// detaches): the client reports the call-side metrics, the server-side Conn
+// contributes the SrvRecv/SrvPub span events. One recorder may be shared
+// across any number of connections; counters then aggregate.
+func (c *Client) SetRecorder(rec *telemetry.Recorder) {
+	c.rec = rec
+	if c.conn != nil {
+		c.conn.rec = rec
+	}
+}
+
+// Recorder returns the attached telemetry recorder (nil if none).
+func (c *Client) Recorder() *telemetry.Recorder { return c.rec }
+
+// Snapshot returns the connection's telemetry snapshot; zero with no
+// recorder attached. Safe to call from any goroutine mid-run.
+func (c *Client) Snapshot() telemetry.Snapshot { return c.rec.Snapshot() }
+
+// connID is the connection identity span events carry: the server-side
+// accept index, or -1 for a client with no bound Conn.
+func (c *Client) connID() int32 {
+	if c.conn != nil {
+		return int32(c.conn.id)
+	}
+	return -1
+}
+
+// callEvent records one client-side call-scoped span event. slot is -1 on
+// the synchronous (depth-1) path.
+func (c *Client) callEvent(kind trace.Kind, start, end sim.Time, slot int, seq uint16, bytes int) {
+	if c.rec == nil {
+		return
+	}
+	c.rec.Event(trace.Event{
+		Start: start, End: end, Kind: kind, Src: c.machine.NIC().Name(),
+		Bytes: bytes, Conn: c.connID(), Slot: int16(slot), Seq: seq,
+	})
+}
+
+// srvEvent records one server-side call-scoped span event.
+func (c *Conn) srvEvent(kind trace.Kind, start, end sim.Time, slot int, seq uint16, bytes int) {
+	if c.rec == nil {
+		return
+	}
+	c.rec.Event(trace.Event{
+		Start: start, End: end, Kind: kind, Src: c.srv.machine.NIC().Name(),
+		Bytes: bytes, Conn: int32(c.id), Slot: int16(slot), Seq: seq,
+	})
+}
+
+// Snapshot merges the telemetry of every member, deduplicating shared
+// recorders (members attached to one recorder contribute once).
+func (g *Group) Snapshot() telemetry.Snapshot {
+	var snap telemetry.Snapshot
+	seen := map[*telemetry.Recorder]bool{}
+	for _, m := range g.members {
+		if m.rec == nil || seen[m.rec] {
+			continue
+		}
+		seen[m.rec] = true
+		snap.Merge(m.rec.Snapshot())
+	}
+	return snap
+}
+
+// SetRecorder routes the tuner's decision log to rec (nil falls back to
+// each client's own recorder).
+func (t *Tuner) SetRecorder(rec *telemetry.Recorder) { t.rec = rec }
+
+// logDecision records one re-selection outcome with the sample window that
+// justified it.
+func (t *Tuner) logDecision(p *sim.Proc, c *Client, param string, old, new int, deferred bool) {
+	rec := t.rec
+	if rec == nil {
+		rec = c.rec
+	}
+	if rec == nil {
+		return
+	}
+	rec.Decide(telemetry.Decision{
+		At: p.Now(), Conn: int(c.connID()), Param: param, Old: old, New: new,
+		Window:       len(t.sampler.Sizes),
+		MedianSize:   medianInt(t.sampler.Sizes),
+		MedianProcNs: medianInt64(t.sampler.ProcTimes),
+		Deferred:     deferred,
+	})
+}
+
+// medianInt / medianInt64 summarize a sample window for the decision log;
+// only run at re-selection boundaries, never on the per-call path.
+func medianInt(s []int) int {
+	if len(s) == 0 {
+		return 0
+	}
+	c := append([]int(nil), s...)
+	sort.Ints(c)
+	return c[len(c)/2]
+}
+
+func medianInt64(s []int64) int64 {
+	if len(s) == 0 {
+		return 0
+	}
+	c := append([]int64(nil), s...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c[len(c)/2]
+}

@@ -9,7 +9,12 @@ package core
 // and the clients' parameters are updated in place. Workload drift — say,
 // a value-size distribution that grows — is then absorbed without
 // restarting.
-//
+
+import (
+	"rfp/internal/sim"
+	"rfp/internal/telemetry"
+)
+
 // Three knobs hang off the same window: F (SelectF, Eq. 2), R (SelectR,
 // Eq. 1's bound), and — with TuneDepth — the request-ring depth
 // (SelectDepth, the pipelining extension). F and depth changes go through
@@ -25,6 +30,7 @@ type Tuner struct {
 	period  uint64
 	seen    uint64
 	clients []*Client
+	rec     *telemetry.Recorder // decision log sink (telemetry.go)
 
 	// TuneR controls whether the retry threshold is re-selected too
 	// (default true).
@@ -64,7 +70,9 @@ func (t *Tuner) Samples() int { return len(t.sampler.Sizes) }
 
 // observe records one completed call and, at period boundaries, re-runs
 // the bounded enumeration and applies any change to every attached client.
-func (t *Tuner) observe(c *Client, respSize int, procNs int64) {
+// Each applied change lands in the telemetry decision log (if a recorder is
+// routed) with the sample window that justified it.
+func (t *Tuner) observe(p *sim.Proc, c *Client, respSize int, procNs int64) {
 	t.sampler.Observe(respSize, procNs)
 	t.seen++
 	if t.seen%t.period != 0 {
@@ -80,10 +88,13 @@ func (t *Tuner) observe(c *Client, respSize int, procNs int64) {
 	changed := false
 	for _, cc := range t.clients {
 		if newF != cc.params.F && newF != cc.pendingF {
+			oldF := cc.params.F
 			cc.SetFetchSize(newF)
+			t.logDecision(p, cc, "F", oldF, newF, cc.pendingF != 0)
 			changed = true
 		}
 		if t.TuneR && newR != cc.params.R {
+			t.logDecision(p, cc, "R", cc.params.R, newR, false)
 			cc.params.R = newR
 			changed = true
 		}
@@ -92,7 +103,9 @@ func (t *Tuner) observe(c *Client, respSize int, procNs int64) {
 			// enumeration runs against each client's own MaxDepth.
 			d := SelectDepth(t.cal, newF, t.sampler.Sizes, t.sampler.ProcTimes, cc.maxDepth)
 			if d != cc.targetDepth() {
+				oldD := cc.targetDepth()
 				cc.SetDepth(d)
+				t.logDecision(p, cc, "depth", oldD, d, cc.pendingDepth != 0)
 				changed = true
 			}
 		}

@@ -62,6 +62,28 @@ func parseHeader(buf []byte) header {
 	}
 }
 
+// parseSlot validates a slot image of arbitrary length: it accepts only a
+// complete request/response whose status bit is set and whose announced
+// size fits both the payload bound and the image itself, returning the
+// payload sub-slice. Anything else — short buffer, status bit still clear
+// (the publish's last byte has not landed), size out of bounds — is
+// rejected; the returned header carries whatever was decodable so callers
+// can tell an empty slot from a torn or corrupt one. Never panics on
+// arbitrary bytes (fuzzed in fuzz_test.go).
+func parseSlot(buf []byte, maxPayload int) (header, []byte, bool) {
+	if len(buf) < HeaderSize {
+		return header{}, nil, false
+	}
+	hdr := parseHeader(buf)
+	if !hdr.valid {
+		return hdr, nil, false
+	}
+	if hdr.size < 0 || hdr.size > maxPayload || HeaderSize+hdr.size > len(buf) {
+		return hdr, nil, false
+	}
+	return hdr, buf[HeaderSize : HeaderSize+hdr.size], true
+}
+
 // stageResponse writes everything about a response *except* its validity:
 // payload bytes, process time, sequence number, and the size word with the
 // status bit clear. Until commitResponse runs, a concurrent remote fetch of

@@ -18,6 +18,7 @@ import (
 	"rfp/internal/kvstore/kv"
 	"rfp/internal/sim"
 	"rfp/internal/stats"
+	"rfp/internal/telemetry"
 	"rfp/internal/workload"
 )
 
@@ -40,6 +41,7 @@ type adaptiveRun struct {
 	trace               *stats.Series // selected depth over time
 	preDepth, postDepth int
 	preMOPS, postMOPS   float64
+	tel                 telemetry.Snapshot // zero unless Options.Telemetry
 }
 
 // extAdaptiveDepth compares the tuner's on-line depth selection against the
@@ -51,8 +53,10 @@ func extAdaptiveDepth(o Options) Result {
 	light := &stats.Series{Label: "static, light", XLabel: "ring depth", YLabel: "MOPS"}
 	heavy := &stats.Series{Label: "static, heavy", XLabel: "ring depth", YLabel: "MOPS"}
 	for _, d := range depths {
-		light.Add(float64(d), runPipelineDepth(o, d, valueSize, adaptiveLightNs))
-		heavy.Add(float64(d), runPipelineDepth(o, d, valueSize, adaptiveHeavyNs))
+		lv, _ := runPipelineDepth(o, d, valueSize, adaptiveLightNs)
+		light.Add(float64(d), lv)
+		hv, _ := runPipelineDepth(o, d, valueSize, adaptiveHeavyNs)
+		heavy.Add(float64(d), hv)
 	}
 	bestLight := bestStaticDepth(depths, light.Y)
 	bestHeavy := bestStaticDepth(depths, heavy.Y)
@@ -68,8 +72,13 @@ func extAdaptiveDepth(o Options) Result {
 		fmt.Sprintf("adaptive depth: light %d (%.3f MOPS), heavy %d (%.3f MOPS)",
 			ad.preDepth, ad.preMOPS, ad.postDepth, ad.postMOPS),
 	)
+	var tel []string
+	if o.Telemetry {
+		tel = ad.tel.Text()
+	}
 	return Result{
 		ID: "ext-adaptive-depth", Title: "on-line ring-depth tuning, one client thread (32 B values)",
+		Telemetry: tel,
 		// Only the depth trace goes in Series: the static sweeps run on a
 		// different x axis (depth, not time) and are tabulated in Rows.
 		Series: []*stats.Series{ad.trace},
@@ -160,6 +169,14 @@ func runAdaptiveDepth(o Options, valueSize int) adaptiveRun {
 	tuner.TuneR = false
 	tuner.TuneDepth = true
 	cli.AttachTuner(tuner)
+	// The decision log attaches before warmup: the point of this experiment
+	// is the tuner's whole trajectory, including the climb out of depth 1.
+	var rec *telemetry.Recorder
+	if o.Telemetry {
+		rec = telemetry.New(telemetry.Config{})
+		tuner.SetRecorder(rec)
+		cli.SetRecorder(rec)
+	}
 
 	done := uint64(0)
 	cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
@@ -234,5 +251,8 @@ func runAdaptiveDepth(o Options, valueSize int) adaptiveRun {
 	out.postMOPS = measure()
 	out.postDepth = cli.Depth()
 	out.trace = trace
+	if rec != nil {
+		out.tel = rec.Snapshot()
+	}
 	return out
 }

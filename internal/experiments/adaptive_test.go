@@ -15,8 +15,10 @@ func TestExtAdaptiveDepthConverges(t *testing.T) {
 	light := &statsSweep{depths: depths}
 	heavy := &statsSweep{depths: depths}
 	for _, d := range depths {
-		light.mops = append(light.mops, runPipelineDepth(o.withDefaults(), d, 32, adaptiveLightNs))
-		heavy.mops = append(heavy.mops, runPipelineDepth(o.withDefaults(), d, 32, adaptiveHeavyNs))
+		lv, _ := runPipelineDepth(o.withDefaults(), d, 32, adaptiveLightNs)
+		light.mops = append(light.mops, lv)
+		hv, _ := runPipelineDepth(o.withDefaults(), d, 32, adaptiveHeavyNs)
+		heavy.mops = append(heavy.mops, hv)
 	}
 	bestLight := bestStaticDepth(depths, light.mops)
 	bestHeavy := bestStaticDepth(depths, heavy.mops)

@@ -25,6 +25,11 @@ type Options struct {
 	Quick bool
 	// Seed makes runs reproducible.
 	Seed int64
+	// Telemetry attaches per-call recorders (internal/telemetry) to the
+	// measured clients and adds their snapshots to the result. Off by
+	// default: recording is out of the virtual-time data path, but the extra
+	// result lines would break byte-identity of archived runs.
+	Telemetry bool
 }
 
 // DefaultOptions returns the standard measurement envelope.
@@ -72,6 +77,10 @@ type Result struct {
 	CDFs map[string]*stats.Hist
 	// Rows holds free-form table rows (Table 3 style).
 	Rows []string
+	// Telemetry holds per-call telemetry lines (latency percentiles,
+	// round-trips per call, tuner decisions), present only when
+	// Options.Telemetry was set.
+	Telemetry []string
 	// Notes document modeling caveats for this experiment.
 	Notes []string
 }
@@ -121,6 +130,14 @@ func (r Result) render(chart bool) string {
 	for _, row := range r.Rows {
 		b.WriteString(row)
 		b.WriteString("\n")
+	}
+	if len(r.Telemetry) > 0 {
+		b.WriteString("telemetry:\n")
+		for _, line := range r.Telemetry {
+			b.WriteString("  ")
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)

@@ -27,15 +27,24 @@ func init() {
 func fig10(o Options) Result {
 	threads := o.pick([]int{7, 14, 21, 28, 35, 42, 49, 56, 63, 70}, []int{7, 21, 35, 70})
 	s := &stats.Series{Label: "Jakiro", XLabel: "client threads", YLabel: "MOPS"}
+	var tel []string
 	for _, t := range threads {
 		out := RunKV(KVRun{Opts: o, Kind: KindJakiro, ClientThreads: t,
 			Workload: workload.Config{GetFraction: 0.95}})
 		s.Add(float64(t), out.MOPS)
+		if o.Telemetry {
+			tel = append(tel, fmt.Sprintf(
+				"threads=%-4d round-trips/call %.3f (paper: 2.005)  p50=%.2fus p99=%.2fus  retries=%d fallbacks=%d",
+				t, out.Tel.RoundTripsPerCall(),
+				float64(out.Tel.Total.Percentile(0.50))/1e3, float64(out.Tel.Total.Percentile(0.99))/1e3,
+				out.Tel.Retries, out.Tel.Fallbacks))
+		}
 	}
 	return Result{
 		ID: "fig10", Title: "Jakiro vs client threads (6 server threads, 32 B values)",
-		Series: []*stats.Series{s},
-		Notes:  []string{"peak ~ half the in-bound IOPS ceiling: each call costs 1 in-bound write + ~1 in-bound read"},
+		Series:    []*stats.Series{s},
+		Telemetry: tel,
+		Notes:     []string{"peak ~ half the in-bound IOPS ceiling: each call costs 1 in-bound write + ~1 in-bound read"},
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"rfp/internal/kvstore/pilafkv"
 	"rfp/internal/sim"
 	"rfp/internal/stats"
+	"rfp/internal/telemetry"
 	"rfp/internal/trace"
 	"rfp/internal/workload"
 )
@@ -55,7 +56,8 @@ type KVOut struct {
 	ClientUtil float64          // client CPU utilization (RFP-based kinds)
 	Pilaf      pilafkv.ClientStats
 	Misses     uint64
-	Trace      *trace.Ring // server-NIC data-path events, when requested
+	Trace      *trace.Ring        // server-NIC data-path events, when requested
+	Tel        telemetry.Snapshot // per-call telemetry, when Opts.Telemetry is set
 }
 
 // kvDoer is the client interface all four stores share.
@@ -117,6 +119,10 @@ func RunKV(r KVRun) KVOut {
 	clients := make([]kvDoer, len(placements))
 	var statsFn func() core.ClientStats
 	var pilafStats func() pilafkv.ClientStats
+	// attachTel hooks one shared recorder into every measured client; set by
+	// the RFP-based kinds (telemetry instruments the RFP transport), called
+	// after warmup so snapshots cover exactly the measurement window.
+	var attachTel func(*telemetry.Recorder)
 
 	switch r.Kind {
 	case KindJakiro, KindServerReply:
@@ -148,6 +154,11 @@ func RunKV(r KVRun) KVOut {
 				addStats(&agg, c.Stats())
 			}
 			return agg
+		}
+		attachTel = func(rec *telemetry.Recorder) {
+			for _, c := range js {
+				c.SetRecorder(rec)
+			}
 		}
 	case KindMemcached:
 		cfg := memckv.Config{Threads: r.ServerThreads, Buckets: bucketsFor(r.Keys, 1), MaxValue: maxVal}
@@ -229,6 +240,11 @@ func RunKV(r KVRun) KVOut {
 
 	env.Run(sim.Time(r.Opts.Warmup))
 	measuring = true
+	var rec *telemetry.Recorder
+	if r.Opts.Telemetry && attachTel != nil {
+		rec = telemetry.New(telemetry.Config{})
+		attachTel(rec)
+	}
 	before := sumU64(ops)
 	statsBefore := statsFn()
 	start := env.Now()
@@ -245,6 +261,9 @@ func RunKV(r KVRun) KVOut {
 	}
 	if pilafStats != nil {
 		out.Pilaf = pilafStats()
+	}
+	if rec != nil {
+		out.Tel = rec.Snapshot()
 	}
 	// Client CPU utilization: fraction of the window each client thread
 	// spent busy (idle accrues only in reply-mode waits).
@@ -319,6 +338,13 @@ func RunEcho(r EchoRun) KVOut {
 		})
 	}
 	env.Run(sim.Time(o.Warmup))
+	var rec *telemetry.Recorder
+	if o.Telemetry {
+		rec = telemetry.New(telemetry.Config{})
+		for _, c := range clis {
+			c.SetRecorder(rec)
+		}
+	}
 	before := sumU64(ops)
 	var idleBefore int64
 	for _, c := range clis {
@@ -333,11 +359,15 @@ func RunEcho(r EchoRun) KVOut {
 	}
 	idleDelta := agg.IdleNs - idleBefore
 	util := 1 - float64(idleDelta)/float64(int64(r.ClientThreads)*int64(o.Window))
-	return KVOut{
+	out := KVOut{
 		MOPS:       stats.MOPS(after-before, int64(o.Window)),
 		Agg:        agg,
 		ClientUtil: util,
 	}
+	if rec != nil {
+		out.Tel = rec.Snapshot()
+	}
+	return out
 }
 
 func bucketsFor(keys, threads int) int {

@@ -16,6 +16,7 @@ import (
 	"rfp/internal/kvstore/kv"
 	"rfp/internal/sim"
 	"rfp/internal/stats"
+	"rfp/internal/telemetry"
 	"rfp/internal/workload"
 )
 
@@ -32,19 +33,31 @@ func extPipeline(o Options) Result {
 	const valueSize = 32
 	mops := &stats.Series{Label: "RFP-pipelined", XLabel: "ring depth", YLabel: "MOPS"}
 	rows := []string{fmt.Sprintf("%-14s%10s%12s", "ring depth", "MOPS", "speedup")}
+	var tel []string
+	if o.Telemetry {
+		tel = append(tel, fmt.Sprintf("%-7s%12s%12s%12s%12s%16s", "depth",
+			"occ-mean", "occ-peak", "p50(us)", "p99(us)", "rt/call"))
+	}
 	base := 0.0
 	for _, d := range depths {
-		v := runPipelineDepth(o, d, valueSize, 150)
+		v, t := runPipelineDepth(o, d, valueSize, 150)
 		mops.Add(float64(d), v)
 		if base == 0 {
 			base = v
 		}
 		rows = append(rows, fmt.Sprintf("%-14d%10.3f%11.2fx", d, v, v/base))
+		if o.Telemetry {
+			tel = append(tel, fmt.Sprintf("%-7d%12.2f%12d%12.2f%12.2f%16.3f",
+				d, t.MeanOccupancy(), t.PeakOccupancy(),
+				float64(t.Total.Percentile(0.50))/1e3, float64(t.Total.Percentile(0.99))/1e3,
+				t.RoundTripsPerCall()))
+		}
 	}
 	return Result{
 		ID: "ext-pipeline", Title: "pipelined GETs, one client thread, one server thread (32 B values)",
-		Series: []*stats.Series{mops},
-		Rows:   rows,
+		Series:    []*stats.Series{mops},
+		Rows:      rows,
+		Telemetry: tel,
 		Notes: []string{
 			"depth 1 is the paper's one-slot connection (the Call path) and matches the single-thread GET baseline",
 			"deeper rings overlap the write+fetch round trips of several calls; the plateau is the initiator-engine/serve-loop bound, not the round trip",
@@ -56,7 +69,8 @@ func extPipeline(o Options) Result {
 // store-backed echo-style GET server on one thread, one pipelining client.
 // procNs is the per-request dispatch+processing CPU charge (150 matches the
 // Jakiro handler; ext-adaptive-depth raises it to model heavier requests).
-func runPipelineDepth(o Options, depth, valueSize int, procNs int64) float64 {
+// The snapshot is zero unless o.Telemetry is set.
+func runPipelineDepth(o Options, depth, valueSize int, procNs int64) (float64, telemetry.Snapshot) {
 	env := sim.NewEnv(o.Seed)
 	defer env.Close()
 	cl := fabric.NewCluster(env, o.Profile, 1)
@@ -127,8 +141,17 @@ func runPipelineDepth(o Options, depth, valueSize int, procNs int64) float64 {
 	})
 
 	env.Run(sim.Time(o.Warmup))
+	var rec *telemetry.Recorder
+	if o.Telemetry {
+		rec = telemetry.New(telemetry.Config{})
+		cli.SetRecorder(rec)
+	}
 	before := done
 	start := env.Now()
 	env.Run(start.Add(o.Window))
-	return stats.MOPS(done-before, int64(o.Window))
+	var tel telemetry.Snapshot
+	if rec != nil {
+		tel = rec.Snapshot()
+	}
+	return stats.MOPS(done-before, int64(o.Window)), tel
 }

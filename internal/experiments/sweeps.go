@@ -5,9 +5,12 @@ package experiments
 // and Fig. 15 (client CPU utilization across the same sweep).
 
 import (
+	"fmt"
+
 	"rfp/internal/core"
 	"rfp/internal/sim"
 	"rfp/internal/stats"
+	"rfp/internal/telemetry"
 	"rfp/internal/workload"
 )
 
@@ -21,21 +24,41 @@ func fig9(o Options) Result {
 	ps := o.pick([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}, []int{1, 4, 7, 11, 15})
 	fetch := &stats.Series{Label: "remote-fetching", XLabel: "server process time (us)", YLabel: "MOPS"}
 	reply := &stats.Series{Label: "server-reply"}
+	var tel []string
+	if o.Telemetry {
+		tel = append(tel, fmt.Sprintf("%-6s%-16s%12s%12s%12s%16s", "P(us)", "paradigm",
+			"p50(us)", "p99(us)", "retries", "rt/call"))
+	}
 	for _, p := range ps {
 		fp := core.DefaultParams()
 		fp.DisableSwitch = true // pure repeated remote fetching
-		fetch.Add(float64(p), RunEcho(EchoRun{Opts: o, Params: fp, ProcNs: int64(p) * 1000}).MOPS)
+		fo := RunEcho(EchoRun{Opts: o, Params: fp, ProcNs: int64(p) * 1000})
+		fetch.Add(float64(p), fo.MOPS)
 
 		rp := core.DefaultParams()
 		rp.ForceReply = true
 		rp.ReplyPollNs = 300
-		reply.Add(float64(p), RunEcho(EchoRun{Opts: o, Params: rp, ProcNs: int64(p) * 1000}).MOPS)
+		ro := RunEcho(EchoRun{Opts: o, Params: rp, ProcNs: int64(p) * 1000})
+		reply.Add(float64(p), ro.MOPS)
+
+		if o.Telemetry {
+			tel = append(tel, fig9TelRow(p, "remote-fetching", fo.Tel),
+				fig9TelRow(p, "server-reply", ro.Tel))
+		}
 	}
 	return Result{
 		ID: "fig9", Title: "fetching vs reply across process times (F=S=1B, 16 server threads)",
-		Series: []*stats.Series{fetch, reply},
-		Notes:  []string{"crossover where server processing itself becomes the bottleneck defines the retry bound N"},
+		Series:    []*stats.Series{fetch, reply},
+		Telemetry: tel,
+		Notes:     []string{"crossover where server processing itself becomes the bottleneck defines the retry bound N"},
 	}
+}
+
+// fig9TelRow is one per-call latency row of fig9's telemetry table.
+func fig9TelRow(p int, paradigm string, t telemetry.Snapshot) string {
+	return fmt.Sprintf("%-6d%-16s%12.2f%12.2f%12d%16.3f", p, paradigm,
+		float64(t.Total.Percentile(0.50))/1e3, float64(t.Total.Percentile(0.99))/1e3,
+		t.Retries, t.RoundTripsPerCall())
 }
 
 // fig14run drives Jakiro (or a variant) with a controlled request process

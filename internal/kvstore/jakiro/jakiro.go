@@ -18,6 +18,7 @@ import (
 	"rfp/internal/fabric"
 	"rfp/internal/kvstore/kv"
 	"rfp/internal/sim"
+	"rfp/internal/telemetry"
 	"rfp/internal/workload"
 )
 
@@ -234,8 +235,9 @@ type Client struct {
 	conns   []*core.Client // one per server thread
 	reqBuf  []byte
 	respBuf []byte
-	groups  [][]uint64   // MultiGet partition grouping scratch
-	posted  []pendingGet // MultiGet in-flight handles scratch
+	groups  [][]uint64          // MultiGet partition grouping scratch
+	posted  []pendingGet        // MultiGet in-flight handles scratch
+	rec     *telemetry.Recorder // shared across conns via SetRecorder
 }
 
 // pendingGet tracks one posted per-partition multi-get: the keys it covers
@@ -569,3 +571,17 @@ func (c *Client) Stats() core.ClientStats {
 
 // Conns exposes the underlying RFP clients (for parameter retuning).
 func (c *Client) Conns() []*core.Client { return c.conns }
+
+// SetRecorder attaches one telemetry recorder to every per-thread
+// connection (both endpoints), so per-call telemetry aggregates across the
+// client's whole partition fan-out. Nil detaches.
+func (c *Client) SetRecorder(rec *telemetry.Recorder) {
+	c.rec = rec
+	for _, conn := range c.conns {
+		conn.SetRecorder(rec)
+	}
+}
+
+// Snapshot returns the client's aggregate telemetry snapshot (zero with no
+// recorder attached).
+func (c *Client) Snapshot() telemetry.Snapshot { return c.rec.Snapshot() }

@@ -15,6 +15,7 @@ import (
 	"rfp/internal/kvstore/jakiro"
 	"rfp/internal/kvstore/kv"
 	"rfp/internal/sim"
+	"rfp/internal/telemetry"
 	"rfp/internal/workload"
 )
 
@@ -40,6 +41,7 @@ type Client struct {
 	kb     []byte
 	groups [][]uint64 // MultiGet per-server key grouping scratch
 	pends  []pendingServer
+	rec    *telemetry.Recorder // shared across servers via SetRecorder
 }
 
 // pendingServer tracks one server's posted share of a MultiGet batch.
@@ -159,6 +161,20 @@ func (c *Client) MultiGet(p *sim.Proc, keys []uint64, fn jakiro.MultiGetFunc) er
 	}
 	return firstErr
 }
+
+// SetRecorder attaches one telemetry recorder to every server's
+// per-partition connections, so telemetry aggregates across the whole
+// fan-out. Nil detaches.
+func (c *Client) SetRecorder(rec *telemetry.Recorder) {
+	c.rec = rec
+	for _, jc := range c.per {
+		jc.SetRecorder(rec)
+	}
+}
+
+// Snapshot returns the fan-out's aggregate telemetry snapshot (zero with no
+// recorder attached).
+func (c *Client) Snapshot() telemetry.Snapshot { return c.rec.Snapshot() }
 
 // Stats aggregates the RFP client statistics over every server's
 // connections.

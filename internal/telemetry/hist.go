@@ -1,0 +1,157 @@
+package telemetry
+
+// Fixed-footprint log-linear latency histogram (HDR-style). Each power of
+// two is split into histSub linear sub-buckets, giving a worst-case
+// relative resolution of 1/histSub (12.5%) across the full int64 range in
+// histBuckets counters — no allocation per sample, one atomic add.
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Hist is the recorder-side histogram: every field atomic so concurrent
+// snapshots are race-clean.
+type Hist struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Add records one sample (negative values clamp to zero). Single-writer:
+// the simulation records from one goroutine; atomics make concurrent
+// snapshot reads race-clean, not concurrent writers.
+func (h *Hist) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	n := h.count.Add(1)
+	h.sum.Add(v)
+	if n == 1 || v < h.min.Load() {
+		h.min.Store(v)
+	}
+	if v > h.max.Load() {
+		h.max.Store(v)
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// snapshot copies the histogram into its plain-value snapshot form.
+func (h *Hist) snapshot(out *HistSnap) {
+	out.Count = h.count.Load()
+	out.Sum = h.sum.Load()
+	out.Min = h.min.Load()
+	out.Max = h.max.Load()
+	for i := range h.buckets {
+		out.Buckets[i] = h.buckets[i].Load()
+	}
+}
+
+// HistSnap is the immutable snapshot of a Hist.
+type HistSnap struct {
+	Count   uint64
+	Sum     int64
+	Min     int64
+	Max     int64
+	Buckets [histBuckets]uint64
+}
+
+// Mean returns the average sample, 0 when empty.
+func (h *HistSnap) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Percentile returns the value at quantile q in [0,1] (clamped), using the
+// bucket midpoint tightened by the recorded min/max. Returns 0 when empty.
+func (h *HistSnap) Percentile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	var seen uint64
+	for i, n := range h.Buckets {
+		seen += n
+		if seen >= rank {
+			v := bucketMid(i)
+			if v < h.Min {
+				v = h.Min
+			}
+			if v > h.Max {
+				v = h.Max
+			}
+			return v
+		}
+	}
+	return h.Max
+}
+
+// Merge accumulates another snapshot into h.
+func (h *HistSnap) Merge(o *HistSnap) {
+	if o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+const (
+	histSubBits = 3
+	histSub     = 1 << histSubBits // sub-buckets per octave
+	histBuckets = (64-histSubBits)*histSub + histSub
+)
+
+// bucketOf maps a non-negative value to its bucket index. Values below
+// histSub map exactly; above, the top histSubBits bits under the leading
+// one select the sub-bucket.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSub {
+		return int(v)
+	}
+	msb := 63 - bits.LeadingZeros64(uint64(v))
+	sub := int((v >> uint(msb-histSubBits)) & (histSub - 1))
+	idx := (msb-histSubBits)*histSub + histSub + sub
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// bucketMid returns the representative (midpoint) value of a bucket.
+func bucketMid(idx int) int64 {
+	if idx < 2*histSub {
+		return int64(idx)
+	}
+	msb := (idx-histSub)/histSub + histSubBits
+	sub := int64((idx - histSub) % histSub)
+	low := int64(1)<<uint(msb) | sub<<uint(msb-histSubBits)
+	return low + (int64(1)<<uint(msb-histSubBits))/2
+}

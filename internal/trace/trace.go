@@ -27,9 +27,23 @@ const (
 	UDSend
 	UDRecv
 	Drop // a UC/UD message lost in flight
+
+	// Call-scoped kinds: markers the RFP data path emits around one call so
+	// Stitch can rebuild a per-call span (see span.go). Events of these kinds
+	// carry the Conn/Slot/Seq identity fields.
+	CallPost  // client staged the request and wrote it to the server ring
+	SrvRecv   // server CPU picked the request out of its ring
+	SrvPub    // server published the result (status bit committed)
+	FetchMiss // a client fetch read an incomplete/stale slot image
+	FetchHit  // a client fetch read a complete result
+	Fallback  // client gave up fetching and switched to server-reply wait
+	CallDone  // client observed the call complete
 )
 
-var kindNames = [...]string{"WRITE", "READ", "SEND", "RECV", "UC-WRITE", "UD-SEND", "UD-RECV", "DROP"}
+var kindNames = [...]string{
+	"WRITE", "READ", "SEND", "RECV", "UC-WRITE", "UD-SEND", "UD-RECV", "DROP",
+	"CALL-POST", "SRV-RECV", "SRV-PUB", "FETCH-MISS", "FETCH-HIT", "FALLBACK", "CALL-DONE",
+}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -38,7 +52,9 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
-// Event is one traced operation.
+// Event is one traced operation. Verb events (recorded by rnic) leave the
+// call identity fields zero; call-scoped events (recorded by core through a
+// telemetry recorder) set Conn/Slot/Seq so Stitch can group them into spans.
 type Event struct {
 	Start sim.Time
 	End   sim.Time
@@ -46,6 +62,9 @@ type Event struct {
 	Src   string // initiating NIC
 	Dst   string // remote NIC (empty for local-only events)
 	Bytes int
+	Conn  int32  // connection id (call-scoped events)
+	Slot  int16  // ring slot, -1 for the synchronous path
+	Seq   uint16 // call sequence number within the connection
 }
 
 func (e Event) String() string {
