@@ -40,10 +40,14 @@ func usage() {
 
 rfpvet checks the simulator's correctness invariants: virtual-vs-wall-clock
 time, seeded randomness, MallocBuf/FreeBuf pairing, status-bit-before-read,
-and no OS-level blocking in simulation code. Patterns are directories
-relative to the working directory ("./...", "./internal/sim"); default ./...
+no OS-level blocking in simulation code, no heap allocation in //rfp:hotpath
+functions, ring-geometry mutation only at quiesce points, nil-receiver
+guards on //rfp:nilsafe instrument types, and no dropped verb-layer errors
+or completion statuses. Patterns are directories relative to the working
+directory ("./...", "./internal/sim"); default ./...
 
 Suppress a finding with: //rfpvet:allow <analyzer> <reason>
+Annotate declarations with: //rfp:hotpath, //rfp:quiesced <reason>, //rfp:nilsafe
 
 Exit codes: 0 = clean, 1 = findings reported, 2 = usage or load error.
 

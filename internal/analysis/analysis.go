@@ -14,9 +14,12 @@
 // The x/tools module is deliberately not imported — this repository builds
 // with the standard library only — so this package mirrors just the slice of
 // the go/analysis API the suite needs: Analyzer, Pass, Diagnostic, a
-// package loader, and //rfpvet:allow suppression directives. Analyzers are
-// purely syntactic (AST + file-scoped import resolution); they do not
-// type-check, which keeps the driver fast and self-contained.
+// package loader, //rfpvet:allow suppression and //rfp: annotation
+// directives. Since rfpvet v2 the driver is type-aware: the load set is run
+// through a tolerant go/types pass (typecheck.go) and indexed into a
+// whole-program call graph (program.go), so analyzers can track values
+// through types and derive interprocedural summaries — while still
+// degrading to pure syntax wherever type information is unavailable.
 package analysis
 
 import (
@@ -57,6 +60,16 @@ type Pass struct {
 	// comments attached and identifier objects resolved.
 	Files []*ast.File
 
+	// Pkg is the loaded package, carrying best-effort type information
+	// (Pkg.Info, Pkg.Types) from the tolerant checker. Analyzers must
+	// tolerate nil Info/Types and invalid types (see typecheck.go).
+	Pkg *Package
+
+	// Prog is the whole-load-set call graph shared by every pass of one
+	// RunAnalyzers call. Interprocedural analyzers derive their summaries
+	// from it; intraprocedural ones ignore it.
+	Prog *Program
+
 	diags *[]Diagnostic
 }
 
@@ -92,6 +105,29 @@ func (d Diagnostic) String() string {
 // a directive without one is itself reported.
 const AllowDirective = "//rfpvet:allow"
 
+// HasAllow reports whether an //rfpvet:allow directive for analyzer covers
+// pos in f — the directive sits on pos's line or the line above. Summary-
+// building analyzers use it so a documented contract inside a callee does
+// not propagate interprocedurally to every call site.
+func HasAllow(fset *token.FileSet, f *ast.File, analyzer string, pos token.Pos) bool {
+	line := fset.Position(pos).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, AllowDirective) {
+				continue
+			}
+			fields := strings.Fields(strings.TrimPrefix(c.Text, AllowDirective))
+			if len(fields) < 2 || fields[0] != analyzer {
+				continue
+			}
+			if dl := fset.Position(c.Pos()).Line; dl == line || dl == line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // allowKey identifies one suppressed (file, line, analyzer) slot.
 type allowKey struct {
 	file     string
@@ -126,14 +162,18 @@ func collectAllows(fset *token.FileSet, f *ast.File, allows map[allowKey]bool, d
 }
 
 // RunAnalyzers applies every analyzer to every package and returns the
-// surviving diagnostics sorted by position. Findings covered by an
-// //rfpvet:allow directive are dropped; malformed directives are kept.
+// surviving diagnostics sorted by position. The load set is type-checked
+// and indexed into a call graph once, up front; every pass shares the
+// resulting Program. Findings covered by an //rfpvet:allow directive are
+// dropped; malformed allow and //rfp: directives are kept.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	allows := make(map[allowKey]bool)
+	prog := BuildProgram(pkgs)
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			collectAllows(pkg.Fset, f, allows, &diags)
+			checkDirectives(pkg.Fset, f, &diags)
 		}
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -141,6 +181,8 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Fset:     pkg.Fset,
 				PkgPath:  pkg.Path,
 				Files:    pkg.Files,
+				Pkg:      pkg,
+				Prog:     prog,
 				diags:    &diags,
 			}
 			if err := a.Run(pass); err != nil {

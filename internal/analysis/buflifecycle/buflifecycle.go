@@ -19,6 +19,17 @@
 //	//rfpvet:allow buflifecycle <reason>
 //
 // on the MallocBuf line.
+//
+// Two interprocedural summaries, derived to a fixpoint over the load-set
+// call graph (analysis.Program), extend the per-function rules across
+// helper boundaries:
+//
+//   - resolves-param: a helper that frees or posts one of its parameters
+//     (directly or through further helpers) resolves the buffer handed to
+//     it, so release(a, buf) counts like a.FreeBuf(buf);
+//   - returns-fresh: a helper that returns a MallocBuf-derived buffer makes
+//     its caller the owner — a `buf := newBuf()` binding is held to the
+//     same free/return/post rule as a direct MallocBuf call.
 package buflifecycle
 
 import (
@@ -36,16 +47,161 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
+	sum := summarize(pass.Prog)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkFunc(pass, fn)
+			checkFunc(pass, sum, fn)
 		}
 	}
 	return nil
+}
+
+// summary holds buflifecycle's interprocedural facts.
+type summary struct {
+	resolves map[*analysis.FuncInfo]map[int]bool // this parameter is freed or posted
+	fresh    map[*analysis.FuncInfo]bool         // returns a MallocBuf-derived buffer the caller owns
+}
+
+// summarize derives the summaries to a fixpoint over the program.
+func summarize(prog *analysis.Program) *summary {
+	s := &summary{
+		resolves: map[*analysis.FuncInfo]map[int]bool{},
+		fresh:    map[*analysis.FuncInfo]bool{},
+	}
+	if prog == nil {
+		return s
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range prog.Funcs() {
+			if s.update(fi) {
+				changed = true
+			}
+		}
+	}
+	return s
+}
+
+// update recomputes fi's summary entries, returning whether anything grew.
+func (s *summary) update(fi *analysis.FuncInfo) bool {
+	params := map[string]int{}
+	for i, name := range fi.ParamNames() {
+		if name != "" && name != "_" {
+			params[name] = i
+		}
+	}
+	changed := false
+	markResolve := func(idx int) {
+		if !s.resolves[fi][idx] {
+			if s.resolves[fi] == nil {
+				s.resolves[fi] = map[int]bool{}
+			}
+			s.resolves[fi][idx] = true
+			changed = true
+		}
+	}
+
+	// owned tracks locals bound to MallocBuf or to a returns-fresh helper:
+	// returning one makes this function returns-fresh too.
+	owned := map[string]bool{}
+	fresh := false
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Direct frees/posts of a parameter.
+			switch calleeName(n) {
+			case "FreeBuf", "Post", "PostBatch":
+				for _, arg := range n.Args {
+					if id := rootIdent(arg); id != nil {
+						if idx, ok := params[id.Name]; ok {
+							markResolve(idx)
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && freshCall(s, fi, call) {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+						if !owned[id.Name] {
+							owned[id.Name] = true
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				switch res := res.(type) {
+				case *ast.Ident:
+					if owned[res.Name] {
+						fresh = true
+					}
+				case *ast.CallExpr:
+					if freshCall(s, fi, res) {
+						fresh = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if fresh && !s.fresh[fi] {
+		s.fresh[fi] = true
+		changed = true
+	}
+
+	// Transitive resolution: handing a parameter to a helper that frees or
+	// posts the receiving parameter.
+	for _, cs := range fi.Calls {
+		for i, arg := range cs.Call.Args {
+			id := rootIdent(arg)
+			if id == nil {
+				continue
+			}
+			idx, ok := params[id.Name]
+			if !ok {
+				continue
+			}
+			if s.resolves[cs.Callee][cs.ParamOf(i)] {
+				markResolve(idx)
+			}
+		}
+	}
+	return changed
+}
+
+// freshCall reports whether call acquires a fresh buffer: MallocBuf itself,
+// or a resolved helper whose summary says it returns one.
+func freshCall(s *summary, fi *analysis.FuncInfo, call *ast.CallExpr) bool {
+	if calleeName(call) == "MallocBuf" {
+		return true
+	}
+	for _, cs := range fi.Calls {
+		if cs.Call == call {
+			return s.fresh[cs.Callee]
+		}
+	}
+	return false
+}
+
+// rootIdent unwraps index/slice chains to the base identifier, if any.
+func rootIdent(x ast.Expr) *ast.Ident {
+	for {
+		switch v := x.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.IndexExpr:
+			x = v.X
+		case *ast.SliceExpr:
+			x = v.X
+		default:
+			return nil
+		}
+	}
 }
 
 // calleeName returns the bare name of a call's callee: "F" for F(...) and
@@ -60,8 +216,9 @@ func calleeName(call *ast.CallExpr) string {
 	return ""
 }
 
-func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+func checkFunc(pass *analysis.Pass, sum *summary, fn *ast.FuncDecl) {
 	var mallocs []*ast.CallExpr
+	var freshCalls []*ast.CallExpr // calls to returns-fresh helpers: caller owns the result
 	hasFree := false
 	returned := make(map[string]bool)     // identifiers appearing in return statements
 	posted := make(map[string]bool)       // identifiers handed to Post/PostBatch
@@ -88,6 +245,22 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 						}
 						return true
 					})
+				}
+			}
+			if pass.Prog != nil {
+				if cs := pass.Prog.SiteOf(n); cs != nil {
+					// A helper that frees or posts the receiving parameter
+					// resolves the argument, like a direct FreeBuf/Post.
+					for i, arg := range n.Args {
+						if id := rootIdent(arg); id != nil && sum.resolves[cs.Callee][cs.ParamOf(i)] {
+							posted[id.Name] = true
+						}
+					}
+					// A returns-fresh helper hands this function a buffer it
+					// now owns.
+					if sum.fresh[cs.Callee] && calleeName(n) != "MallocBuf" {
+						freshCalls = append(freshCalls, n)
+					}
 				}
 			}
 		case *ast.AssignStmt:
@@ -125,6 +298,11 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 						if calleeName(m) == "MallocBuf" {
 							returnsCall = true
 						}
+						if pass.Prog != nil {
+							if cs := pass.Prog.SiteOf(m); cs != nil && sum.fresh[cs.Callee] {
+								returnsCall = true // fresh buffer handed straight through
+							}
+						}
 					}
 					return true
 				})
@@ -144,7 +322,7 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 		}
 	}
 
-	if len(mallocs) == 0 || hasFree || returnsCall {
+	if len(mallocs)+len(freshCalls) == 0 || hasFree || returnsCall {
 		return
 	}
 
@@ -168,6 +346,17 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 		}
 		pass.Reportf(call.Pos(), "MallocBuf result in %s is neither freed (FreeBuf) nor returned to the caller; free it, return it, or document the ownership transfer with %s buflifecycle <reason>",
 			fn.Name.Name, analysis.AllowDirective)
+	}
+	// A returns-fresh helper's result is owned here exactly like a direct
+	// MallocBuf. A discarded result is left to errdrop-style review; only
+	// bound, unresolved buffers are leaks this check can prove.
+	for _, call := range freshCalls {
+		name := assignedVar(pass, fn.Body, call)
+		if name == "" || resolved(name) {
+			continue
+		}
+		pass.Reportf(call.Pos(), "buffer returned by %s in %s is neither freed (FreeBuf) nor handed on; free it, return it, or document the ownership transfer with %s buflifecycle <reason>",
+			calleeName(call), fn.Name.Name, analysis.AllowDirective)
 	}
 }
 

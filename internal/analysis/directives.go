@@ -1,0 +1,127 @@
+package analysis
+
+// //rfp: annotation directives.
+//
+// Where //rfpvet:allow suppresses one finding at one site, //rfp: directives
+// declare properties of a declaration that analyzers then enforce or trust:
+//
+//	//rfp:hotpath            the function is on the simulated data path and
+//	                         must not heap-allocate (checked by hotpathalloc)
+//	//rfp:quiesced <reason>  the function mutates ring geometry and its
+//	                         callers guarantee the quiesce rule
+//	                         (outstanding == 0); trusted by quiesce, which
+//	                         makes the mandatory reason an auditable claim
+//	//rfp:nilsafe            the type is an opt-in instrument (telemetry
+//	                         recorder style): every exported method must
+//	                         guard a nil receiver before touching fields
+//	                         (checked by nilrecv)
+//
+// A directive binds to the declaration whose doc comment contains it — the
+// FuncDecl for hotpath/quiesced, the type declaration for nilsafe. Unknown
+// directive names and a quiesced without a reason are reported under the
+// pseudo-analyzer "rfpvet", like malformed allow directives.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix introduces an annotation directive comment.
+const DirectivePrefix = "//rfp:"
+
+// Directive names understood by the suite, and which of them demand a
+// free-text justification after the name.
+var (
+	knownDirectives  = map[string]bool{"hotpath": true, "quiesced": true, "nilsafe": true}
+	directiveReasons = map[string]bool{"quiesced": true}
+)
+
+// parseDirective splits a //rfp: comment into its name and trailing args.
+// ok is false for comments that are not directives at all.
+func parseDirective(text string) (name, args string, ok bool) {
+	rest, ok := strings.CutPrefix(text, DirectivePrefix)
+	if !ok {
+		return "", "", false
+	}
+	name, args, _ = strings.Cut(rest, " ")
+	return strings.TrimSpace(name), strings.TrimSpace(args), true
+}
+
+// HasDirective reports whether the comment group carries //rfp:<name>.
+// A nil group is fine.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if n, _, ok := parseDirective(c.Text); ok && n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncHasDirective reports whether fn's doc comment carries //rfp:<name>.
+func FuncHasDirective(fn *ast.FuncDecl, name string) bool {
+	return fn != nil && HasDirective(fn.Doc, name)
+}
+
+// NilsafeTypes returns the names of types in f declared //rfp:nilsafe. The
+// directive may sit on the type's GenDecl doc, the TypeSpec doc (grouped
+// declarations), or the TypeSpec line comment.
+func NilsafeTypes(f *ast.File) map[string]bool {
+	var out map[string]bool
+	mark := func(name string) {
+		if out == nil {
+			out = make(map[string]bool)
+		}
+		out[name] = true
+	}
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		declWide := HasDirective(gd.Doc, "nilsafe")
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			if declWide || HasDirective(ts.Doc, "nilsafe") || HasDirective(ts.Comment, "nilsafe") {
+				mark(ts.Name.Name)
+			}
+		}
+	}
+	return out
+}
+
+// checkDirectives validates every //rfp: comment in f, reporting unknown
+// names and missing mandatory reasons under the pseudo-analyzer "rfpvet".
+func checkDirectives(fset *token.FileSet, f *ast.File, diags *[]Diagnostic) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			name, args, ok := parseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			switch {
+			case name == "" || !knownDirectives[name]:
+				*diags = append(*diags, Diagnostic{
+					Pos:      pos,
+					Analyzer: "rfpvet",
+					Message:  fmt.Sprintf("unknown directive %q: known %shotpath, %squiesced <reason>, %snilsafe", c.Text, DirectivePrefix, DirectivePrefix, DirectivePrefix),
+				})
+			case directiveReasons[name] && args == "":
+				*diags = append(*diags, Diagnostic{
+					Pos:      pos,
+					Analyzer: "rfpvet",
+					Message:  fmt.Sprintf("directive %s%s needs a reason: the claim must be auditable", DirectivePrefix, name),
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"rfp/internal/analysis/analysistest"
+	"rfp/internal/analysis/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), errdrop.Analyzer,
+		"rfp/internal/rnicx", // discarded errors and CQEs; defer and allow exemptions
+	)
+}

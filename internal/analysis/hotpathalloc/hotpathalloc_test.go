@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"rfp/internal/analysis/analysistest"
+	"rfp/internal/analysis/hotpathalloc"
+)
+
+func TestHotpathalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), hotpathalloc.Analyzer, "hotpathalloc")
+}

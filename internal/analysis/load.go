@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -23,6 +24,13 @@ type Package struct {
 
 	Fset  *token.FileSet
 	Files []*ast.File
+
+	// Types and Info are populated by the tolerant type-checker when the
+	// package is run through RunAnalyzers (see typecheck.go). Both are
+	// best-effort: expressions that touch placeholder imports carry
+	// invalid types, and either field may be nil for hand-built packages.
+	Types *types.Package
+	Info  *types.Info
 }
 
 // ModuleRoot walks upward from dir to the nearest directory containing

@@ -1,0 +1,240 @@
+// Package nilrecv enforces nil-receiver safety on opt-in instrument types.
+//
+// The telemetry layer's central contract (telemetry.Recorder, trace.Ring)
+// is that a nil receiver is a valid, do-nothing instance: instrumented code
+// calls r.Call(...) unconditionally and a detached recorder costs one nil
+// check inside the method. The contract dies silently — as a panic deep in
+// a hot loop, long after the PR that broke it — if one exported method
+// forgets the guard.
+//
+// Types declare the contract with //rfp:nilsafe on their type declaration.
+// For every exported method of such a type, this analyzer requires that no
+// receiver FIELD is read or written before a dominating nil guard:
+//
+//	func (r *Recorder) Writes(n int) {
+//	    if r == nil {
+//	        return
+//	    }
+//	    r.writes.Add(uint64(n))   // guarded: fine
+//	}
+//
+// Accepted guard shapes: a leading `if r == nil { ... return/panic }`
+// statement (everything after it is considered guarded), or wrapping the
+// field accesses in `if r != nil { ... }`. Method calls on the receiver
+// (r.Events()) are not field accesses — the callee does its own guarding.
+// A value receiver on a nil-safe type is itself a violation: the call
+// dereferences the pointer before the method body can check anything.
+// Unexported methods are exempt; they run behind an exported guard.
+package nilrecv
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rfp/internal/analysis"
+)
+
+// Analyzer implements the nilrecv check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilrecv",
+	Doc: "exported methods of //rfp:nilsafe types must guard `if r == nil` before touching receiver fields, " +
+		"so a detached (nil) instrument stays a valid no-op",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// The type may be declared in a different file than its methods:
+	// collect the nil-safe set package-wide first.
+	nilsafe := make(map[string]bool)
+	for _, f := range pass.Files {
+		for name := range analysis.NilsafeTypes(f) {
+			nilsafe[name] = true
+		}
+	}
+	if len(nilsafe) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || len(fn.Recv.List) == 0 || fn.Body == nil {
+				continue
+			}
+			checkMethod(pass, fn, nilsafe)
+		}
+	}
+	return nil
+}
+
+// checkMethod validates one method of a nil-safe type.
+func checkMethod(pass *analysis.Pass, fn *ast.FuncDecl, nilsafe map[string]bool) {
+	recv := fn.Recv.List[0]
+	star, isPtr := recv.Type.(*ast.StarExpr)
+	var typeName string
+	if isPtr {
+		typeName = identName(star.X)
+	} else {
+		typeName = identName(recv.Type)
+	}
+	if !nilsafe[typeName] || !fn.Name.IsExported() {
+		return
+	}
+	if !isPtr {
+		pass.Reportf(recv.Type.Pos(),
+			"exported method %s of nil-safe type %s has a value receiver; "+
+				"calling it on a nil *%s dereferences before any guard can run — use a pointer receiver",
+			fn.Name.Name, typeName, typeName)
+		return
+	}
+	if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+		return // receiver unnamed: the body cannot touch its fields
+	}
+	recvIdent := recv.Names[0]
+	var recvObj types.Object
+	if pass.Pkg != nil && pass.Pkg.Info != nil {
+		recvObj = pass.Pkg.Info.Defs[recvIdent]
+	}
+
+	guarded := false
+	for _, stmt := range fn.Body.List {
+		if !guarded && isNilGuard(stmt, recvIdent.Name, recvObj, pass) {
+			guarded = true
+			continue
+		}
+		if guarded {
+			return
+		}
+		if pos, field, found := unguardedFieldAccess(pass, stmt, recvIdent.Name, recvObj); found {
+			pass.Reportf(pos,
+				"exported method %s of nil-safe type %s reads receiver field %q before a nil guard; "+
+					"begin the method with `if %s == nil { return ... }`",
+				fn.Name.Name, typeName, field, recvIdent.Name)
+			return
+		}
+	}
+}
+
+// isNilGuard matches `if recv == nil { ...; return/panic }` with no init
+// and no else: after it falls through, the receiver is known non-nil.
+func isNilGuard(stmt ast.Stmt, recvName string, recvObj types.Object, pass *analysis.Pass) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil || ifs.Else != nil {
+		return false
+	}
+	if !isNilCompare(pass, ifs.Cond, recvName, recvObj, token.EQL) {
+		return false
+	}
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	switch last := ifs.Body.List[len(ifs.Body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isNilCompare matches `recv <op> nil` / `nil <op> recv`.
+func isNilCompare(pass *analysis.Pass, cond ast.Expr, recvName string, recvObj types.Object, op token.Token) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != op {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && isReceiverUse(pass, id, recvName, recvObj)
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(be.X) && isNil(be.Y)) || (isNil(be.X) && isRecv(be.Y))
+}
+
+// isReceiverUse reports whether id is a use of the method receiver, via
+// type information when available, by name otherwise.
+func isReceiverUse(pass *analysis.Pass, id *ast.Ident, recvName string, recvObj types.Object) bool {
+	if id.Name != recvName {
+		return false
+	}
+	if recvObj != nil && pass.Pkg != nil && pass.Pkg.Info != nil {
+		if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+			return obj == recvObj
+		}
+	}
+	return true
+}
+
+// unguardedFieldAccess finds the first receiver field access in stmt that
+// is not inside an `if recv != nil` body.
+func unguardedFieldAccess(pass *analysis.Pass, stmt ast.Stmt, recvName string, recvObj types.Object) (token.Pos, string, bool) {
+	var pos token.Pos
+	var field string
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		// An `if recv != nil` statement guards its body (not its else).
+		if ifs, ok := n.(*ast.IfStmt); ok && ifs.Init == nil &&
+			isNilCompare(pass, ifs.Cond, recvName, recvObj, token.NEQ) {
+			if ifs.Else != nil {
+				ast.Inspect(ifs.Else, walk)
+			}
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || !isReceiverUse(pass, id, recvName, recvObj) {
+			return true
+		}
+		if !isFieldSelection(pass, sel) {
+			return true
+		}
+		pos, field, found = sel.Sel.Pos(), sel.Sel.Name, true
+		return false
+	}
+	ast.Inspect(stmt, walk)
+	return pos, field, found
+}
+
+// isFieldSelection distinguishes r.field from r.Method() / method values,
+// through go/types selections when available. Without type information
+// every selection on the receiver is conservatively treated as a field
+// access.
+func isFieldSelection(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	if pass.Pkg != nil && pass.Pkg.Info != nil {
+		if s := pass.Pkg.Info.Selections[sel]; s != nil {
+			return s.Kind() == types.FieldVal
+		}
+	}
+	return true
+}
+
+// identName unwraps a (possibly parenthesized or instantiated) type
+// expression to its base identifier name.
+func identName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}

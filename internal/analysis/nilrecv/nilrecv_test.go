@@ -1,0 +1,12 @@
+package nilrecv_test
+
+import (
+	"testing"
+
+	"rfp/internal/analysis/analysistest"
+	"rfp/internal/analysis/nilrecv"
+)
+
+func TestNilrecv(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), nilrecv.Analyzer, "nilrecv")
+}

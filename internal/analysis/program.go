@@ -1,0 +1,284 @@
+package analysis
+
+// Program is the whole-load-set function index and resolved call graph —
+// the substrate for interprocedural analyzers. RunAnalyzers builds it once
+// per run (after type-checking the set) and hands it to every pass.
+//
+// The engine deliberately stops at STRUCTURE: which functions exist, which
+// call sites resolve to which of them, and how arguments map to parameters.
+// Semantic summaries (does this function free its parameter? is it
+// quiesce-safe?) belong to the analyzers, which derive them by iterating
+// Funcs() to a fixpoint over Calls/Callers. That keeps each invariant's
+// transfer function next to the invariant instead of accreting into the
+// driver.
+//
+// Resolution is best-effort, matching the tolerant type-checker: a call is
+// resolved when the type-checker binds its callee identifier to a function
+// declared in the load set, with a same-package, same-name syntactic
+// fallback for plain calls when type information is missing. Calls through
+// function values, interfaces, or placeholder imports stay unresolved
+// (CalleeOf returns nil) and interprocedural analyzers fall back to their
+// intraprocedural behavior there.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A Program indexes every function declaration in the load set and the
+// resolved call edges between them.
+type Program struct {
+	funcs  []*FuncInfo
+	byDecl map[*ast.FuncDecl]*FuncInfo
+	byObj  map[types.Object]*FuncInfo
+	byCall map[*ast.CallExpr]*CallSite
+	// byName indexes top-level (non-method) functions per package for the
+	// syntactic fallback.
+	byName map[*Package]map[string]*FuncInfo
+}
+
+// FuncInfo is one function or method declaration with a body.
+type FuncInfo struct {
+	Pkg  *Package
+	File *ast.File
+	Decl *ast.FuncDecl
+
+	// Obj is the type-checker's object for the declaration; nil when type
+	// information did not resolve it.
+	Obj types.Object
+
+	// Calls are the resolved call sites inside Decl.Body, in source order.
+	// Unresolved calls (function values, placeholder imports) are absent.
+	Calls []*CallSite
+
+	// Callers lists every function with at least one resolved call to this
+	// one, deduplicated.
+	Callers []*FuncInfo
+}
+
+// Name returns the declared function name (without receiver).
+func (f *FuncInfo) Name() string { return f.Decl.Name.Name }
+
+// RecvType returns the receiver's base type name, or "" for a plain
+// function.
+func (f *FuncInfo) RecvType() string {
+	if f.Decl.Recv == nil || len(f.Decl.Recv.List) == 0 {
+		return ""
+	}
+	return baseTypeName(f.Decl.Recv.List[0].Type)
+}
+
+// String renders the function as pkg.Name or pkg.(T).Name for diagnostics.
+func (f *FuncInfo) String() string {
+	if t := f.RecvType(); t != "" {
+		return f.Pkg.Path + ".(" + t + ")." + f.Name()
+	}
+	return f.Pkg.Path + "." + f.Name()
+}
+
+// ParamNames returns the declared parameter names in order, flattening
+// grouped parameters; unnamed parameters yield "".
+func (f *FuncInfo) ParamNames() []string {
+	params := f.Decl.Type.Params
+	if params == nil {
+		return nil
+	}
+	var out []string
+	for _, field := range params.List {
+		if len(field.Names) == 0 {
+			out = append(out, "")
+			continue
+		}
+		for _, n := range field.Names {
+			out = append(out, n.Name)
+		}
+	}
+	return out
+}
+
+// IsVariadic reports whether the final parameter is a ...T.
+func (f *FuncInfo) IsVariadic() bool {
+	params := f.Decl.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	_, ok := params.List[len(params.List)-1].Type.(*ast.Ellipsis)
+	return ok
+}
+
+// A CallSite is one resolved call: a CallExpr in Caller's body whose callee
+// is a function declared in the load set.
+type CallSite struct {
+	Caller *FuncInfo
+	Callee *FuncInfo
+	Call   *ast.CallExpr
+}
+
+// ParamOf maps the i'th call argument to the callee's parameter index
+// (receivers are not parameters), folding a variadic tail onto the last
+// parameter. Returns -1 when the argument does not correspond to a
+// parameter.
+func (cs *CallSite) ParamOf(i int) int {
+	n := len(cs.Callee.ParamNames())
+	if n == 0 {
+		return -1
+	}
+	if cs.Callee.IsVariadic() && i >= n-1 {
+		return n - 1
+	}
+	if i < n {
+		return i
+	}
+	return -1
+}
+
+// baseTypeName unwraps pointers, parens and generic instantiations down to
+// the base type identifier's name.
+func baseTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			return t.Sel.Name
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// BuildProgram type-checks the package set and constructs its function
+// index and call graph.
+func BuildProgram(pkgs []*Package) *Program {
+	typeCheck(pkgs)
+	prog := &Program{
+		byDecl: make(map[*ast.FuncDecl]*FuncInfo),
+		byObj:  make(map[types.Object]*FuncInfo),
+		byCall: make(map[*ast.CallExpr]*CallSite),
+		byName: make(map[*Package]map[string]*FuncInfo),
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				fi := &FuncInfo{Pkg: p, File: f, Decl: fn}
+				if p.Info != nil {
+					if obj := p.Info.Defs[fn.Name]; obj != nil {
+						fi.Obj = obj
+						prog.byObj[obj] = fi
+					}
+				}
+				prog.funcs = append(prog.funcs, fi)
+				prog.byDecl[fn] = fi
+				if fn.Recv == nil {
+					if prog.byName[p] == nil {
+						prog.byName[p] = make(map[string]*FuncInfo)
+					}
+					prog.byName[p][fn.Name.Name] = fi
+				}
+			}
+		}
+	}
+	for _, fi := range prog.funcs {
+		caller := fi
+		seenCallee := make(map[*FuncInfo]bool)
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := prog.resolve(caller.Pkg, call)
+			if callee == nil {
+				return true
+			}
+			cs := &CallSite{Caller: caller, Callee: callee, Call: call}
+			caller.Calls = append(caller.Calls, cs)
+			prog.byCall[call] = cs
+			if !seenCallee[callee] {
+				seenCallee[callee] = true
+				callee.Callers = append(callee.Callers, caller)
+			}
+			return true
+		})
+	}
+	return prog
+}
+
+// resolve binds one call expression to a load-set function, or nil.
+func (prog *Program) resolve(p *Package, call *ast.CallExpr) *FuncInfo {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if p.Info != nil {
+			if obj := p.Info.Uses[fun]; obj != nil {
+				return prog.byObj[obj]
+			}
+		}
+		// Syntactic fallback: a plain call to a top-level function of the
+		// same package, provided the name isn't shadowed by a local.
+		if fun.Obj == nil || fun.Obj.Decl == nil {
+			return prog.byName[p][fun.Name]
+		}
+		if fn, ok := fun.Obj.Decl.(*ast.FuncDecl); ok {
+			return prog.byDecl[fn]
+		}
+	case *ast.SelectorExpr:
+		if p.Info != nil {
+			if obj := p.Info.Uses[fun.Sel]; obj != nil {
+				return prog.byObj[obj]
+			}
+		}
+	}
+	return nil
+}
+
+// Funcs returns every indexed function, in load order. Interprocedural
+// analyzers iterate this (typically to a fixpoint) to derive summaries.
+func (prog *Program) Funcs() []*FuncInfo { return prog.funcs }
+
+// FuncOf returns the index entry for a declaration, or nil.
+func (prog *Program) FuncOf(fn *ast.FuncDecl) *FuncInfo { return prog.byDecl[fn] }
+
+// CalleeOf returns the resolved callee of a call expression, or nil when
+// the call does not target a load-set function.
+func (prog *Program) CalleeOf(call *ast.CallExpr) *FuncInfo {
+	if cs := prog.byCall[call]; cs != nil {
+		return cs.Callee
+	}
+	return nil
+}
+
+// SiteOf returns the resolved call site for a call expression, or nil.
+func (prog *Program) SiteOf(call *ast.CallExpr) *CallSite { return prog.byCall[call] }
+
+// Reachable returns every function reachable through resolved calls from
+// the functions root accepts, roots included.
+func (prog *Program) Reachable(root func(*FuncInfo) bool) map[*FuncInfo]bool {
+	seen := make(map[*FuncInfo]bool)
+	var stack []*FuncInfo
+	for _, f := range prog.funcs {
+		if root(f) {
+			seen[f] = true
+			stack = append(stack, f)
+		}
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, cs := range f.Calls {
+			if !seen[cs.Callee] {
+				seen[cs.Callee] = true
+				stack = append(stack, cs.Callee)
+			}
+		}
+	}
+	return seen
+}

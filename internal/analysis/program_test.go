@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTwoPkgProgram assembles a two-package load set exercising the whole
+// engine surface: methods, variadics, cross-package calls, shadowing, and
+// calls that cannot resolve (placeholder imports, function values).
+func buildTwoPkgProgram(t *testing.T) (*Program, *Package, *Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	parseInto := func(name, src string) *ast.File {
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	aSrc := `package a
+
+type T struct{ n int }
+
+func (t *T) M(xs ...int) int { return sum(xs...) }
+
+func sum(xs ...int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+func Top(a, b int) int { return sum(a, b) }
+
+func shadowed() int {
+	sum := func(xs ...int) int { return len(xs) }
+	return sum(1, 2)
+}
+`
+	bSrc := `package b
+
+import "m/a"
+
+func Use() int { return a.Top(1, 2) }
+
+func indirect(f func() int) int { return f() }
+`
+	pa := &Package{Path: "m/a", Dir: ".", Fset: fset, Files: []*ast.File{parseInto("a.go", aSrc)}}
+	pb := &Package{Path: "m/b", Dir: ".", Fset: fset, Files: []*ast.File{parseInto("b.go", bSrc)}}
+	return BuildProgram([]*Package{pa, pb}), pa, pb
+}
+
+func findFunc(t *testing.T, prog *Program, pkg *Package, name string) *FuncInfo {
+	t.Helper()
+	for _, fi := range prog.Funcs() {
+		if fi.Pkg == pkg && fi.Name() == name {
+			return fi
+		}
+	}
+	t.Fatalf("function %s not indexed in %s", name, pkg.Path)
+	return nil
+}
+
+func TestProgramIndexAndStrings(t *testing.T) {
+	prog, pa, _ := buildTwoPkgProgram(t)
+	m := findFunc(t, prog, pa, "M")
+	if got := m.String(); got != "m/a.(T).M" {
+		t.Errorf("method String() = %q, want m/a.(T).M", got)
+	}
+	if got := m.RecvType(); got != "T" {
+		t.Errorf("RecvType() = %q, want T", got)
+	}
+	top := findFunc(t, prog, pa, "Top")
+	if got := top.String(); got != "m/a.Top" {
+		t.Errorf("function String() = %q, want m/a.Top", got)
+	}
+	if got := top.RecvType(); got != "" {
+		t.Errorf("plain function RecvType() = %q, want empty", got)
+	}
+	if names := top.ParamNames(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Top.ParamNames() = %v, want [a b]", names)
+	}
+	if top.IsVariadic() {
+		t.Error("Top reported variadic")
+	}
+	if sum := findFunc(t, prog, pa, "sum"); !sum.IsVariadic() {
+		t.Error("sum not reported variadic")
+	}
+	if fi := prog.FuncOf(m.Decl); fi != m {
+		t.Error("FuncOf did not round-trip the declaration")
+	}
+}
+
+func TestProgramCallGraph(t *testing.T) {
+	prog, pa, pb := buildTwoPkgProgram(t)
+	sum := findFunc(t, prog, pa, "sum")
+	top := findFunc(t, prog, pa, "Top")
+	use := findFunc(t, prog, pb, "Use")
+
+	// Cross-package: b.Use resolves its call to a.Top through type info.
+	if len(use.Calls) != 1 || use.Calls[0].Callee != top {
+		t.Fatalf("Use.Calls = %v, want one site targeting a.Top", use.Calls)
+	}
+	foundCaller := false
+	for _, c := range top.Callers {
+		if c == use {
+			foundCaller = true
+		}
+	}
+	if !foundCaller {
+		t.Error("a.Top.Callers does not include b.Use")
+	}
+
+	// Same-package calls resolve, and CalleeOf/SiteOf agree.
+	if len(top.Calls) != 1 || top.Calls[0].Callee != sum {
+		t.Fatalf("Top.Calls = %v, want one site targeting sum", top.Calls)
+	}
+	site := top.Calls[0]
+	if prog.SiteOf(site.Call) != site || prog.CalleeOf(site.Call) != sum {
+		t.Error("SiteOf/CalleeOf disagree with the indexed site")
+	}
+
+	// A locally shadowed name must not resolve to the package function.
+	shadowed := findFunc(t, prog, pa, "shadowed")
+	for _, cs := range shadowed.Calls {
+		if cs.Callee == sum {
+			t.Error("shadowed local sum resolved to the package-level sum")
+		}
+	}
+
+	// A call through a function value resolves to nothing.
+	indirect := findFunc(t, prog, pb, "indirect")
+	if len(indirect.Calls) != 0 {
+		t.Errorf("indirect.Calls = %v, want none (function value)", indirect.Calls)
+	}
+}
+
+func TestCallSiteParamOf(t *testing.T) {
+	prog, pa, pb := buildTwoPkgProgram(t)
+	use := findFunc(t, prog, pb, "Use")
+	topSite := use.Calls[0] // a.Top(1, 2)
+	if topSite.ParamOf(0) != 0 || topSite.ParamOf(1) != 1 {
+		t.Errorf("ParamOf on fixed params = %d,%d, want 0,1",
+			topSite.ParamOf(0), topSite.ParamOf(1))
+	}
+	if topSite.ParamOf(2) != -1 {
+		t.Errorf("ParamOf past the last param = %d, want -1", topSite.ParamOf(2))
+	}
+	top := findFunc(t, prog, pa, "Top")
+	sumSite := top.Calls[0] // sum(a, b): both fold onto the variadic xs
+	if sumSite.ParamOf(0) != 0 || sumSite.ParamOf(1) != 0 || sumSite.ParamOf(5) != 0 {
+		t.Errorf("variadic ParamOf = %d,%d,%d, want all 0",
+			sumSite.ParamOf(0), sumSite.ParamOf(1), sumSite.ParamOf(5))
+	}
+}
+
+func TestProgramReachable(t *testing.T) {
+	prog, pa, pb := buildTwoPkgProgram(t)
+	sum := findFunc(t, prog, pa, "sum")
+	top := findFunc(t, prog, pa, "Top")
+	use := findFunc(t, prog, pb, "Use")
+	m := findFunc(t, prog, pa, "M")
+
+	seen := prog.Reachable(func(f *FuncInfo) bool { return f == use })
+	if !seen[use] || !seen[top] || !seen[sum] {
+		t.Errorf("Reachable(Use) = %v, want Use, Top and sum", seen)
+	}
+	if seen[m] {
+		t.Error("Reachable(Use) includes a.T.M, which nothing on the path calls")
+	}
+}

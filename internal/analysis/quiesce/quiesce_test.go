@@ -1,0 +1,14 @@
+package quiesce_test
+
+import (
+	"testing"
+
+	"rfp/internal/analysis/analysistest"
+	"rfp/internal/analysis/quiesce"
+)
+
+func TestQuiesce(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), quiesce.Analyzer,
+		"rfp/internal/corex", // guarded, fixpoint-safe, directive and suppressed cases
+	)
+}

@@ -5,8 +5,12 @@ package registry
 import (
 	"rfp/internal/analysis"
 	"rfp/internal/analysis/buflifecycle"
+	"rfp/internal/analysis/errdrop"
 	"rfp/internal/analysis/globalrand"
+	"rfp/internal/analysis/hotpathalloc"
 	"rfp/internal/analysis/locksim"
+	"rfp/internal/analysis/nilrecv"
+	"rfp/internal/analysis/quiesce"
 	"rfp/internal/analysis/simtime"
 	"rfp/internal/analysis/statusbit"
 )
@@ -15,8 +19,12 @@ import (
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		buflifecycle.Analyzer,
+		errdrop.Analyzer,
 		globalrand.Analyzer,
+		hotpathalloc.Analyzer,
 		locksim.Analyzer,
+		nilrecv.Analyzer,
+		quiesce.Analyzer,
 		simtime.Analyzer,
 		statusbit.Analyzer,
 	}

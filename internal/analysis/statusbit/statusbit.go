@@ -18,6 +18,21 @@
 // receive a response buffer through assignment, append, or copy — the
 // reallocated slot arrays of a runtime ring resize being the motivating
 // case — are tracked as aliases and held to the same rule.
+//
+// On top of the per-function rules, the analyzer derives two summaries
+// from the load-set call graph (analysis.Program), iterated to a fixpoint:
+//
+//   - returns-param: a helper that returns one of its parameters (or a
+//     slice/element of one) launders the bytes through its result, so a
+//     local bound to helper(resp) is a response alias like any other;
+//   - raw-reads-param: a helper that indexes or slices a parameter in read
+//     position — under whatever innocent name — performs the raw read its
+//     caller smuggled past the name check, so passing a response buffer to
+//     it is flagged at the call site.
+//
+// Decode helpers, the exempt wire packages, and reads covered by an
+// //rfpvet:allow (a documented contract) do not propagate through either
+// summary.
 package statusbit
 
 import (
@@ -101,9 +116,11 @@ func rootIdent(x ast.Expr) *ast.Ident {
 // the slot arrays (`resized := make([][]byte, d); copy(resized, respBufs)`)
 // and the copy's destination holds the same unvalidated payload bytes the
 // originals did. Tracked transfers, iterated to a fixpoint so alias chains
-// resolve: plain assignment from a response expression, append of one, and
-// copy into a non-resp destination.
-func respAliases(body ast.Node) map[string]bool {
+// resolve: plain assignment from a response expression, append of one,
+// copy into a non-resp destination, and — through the returns-param
+// summary — binding the result of a helper that returns the buffer it was
+// handed.
+func respAliases(pass *analysis.Pass, sum *summary, body ast.Node) map[string]bool {
 	aliases := map[string]bool{}
 	isResp := func(x ast.Expr) bool {
 		if bufName(x) != "" {
@@ -116,6 +133,23 @@ func respAliases(body ast.Node) map[string]bool {
 		if id, ok := x.(*ast.Ident); ok && id.Name != "_" && !aliases[id.Name] && !respName(id.Name) {
 			aliases[id.Name] = true
 			return true
+		}
+		return false
+	}
+	// carriesThroughCall reports whether a call's result aliases a response
+	// argument: the resolved callee returns the parameter the buffer lands in.
+	carriesThroughCall := func(call *ast.CallExpr) bool {
+		if pass.Prog == nil {
+			return false
+		}
+		cs := pass.Prog.SiteOf(call)
+		if cs == nil {
+			return false
+		}
+		for i, arg := range call.Args {
+			if isResp(arg) && sum.returnsParam[cs.Callee][cs.ParamOf(i)] {
+				return true
+			}
 		}
 		return false
 	}
@@ -138,6 +172,9 @@ func respAliases(body ast.Node) map[string]bool {
 								}
 							}
 						}
+						if !carries {
+							carries = carriesThroughCall(call)
+						}
 					}
 					if carries && mark(n.Lhs[i]) {
 						changed = true
@@ -156,12 +193,175 @@ func respAliases(body ast.Node) map[string]bool {
 	return aliases
 }
 
+// summary holds the interprocedural facts statusbit derives once per run
+// from the load-set call graph; both maps are keyed by callee and then by
+// parameter index.
+type summary struct {
+	returnsParam map[*analysis.FuncInfo]map[int]bool // result aliases this parameter
+	rawReads     map[*analysis.FuncInfo]map[int]bool // this parameter is indexed/sliced in read position
+}
+
+// summarize iterates the program's functions to a fixpoint. Functions in
+// exempt packages and the sanctioned decoders contribute nothing: they are
+// allowed to touch raw bytes, so neither aliasing through them nor reads
+// inside them taint callers.
+func summarize(prog *analysis.Program) *summary {
+	s := &summary{
+		returnsParam: map[*analysis.FuncInfo]map[int]bool{},
+		rawReads:     map[*analysis.FuncInfo]map[int]bool{},
+	}
+	if prog == nil {
+		return s
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range prog.Funcs() {
+			if s.update(fi) {
+				changed = true
+			}
+		}
+	}
+	return s
+}
+
+// sanctioned reports whether fi may handle raw response bytes by design.
+func sanctioned(fi *analysis.FuncInfo) bool {
+	for _, ex := range exempt {
+		if fi.Pkg.Path == ex {
+			return true
+		}
+	}
+	return decoders[fi.Name()]
+}
+
+// update recomputes fi's summary entries, returning whether anything grew.
+func (s *summary) update(fi *analysis.FuncInfo) bool {
+	if sanctioned(fi) {
+		return false
+	}
+	params := paramIndex(fi)
+	if len(params) == 0 {
+		return false
+	}
+	changed := false
+	markRead := func(idx int) {
+		if !s.rawReads[fi][idx] {
+			if s.rawReads[fi] == nil {
+				s.rawReads[fi] = map[int]bool{}
+			}
+			s.rawReads[fi][idx] = true
+			changed = true
+		}
+	}
+	markReturn := func(idx int) {
+		if !s.returnsParam[fi][idx] {
+			if s.returnsParam[fi] == nil {
+				s.returnsParam[fi] = map[int]bool{}
+			}
+			s.returnsParam[fi][idx] = true
+			changed = true
+		}
+	}
+	paramOf := func(x ast.Expr) (int, bool) {
+		id := rootIdent(x)
+		if id == nil {
+			return 0, false
+		}
+		idx, ok := params[id.Name]
+		return idx, ok
+	}
+
+	parents := analysis.Parents(fi.Decl.Body)
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr, *ast.SliceExpr:
+			// A direct raw read of a parameter, whatever it is named.
+			expr := n.(ast.Expr)
+			idx, ok := paramOf(expr)
+			if !ok {
+				return true
+			}
+			// Nested slot selections defer to the enclosing expression,
+			// exactly as in the per-function walk.
+			switch p := parents[n].(type) {
+			case *ast.IndexExpr:
+				if p.X == n {
+					return true
+				}
+			case *ast.SliceExpr:
+				if p.X == n {
+					return true
+				}
+			}
+			if isWriteOrChecked(expr, parents) {
+				return true
+			}
+			if analysis.HasAllow(fi.Pkg.Fset, fi.File, "statusbit", n.Pos()) {
+				return true // documented contract: does not taint callers
+			}
+			markRead(idx)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if idx, ok := paramOf(res); ok {
+					markReturn(idx)
+				}
+			}
+		}
+		return true
+	})
+
+	// Transitive steps through resolved calls: passing a parameter into a
+	// raw-reading position reads it; returning a returns-param call of a
+	// parameter returns it.
+	for _, cs := range fi.Calls {
+		if sanctioned(cs.Callee) {
+			continue
+		}
+		if analysis.HasAllow(fi.Pkg.Fset, fi.File, "statusbit", cs.Call.Pos()) {
+			continue
+		}
+		inReturn := false
+		for p := ast.Node(cs.Call); p != nil; p = parents[p] {
+			if _, ok := p.(*ast.ReturnStmt); ok {
+				inReturn = true
+				break
+			}
+		}
+		for i, arg := range cs.Call.Args {
+			idx, ok := paramOf(arg)
+			if !ok {
+				continue
+			}
+			pidx := cs.ParamOf(i)
+			if s.rawReads[cs.Callee][pidx] {
+				markRead(idx)
+			}
+			if inReturn && s.returnsParam[cs.Callee][pidx] {
+				markReturn(idx)
+			}
+		}
+	}
+	return changed
+}
+
+// paramIndex maps fi's named parameters to their indices.
+func paramIndex(fi *analysis.FuncInfo) map[string]int {
+	params := map[string]int{}
+	for i, name := range fi.ParamNames() {
+		if name != "" && name != "_" {
+			params[name] = i
+		}
+	}
+	return params
+}
+
 func run(pass *analysis.Pass) error {
 	for _, ex := range exempt {
 		if pass.PkgPath == ex {
 			return nil
 		}
 	}
+	sum := summarize(pass.Prog)
 	for _, f := range pass.Files {
 		parents := analysis.Parents(f)
 		// Alias sets are per-function: a local that copies a response
@@ -173,10 +373,14 @@ func run(pass *analysis.Pass) error {
 				if fn.Body == nil {
 					return false
 				}
-				aliases = respAliases(fn.Body)
+				aliases = respAliases(pass, sum, fn.Body)
 				ast.Inspect(fn.Body, walk)
 				aliases = map[string]bool{}
 				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkCallSite(pass, sum, call, aliases)
+				return true
 			}
 			var operand ast.Expr
 			switch n := n.(type) {
@@ -219,6 +423,40 @@ func run(pass *analysis.Pass) error {
 		ast.Inspect(f, walk)
 	}
 	return nil
+}
+
+// checkCallSite flags a response buffer handed whole to a helper whose
+// summary says it reads the corresponding parameter raw. Slice and index
+// arguments (resp[8:]) are already covered by the per-expression walk; this
+// catches the bare hand-off (helper(resp)) that the name check alone cannot
+// see past.
+func checkCallSite(pass *analysis.Pass, sum *summary, call *ast.CallExpr, aliases map[string]bool) {
+	if pass.Prog == nil {
+		return
+	}
+	cs := pass.Prog.SiteOf(call)
+	if cs == nil || sanctioned(cs.Callee) {
+		return
+	}
+	for i, arg := range call.Args {
+		name := bufName(arg)
+		if name == "" {
+			if id := rootIdent(arg); id != nil && aliases[id.Name] {
+				name = id.Name
+			}
+		}
+		if name == "" {
+			continue
+		}
+		switch arg.(type) {
+		case *ast.IndexExpr, *ast.SliceExpr:
+			continue // index/slice arguments are the per-expression walk's job
+		}
+		if sum.rawReads[cs.Callee][cs.ParamOf(i)] {
+			pass.Reportf(arg.Pos(), "response buffer %s passed to %s, which reads payload bytes before a status check; validate the header first or route payload access through the kv decode helpers",
+				name, cs.Callee.Name())
+		}
+	}
 }
 
 // isWriteOrChecked reports whether the index/slice expression expr appears

@@ -41,8 +41,9 @@ func direct(a alloc) ([]byte, error) {
 
 type pool struct{ bufs [][]byte }
 
-// stashed parks the buffer in a long-lived pool; that ownership transfer
-// is invisible to the intraprocedural check and must be documented.
+// stashed parks the buffer in a long-lived pool. A stash into a struct
+// field is not a free, a post, or a return, so even the summary-aware check
+// cannot prove the transfer; it must be documented.
 func stashed(a alloc, p *pool) {
 	buf, _ := a.MallocBuf(64) //rfpvet:allow buflifecycle buffer ownership moves to the pool, freed by pool.drain
 	p.bufs = append(p.bufs, buf)
@@ -116,4 +117,89 @@ func appendWithoutTransfer(a alloc) {
 	buf, _ := a.MallocBuf(64) // want `MallocBuf result in appendWithoutTransfer is neither freed`
 	bufs = append(bufs, buf)
 	_ = bufs
+}
+
+// Interprocedural cases: the call-graph summaries recognize frees, posts,
+// and fresh-buffer returns that happen on the far side of a helper.
+
+// release frees its argument; handing a buffer to it resolves ownership.
+func release(a alloc, buf []byte) {
+	_ = a.FreeBuf(buf)
+}
+
+// releaseChain frees two hops away.
+func releaseChain(a alloc, buf []byte) {
+	release(a, buf)
+}
+
+func freedViaHelper(a alloc) {
+	buf, _ := a.MallocBuf(64)
+	buf[0] = 1
+	release(a, buf)
+}
+
+func freedViaChain(a alloc) {
+	buf, _ := a.MallocBuf(64)
+	releaseChain(a, buf)
+}
+
+// enqueue posts its argument on the ring: the poller owns the release.
+func enqueue(q qp, buf []byte) uint64 {
+	return q.Post(buf)
+}
+
+func postedViaHelper(a alloc, q qp) uint64 {
+	buf, _ := a.MallocBuf(64)
+	return enqueue(q, buf)
+}
+
+// helperOtherArg: the helper frees its SECOND parameter; handing the
+// malloc'd buffer as the first is no transfer.
+func freeSecond(a alloc, keep, doomed []byte) {
+	_ = a.FreeBuf(doomed)
+	_ = keep
+}
+
+func stillLeaksViaHelper(a alloc, other []byte) {
+	buf, _ := a.MallocBuf(64) // want `MallocBuf result in stillLeaksViaHelper is neither freed`
+	freeSecond(a, buf, other)
+}
+
+// newBuf returns a fresh buffer: the caller becomes the owner.
+func newBuf(a alloc) []byte {
+	buf, _ := a.MallocBuf(64)
+	return buf
+}
+
+func leakFromHelper(a alloc) {
+	buf := newBuf(a) // want `buffer returned by newBuf in leakFromHelper is neither freed`
+	buf[0] = 1
+}
+
+func freedFromHelper(a alloc) {
+	buf := newBuf(a)
+	buf[0] = 1
+	_ = a.FreeBuf(buf)
+}
+
+func relayedFromHelper(a alloc) []byte {
+	buf := newBuf(a)
+	return buf
+}
+
+// directFromHelper hands the fresh buffer straight through.
+func directFromHelper(a alloc) []byte {
+	return newBuf(a)
+}
+
+func helperFreedFromHelper(a alloc) {
+	buf := newBuf(a)
+	release(a, buf)
+}
+
+// stashedFromHelper: the pool stash needs the same documentation a direct
+// MallocBuf would.
+func stashedFromHelper(a alloc, p *pool) {
+	buf := newBuf(a) //rfpvet:allow buflifecycle ownership parks in the pool, freed by pool.drain
+	p.bufs = append(p.bufs, buf)
 }

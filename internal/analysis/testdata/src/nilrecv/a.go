@@ -1,0 +1,87 @@
+// Package nilrecv is golden testdata for the nilrecv analyzer: exported
+// methods of //rfp:nilsafe types must guard against a nil receiver before
+// touching receiver fields, so a detached (nil) instrument stays a valid
+// no-op.
+package nilrecv
+
+//rfp:nilsafe
+type recorder struct {
+	calls int
+	last  int
+}
+
+// Add is the canonical guarded shape.
+func (r *recorder) Add(n int) {
+	if r == nil {
+		return
+	}
+	r.calls += n
+	r.last = n
+}
+
+// MustAdd: a guard that panics also dominates the rest of the body.
+func (r *recorder) MustAdd(n int) {
+	if r == nil {
+		panic("nil recorder")
+	}
+	r.calls += n
+}
+
+// Bump reads a field with no guard in sight.
+func (r *recorder) Bump() {
+	r.calls++ // want `exported method Bump of nil-safe type recorder reads receiver field "calls" before a nil guard`
+}
+
+// Count has a value receiver: the call itself dereferences a nil pointer
+// before the body can check anything.
+func (r recorder) Count() int { // want `exported method Count of nil-safe type recorder has a value receiver`
+	return r.calls
+}
+
+// bump is unexported: it runs behind an exported guard.
+func (r *recorder) bump() {
+	r.calls++
+}
+
+// Total may call methods on the receiver before guarding — the callee does
+// its own nil check.
+func (r *recorder) Total() int {
+	return r.sum()
+}
+
+func (r *recorder) sum() int {
+	if r == nil {
+		return 0
+	}
+	return r.calls + r.last
+}
+
+// Maybe wraps the field accesses in an `if r != nil` body: guarded.
+func (r *recorder) Maybe(n int) {
+	if r != nil {
+		r.calls += n
+	}
+}
+
+// Lopsided touches fields in the else branch, where the receiver is nil.
+func (r *recorder) Lopsided(n int) {
+	if r != nil {
+		r.calls += n
+	} else {
+		r.last = n // want `exported method Lopsided of nil-safe type recorder reads receiver field "last" before a nil guard`
+	}
+}
+
+// Reset documents a deliberate unguarded access.
+func (r *recorder) Reset() {
+	r.calls = 0 //rfpvet:allow nilrecv only reachable through a non-nil owner, see the factory
+}
+
+// Version never names the receiver: nothing to guard.
+func (*recorder) Version() int { return 1 }
+
+// plain is not nil-safe: its methods owe no guards.
+type plain struct{ n int }
+
+func (p plain) Get() int   { return p.n }
+func (p *plain) Set(n int) { p.n = n }

@@ -120,3 +120,79 @@ func unrelatedOK(src [][]byte, d int) byte {
 	copy(scratch, src)
 	return scratch[0][0]
 }
+
+// Interprocedural cases: helpers with innocently named parameters can
+// neither launder a response buffer through their return value nor hide a
+// raw read behind a call — the call-graph summaries carry both facts back
+// to the caller.
+
+// view returns its parameter: the result aliases the response bytes.
+func view(b []byte) []byte { return b }
+
+func badViaReturnAlias(resp []byte) byte {
+	v := view(resp)
+	return v[1] // want `raw read of response buffer v before status check`
+}
+
+func badViaReturnAliasChain(resp []byte) byte {
+	v := view(resp)
+	w := view(v)
+	return w[0] // want `raw read of response buffer w before status check`
+}
+
+// peek reads its parameter raw; its name check sees nothing wrong, but the
+// summary does.
+func peek(b []byte) byte { return b[0] }
+
+// peekDeep hides the read one more hop down.
+func peekDeep(b []byte) byte { return peek(b) }
+
+func badViaHelperRead(resp []byte) byte {
+	return peek(resp) // want `response buffer resp passed to peek`
+}
+
+func badViaHelperChain(reply []byte) byte {
+	return peekDeep(reply) // want `response buffer reply passed to peekDeep`
+}
+
+func badFieldViaHelper(c *client) byte {
+	return peek(c.respBuf) // want `response buffer respBuf passed to peek`
+}
+
+func badAliasViaHelper(resp []byte) byte {
+	alias := resp
+	return peek(alias) // want `response buffer alias passed to peek`
+}
+
+// fill writes into its parameter — no raw read, callers pass freely.
+func fill(b []byte, src []byte) {
+	b[0] = 1
+	copy(b[1:], src)
+}
+
+func writeViaHelperOK(resp, src []byte) {
+	fill(resp, src)
+}
+
+// sizeOf only measures the buffer; passing a response to it is harmless.
+func sizeOf(b []byte) int { return len(b) }
+
+func lenViaHelperOK(resp []byte) int {
+	return sizeOf(resp)
+}
+
+// suppressedViaHelper documents the contract at the call site, exactly as
+// a direct raw read would.
+func suppressedViaHelper(resp []byte) byte {
+	return peek(resp) //rfpvet:allow statusbit caller validated the status header before fetching payload
+}
+
+// vetted reads its parameter under a documented contract; the allow keeps
+// the read out of the summary, so callers are not tainted.
+func vetted(b []byte) byte {
+	return b[0] //rfpvet:allow statusbit callers validate the header before handing the buffer over
+}
+
+func vettedViaHelperOK(resp []byte) byte {
+	return vetted(resp)
+}

@@ -1,0 +1,70 @@
+// Package rnicx is golden testdata for the errdrop analyzer: inside the
+// core/rnic/faults package prefixes, verb-layer errors and completion
+// statuses (CQE results) may not be discarded as bare statements or blank
+// assignments. Deferred cleanup is exempt; deliberate drops carry an
+// //rfpvet:allow with the reason.
+package rnicx
+
+// CQE mirrors the verb layer's completion record.
+type CQE struct{ Status int }
+
+type qp struct{}
+
+func (qp) Write(off int) error  { return nil }
+func (qp) Wait() CQE            { return CQE{} }
+func (qp) TryPoll() (CQE, bool) { return CQE{}, false }
+func (qp) Flush() (int, error)  { return 0, nil }
+func (qp) Close() error         { return nil }
+func (qp) Depth() int           { return 0 }
+
+func bareStatement(q qp) {
+	q.Write(1) // want `statement discards the error returned by q.Write`
+}
+
+func bareCQE(q qp) {
+	q.Wait() // want `statement discards the completion status \(CQE\) returned by q.Wait`
+}
+
+func blankAssign(q qp) {
+	_ = q.Write(1) // want `blank identifier discards the error returned by q.Write`
+}
+
+func tupleBlankCQE(q qp) bool {
+	_, ok := q.TryPoll() // want `blank identifier discards the completion status \(CQE\) returned by q.TryPoll`
+	return ok
+}
+
+func tupleBlankErr(q qp) int {
+	n, _ := q.Flush() // want `blank identifier discards the error returned by q.Flush`
+	return n
+}
+
+func goDiscard(q qp) {
+	go q.Write(1) // want `go statement discards the error returned by q.Write`
+}
+
+// handled returns the error to its caller: the result is not dropped.
+func handled(q qp) error {
+	return q.Write(1)
+}
+
+// checked consumes the completion status.
+func checked(q qp) int {
+	e := q.Wait()
+	return e.Status
+}
+
+// deferredCleanupOK: failing cleanup has no one left to report to.
+func deferredCleanupOK(q qp) {
+	defer q.Close()
+}
+
+// plainResultOK: results the invariant does not cover drop freely.
+func plainResultOK(q qp) {
+	q.Depth()
+}
+
+// suppressed documents a deliberate drop at the site.
+func suppressed(q qp) {
+	_ = q.Write(1) //rfpvet:allow errdrop best-effort teardown on an already-failed connection
+}

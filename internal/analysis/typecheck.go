@@ -1,0 +1,94 @@
+package analysis
+
+// Tolerant go/types checking for the loaded package set.
+//
+// The driver stays standard-library-only, so it cannot use go/importer's
+// compiler-export-data path (no build cache contract) or x/tools' source
+// importer. Instead, packages inside the load set are type-checked from
+// source in import-dependency order, and every import that cannot be
+// resolved that way — the standard library, out-of-set module packages,
+// testdata scenarios with fake import paths — is satisfied by an empty
+// placeholder package. Selectors into placeholders fail to type-check; the
+// resulting errors are collected nowhere and deliberately ignored.
+//
+// The practical contract for analyzers is therefore: type information is
+// BEST-EFFORT. Expressions whose types flow only through in-set code resolve
+// fully; anything touching a placeholder import has invalid type info.
+// Every analyzer must tolerate nil objects and invalid types and fall back
+// to syntax.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// typeCheck populates Types and Info on every package in the set, resolving
+// in-set imports from source and everything else with placeholders.
+func typeCheck(pkgs []*Package) {
+	imp := &setImporter{
+		byPath:  make(map[string]*Package, len(pkgs)),
+		checked: make(map[string]*types.Package),
+		busy:    make(map[string]bool),
+	}
+	for _, p := range pkgs {
+		imp.byPath[p.Path] = p
+	}
+	for _, p := range pkgs {
+		imp.ensure(p)
+	}
+}
+
+// setImporter resolves imports against the load set, checking dependencies
+// on demand, and fabricates empty placeholder packages for the rest.
+type setImporter struct {
+	byPath  map[string]*Package
+	checked map[string]*types.Package
+	busy    map[string]bool // cycle guard while a package is mid-check
+}
+
+// ensure type-checks p (and, transitively, its in-set imports) once.
+func (imp *setImporter) ensure(p *Package) {
+	if _, done := imp.checked[p.Path]; done || imp.busy[p.Path] {
+		return
+	}
+	imp.busy[p.Path] = true
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: imp,
+		// Placeholder imports guarantee type errors; checking continues
+		// past them and the partial Info maps are what analyzers consume.
+		Error: func(error) {},
+	}
+	tpkg, _ := conf.Check(p.Path, p.Fset, p.Files, info)
+	p.Types, p.Info = tpkg, info
+	imp.checked[p.Path] = tpkg
+	delete(imp.busy, p.Path)
+}
+
+// Import implements types.Importer over the load set.
+func (imp *setImporter) Import(path string) (*types.Package, error) {
+	if p, ok := imp.byPath[path]; ok && !imp.busy[path] {
+		imp.ensure(p)
+	}
+	if tp, ok := imp.checked[path]; ok && tp != nil {
+		return tp, nil
+	}
+	name := path
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	if name == "" {
+		name = "pkg"
+	}
+	tp := types.NewPackage(path, name)
+	tp.MarkComplete()
+	imp.checked[path] = tp
+	return tp, nil
+}

@@ -89,6 +89,7 @@ type Client struct {
 	outstanding int
 	pendingMode Mode // mode switch deferred until the ring quiesces
 	hasPending  bool
+	wrScratch   []rnic.WR // issue() batch staging, reused across engine steps
 
 	// Deferred parameter changes (control plane): like mode switches, F
 	// and depth changes decided while posts are in flight apply only once
@@ -315,6 +316,7 @@ func (c *Client) Close(p *sim.Proc) error {
 	if c.needReconnect && c.recoveryOn() {
 		// Best effort: tear-down wants to reach the (restarted) server's
 		// flag byte so its Serve loops drop the connection.
+		//rfpvet:allow errdrop best-effort teardown; a failed reconnect leaves nothing to close
 		_ = c.reconnect(p)
 	}
 	c.closed = true

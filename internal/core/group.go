@@ -77,6 +77,8 @@ func (g *Group) Add(c *Client) error {
 // progress is the group engine: one reap/issue/await cycle spanning every
 // member (the grouped counterpart of Client.progress). Reaping first means
 // freshly delivered requests immediately join the members' fetch doorbells.
+//
+//rfp:hotpath
 func (g *Group) progress(p *sim.Proc) {
 	advanced := false
 	for {
@@ -130,6 +132,8 @@ func (g *Group) progress(p *sim.Proc) {
 
 // dispatch routes one completion to the member its WR ID names. Stale tags
 // (beyond the member list) are dropped like stale slots.
+//
+//rfp:hotpath
 func (g *Group) dispatch(p *sim.Proc, e rnic.CQE) bool {
 	if i := int(e.ID >> 48); i < len(g.members) {
 		return g.members[i].handleCQE(p, e)

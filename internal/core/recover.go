@@ -173,6 +173,8 @@ func (c *Client) deliver(p *sim.Proc) error {
 // polling the same connection object and WR-ID member tags stay valid. This
 // is ring re-registration under the quiesce rule: the caller guarantees no
 // posted request still references the old buffers.
+//
+//rfp:quiesced callers hold the quiesce rule — Post/reconnectBlocking require outstanding == 0, and the sync recovery path has resolved or abandoned slot 0 before reconnecting
 func (c *Client) reconnect(p *sim.Proc) error {
 	if c.closed {
 		return ErrClosed
@@ -258,6 +260,7 @@ func (c *Client) demote(p *sim.Proc) {
 		// A failed flag write is tolerable: the client is locally in reply
 		// mode and keeps fallback-fetching (justSwitched) until the flag
 		// eventually lands via resend-path reconnects.
+		//rfpvet:allow errdrop demotion is local-first; the mode flag lands later via resend-path reconnects
 		_ = c.switchMode(p, ModeReply)
 		return
 	}
@@ -288,6 +291,8 @@ func (c *Client) failInflight(err error) {
 // slotTimers fires one slot's due recovery timers: terminal deadline,
 // deferred request (re)post after backoff, and request re-delivery for a
 // call unanswered past resendAt. Reports whether the slot advanced.
+//
+//rfp:hotpath
 func (c *Client) slotTimers(p *sim.Proc, i int) bool {
 	sl := &c.slots[i]
 	switch sl.state {
@@ -317,6 +322,8 @@ func (c *Client) slotTimers(p *sim.Proc, i int) bool {
 
 // repostSend (re)posts slot i's request write — same slot, same sequence
 // number; the staging buffer still holds the request bytes.
+//
+//rfp:hotpath
 func (c *Client) repostSend(p *sim.Proc, i int) {
 	sl := &c.slots[i]
 	sl.state = slotPosted
@@ -332,6 +339,8 @@ func (c *Client) repostSend(p *sim.Proc, i int) {
 
 // nextTimer returns the earliest pending recovery timer across the ring,
 // so an otherwise-idle poll loop can sleep exactly until it is due.
+//
+//rfp:hotpath
 func (c *Client) nextTimer() (sim.Time, bool) {
 	var t sim.Time
 	found := false

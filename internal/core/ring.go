@@ -93,11 +93,14 @@ const (
 	wrKindFetch2        // continuation read (size > F)
 )
 
+//rfp:hotpath
 func wrID(kind, slot int, seq uint16) uint64 {
 	return uint64(kind) | uint64(slot)<<8 | uint64(seq)<<32
 }
 
 // ringID is wrID with the client's group member tag OR-ed in.
+//
+//rfp:hotpath
 func (c *Client) ringID(kind, slot int, seq uint16) uint64 {
 	return c.tag | wrID(kind, slot, seq)
 }
@@ -114,11 +117,14 @@ func (c *Client) Outstanding() int { return c.outstanding }
 // payload is copied into the slot's staging buffer before Post returns, so
 // the caller may immediately reuse req. The returned handle must be
 // redeemed with Poll. With every slot in flight, Post returns ErrRingFull.
+//
+//rfp:hotpath
 func (c *Client) Post(p *sim.Proc, req []byte) (Handle, error) {
 	if c.closed {
 		return Handle{}, ErrClosed
 	}
 	if len(req) > c.maxReq {
+		//rfpvet:allow hotpathalloc oversized-request error path, never taken by well-formed callers
 		return Handle{}, fmt.Errorf("core: request of %d bytes exceeds limit %d", len(req), c.maxReq)
 	}
 	start := p.Now()
@@ -187,6 +193,8 @@ func (c *Client) Post(p *sim.Proc, req []byte) (Handle, error) {
 // in-flight slot: fetch reads for all awaiting slots share one doorbell, so
 // deep rings keep the NIC's issue engine busy instead of one round trip at
 // a time.
+//
+//rfp:hotpath
 func (c *Client) Poll(p *sim.Proc, h Handle, out []byte) (int, error) {
 	if h.slot < 0 || h.slot >= c.depth {
 		return 0, ErrBadHandle
@@ -250,6 +258,8 @@ func (c *Client) Poll(p *sim.Proc, h Handle, out []byte) (int, error) {
 }
 
 // applyPendingMode performs a deferred mode switch once the ring is empty.
+//
+//rfp:hotpath
 func (c *Client) applyPendingMode(p *sim.Proc) error {
 	if !c.hasPending || c.outstanding > 0 {
 		return nil
@@ -258,6 +268,7 @@ func (c *Client) applyPendingMode(p *sim.Proc) error {
 	return c.switchMode(p, c.pendingMode)
 }
 
+//rfp:hotpath
 func (c *Client) releaseSlot(i int) {
 	c.slots[i] = slot{}
 	c.outstanding--
@@ -269,6 +280,8 @@ func (c *Client) releaseSlot(i int) {
 }
 
 // anyInState reports whether any slot is in one of the given phases.
+//
+//rfp:hotpath
 func (c *Client) anyInState(states ...slotPhase) bool {
 	for i := range c.slots {
 		for _, st := range states {
@@ -285,6 +298,8 @@ func (c *Client) anyInState(states ...slotPhase) bool {
 // until the next completion (or, in reply mode, the next sparse local
 // poll). A grouped connection delegates to the group engine, which runs the
 // same reap/issue/await cycle across every member at once.
+//
+//rfp:hotpath
 func (c *Client) progress(p *sim.Proc) {
 	if c.group != nil {
 		c.group.progress(p)
@@ -302,6 +317,8 @@ func (c *Client) progress(p *sim.Proc) {
 
 // reap drains the connection's completion queue without blocking, routing
 // each completion to its slot.
+//
+//rfp:hotpath
 func (c *Client) reap(p *sim.Proc) bool {
 	advanced := false
 	for {
@@ -319,10 +336,16 @@ func (c *Client) reap(p *sim.Proc) bool {
 // issue posts work for every slot that can proceed: in fetch mode one fetch
 // read per awaiting slot, the batch sharing a doorbell; in reply mode a
 // check of each awaiting slot's local landing.
+//
+//rfp:hotpath
 func (c *Client) issue(p *sim.Proc) bool {
 	if c.mode == ModeFetch {
 		advanced := false
-		var wrs []rnic.WR
+		// Batch into the connection's persistent scratch: a fresh []WR here
+		// would heap-allocate on every engine step of every deep-ring call
+		// (the WRs are copied into the send queue before Post/PostBatch
+		// return, so reuse is safe).
+		c.wrScratch = c.wrScratch[:0]
 		for i := range c.slots {
 			sl := &c.slots[i]
 			if c.recoveryOn() && c.slotTimers(p, i) {
@@ -335,7 +358,7 @@ func (c *Client) issue(p *sim.Proc) bool {
 			if c.recoveryOn() && sl.retryAt > p.Now() {
 				continue // backing off after a failed fetch
 			}
-			wrs = append(wrs, rnic.WR{
+			c.wrScratch = append(c.wrScratch, rnic.WR{
 				ID:     c.ringID(wrKindFetch, i, sl.seq),
 				Op:     rnic.WRRead,
 				Remote: c.server,
@@ -344,14 +367,14 @@ func (c *Client) issue(p *sim.Proc) bool {
 			})
 			sl.state = slotReading
 		}
-		if len(wrs) == 1 {
-			c.qp.Post(p, c.cq, wrs[0])
-		} else if len(wrs) > 1 {
-			c.qp.PostBatch(p, c.cq, wrs)
+		if len(c.wrScratch) == 1 {
+			c.qp.Post(p, c.cq, c.wrScratch[0])
+		} else if len(c.wrScratch) > 1 {
+			c.qp.PostBatch(p, c.cq, c.wrScratch)
 		}
-		if len(wrs) > 0 {
-			c.Stats.FetchReads += uint64(len(wrs))
-			c.rec.Reads(len(wrs))
+		if n := len(c.wrScratch); n > 0 {
+			c.Stats.FetchReads += uint64(n)
+			c.rec.Reads(n)
 			return true
 		}
 		return advanced
@@ -384,6 +407,8 @@ func (c *Client) issue(p *sim.Proc) bool {
 // await blocks until hardware or the server moves: wait for the next
 // completion if one is owed, else poll the reply landing sparsely (cheap
 // for the CPU, exactly like the sync reply wait).
+//
+//rfp:hotpath
 func (c *Client) await(p *sim.Proc) {
 	if c.anyInState(slotPosted, slotReading) {
 		c.handleCQE(p, c.cq.Wait(p))
@@ -404,6 +429,8 @@ func (c *Client) await(p *sim.Proc) {
 
 // replyNap is one sparse reply-mode poll interval, with the CPU idle for
 // everything past the poll itself.
+//
+//rfp:hotpath
 func (c *Client) replyNap(p *sim.Proc) {
 	p.Sleep(sim.Duration(c.params.ReplyPollNs))
 	if idle := c.params.ReplyPollNs - c.machine.Profile().LocalPollNs; idle > 0 {
@@ -414,6 +441,8 @@ func (c *Client) replyNap(p *sim.Proc) {
 // handleCQE routes one completion to its slot, reporting whether any state
 // advanced. Stale completions — for a slot Close resolved or a seq long
 // claimed — are dropped.
+//
+//rfp:hotpath
 func (c *Client) handleCQE(p *sim.Proc, e rnic.CQE) bool {
 	kind := int(e.ID & 0xff)
 	si := int(e.ID >> 8 & 0xffffff)
@@ -484,6 +513,7 @@ func (c *Client) handleCQE(p *sim.Proc, e rnic.CQE) bool {
 		}
 		if hdr.size > c.maxResp {
 			sl.state = slotFailed
+			//rfpvet:allow hotpathalloc size-overflow error path, terminal for the call
 			sl.err = fmt.Errorf("core: server announced %d-byte response beyond limit %d", hdr.size, c.maxResp)
 			return true
 		}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"rfp/internal/sim"
+)
+
+// TestIssueScratchReuse pins the fix for the per-step WR batch allocation:
+// issue() must stage fetch reads in the connection's persistent wrScratch
+// rather than a fresh []WR, so a deep ring's engine step stops allocating
+// once the scratch is warm. The sim is deterministic, so after identical
+// warm-up waves the batch widths repeat exactly and the backing array must
+// survive every later wave untouched.
+func TestIssueScratchReuse(t *testing.T) {
+	const depth = 8
+	r := newRig(t, 1, ServerConfig{})
+	params := DefaultParams()
+	params.Depth = depth
+	cli, conn := r.srv.Accept(r.cluster.Clients[0], params)
+	r.srv.AddThreads(1)
+	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {
+		Serve(p, []*Conn{conn}, echoHandler)
+	})
+	ok := false
+	r.cluster.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		out := make([]byte, 64)
+		wave := func(w int) bool {
+			var hs [depth]Handle
+			for i := range hs {
+				h, err := cli.Post(p, []byte(fmt.Sprintf("sc-%02d-%02d", w, i)))
+				if err != nil {
+					t.Errorf("wave %d post %d: %v", w, i, err)
+					return false
+				}
+				hs[i] = h
+			}
+			for i, h := range hs {
+				if _, err := cli.Poll(p, h, out); err != nil {
+					t.Errorf("wave %d poll %d: %v", w, i, err)
+					return false
+				}
+			}
+			return true
+		}
+		for w := 0; w < 3; w++ { // warm-up: size the scratch to its widest batch
+			if !wave(w) {
+				return
+			}
+		}
+		if cap(cli.wrScratch) == 0 {
+			t.Error("issue() never staged a fetch batch in wrScratch")
+			return
+		}
+		warmCap := cap(cli.wrScratch)
+		head := &cli.wrScratch[:1][0]
+		for w := 3; w < 23; w++ {
+			if !wave(w) {
+				return
+			}
+		}
+		if cap(cli.wrScratch) != warmCap || &cli.wrScratch[:1][0] != head {
+			t.Errorf("wrScratch reallocated after warm-up: cap %d -> %d", warmCap, cap(cli.wrScratch))
+			return
+		}
+		if cli.Stats.FetchReads == 0 {
+			t.Error("no fetch reads issued; the scratch path was never exercised")
+			return
+		}
+		ok = true
+	})
+	r.env.Run(sim.Time(50 * sim.Millisecond))
+	if !ok {
+		t.Fatal("did not complete")
+	}
+}

@@ -100,6 +100,8 @@ func (c *Conn) Closed() bool { return c.region.Buf[0]&modeClosed != 0 }
 // fairly. If any slot holds a valid request it is consumed and its payload
 // returned; the slice is valid until the next TryRecv on this connection.
 // The poll itself costs server CPU, charged by the caller's serve loop.
+//
+//rfp:hotpath
 func (c *Conn) TryRecv(p *sim.Proc) ([]byte, bool) {
 	for i := 1; i <= c.depth; i++ {
 		s := (c.lastSlot + i) % c.depth
@@ -139,8 +141,11 @@ func (c *Conn) TryRecv(p *sim.Proc) ([]byte, bool) {
 // client has switched the connection to reply mode, the response is
 // additionally pushed with an out-bound RDMA Write; writing the local
 // buffer too keeps the fallback fetch path alive across mode-switch races.
+//
+//rfp:hotpath
 func (c *Conn) Send(p *sim.Proc, payload []byte) error {
 	if len(payload) > c.srv.cfg.MaxResponse {
+		//rfpvet:allow hotpathalloc oversized-response error path, never taken by well-formed handlers
 		return fmt.Errorf("core: response of %d bytes exceeds limit %d", len(payload), c.srv.cfg.MaxResponse)
 	}
 	procNs := int64(p.Now().Sub(c.recvAt))

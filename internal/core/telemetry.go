@@ -46,6 +46,8 @@ func (c *Client) connID() int32 {
 
 // callEvent records one client-side call-scoped span event. slot is -1 on
 // the synchronous (depth-1) path.
+//
+//rfp:hotpath
 func (c *Client) callEvent(kind trace.Kind, start, end sim.Time, slot int, seq uint16, bytes int) {
 	if c.rec == nil {
 		return
@@ -57,6 +59,8 @@ func (c *Client) callEvent(kind trace.Kind, start, end sim.Time, slot int, seq u
 }
 
 // srvEvent records one server-side call-scoped span event.
+//
+//rfp:hotpath
 func (c *Conn) srvEvent(kind trace.Kind, start, end sim.Time, slot int, seq uint16, bytes int) {
 	if c.rec == nil {
 		return

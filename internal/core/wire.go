@@ -41,6 +41,8 @@ type header struct {
 }
 
 // putHeader encodes h into buf[0:8].
+//
+//rfp:hotpath
 func putHeader(buf []byte, h header) {
 	word := uint32(h.size)
 	if h.valid {
@@ -52,6 +54,8 @@ func putHeader(buf []byte, h header) {
 }
 
 // parseHeader decodes buf[0:8].
+//
+//rfp:hotpath
 func parseHeader(buf []byte) header {
 	word := binary.LittleEndian.Uint32(buf[0:4])
 	return header{
@@ -70,6 +74,8 @@ func parseHeader(buf []byte) header {
 // rejected; the returned header carries whatever was decodable so callers
 // can tell an empty slot from a torn or corrupt one. Never panics on
 // arbitrary bytes (fuzzed in fuzz_test.go).
+//
+//rfp:hotpath
 func parseSlot(buf []byte, maxPayload int) (header, []byte, bool) {
 	if len(buf) < HeaderSize {
 		return header{}, nil, false
@@ -89,6 +95,8 @@ func parseSlot(buf []byte, maxPayload int) (header, []byte, bool) {
 // status bit clear. Until commitResponse runs, a concurrent remote fetch of
 // the slot parses as invalid (or as the previous, stale sequence) — never as
 // a valid response with half-written contents.
+//
+//rfp:hotpath
 func stageResponse(buf []byte, h header, payload []byte) {
 	copy(buf[HeaderSize:], payload)
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(h.size))
@@ -99,6 +107,8 @@ func stageResponse(buf []byte, h header, payload []byte) {
 // commitResponse publishes a staged response by setting the status bit —
 // the single byte written last, which is what makes the fetch-side validity
 // check sound (paper Fig. 7; property-tested in wire_prop_test.go).
+//
+//rfp:hotpath
 func commitResponse(buf []byte, h header) {
 	if h.valid {
 		buf[3] |= 1 << 7
@@ -106,6 +116,8 @@ func commitResponse(buf []byte, h header) {
 }
 
 // putResponse is stage + commit in order: the full response publish.
+//
+//rfp:hotpath
 func putResponse(buf []byte, h header, payload []byte) {
 	stageResponse(buf, h, payload)
 	commitResponse(buf, h)
@@ -113,6 +125,8 @@ func putResponse(buf []byte, h header, payload []byte) {
 
 // clampTimeUs converts a nanosecond duration to the header's 16-bit
 // microsecond field, saturating at the field's maximum.
+//
+//rfp:hotpath
 func clampTimeUs(ns int64) uint16 {
 	us := ns / 1000
 	if us > 65535 {

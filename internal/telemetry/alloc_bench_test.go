@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"testing"
+
+	"rfp/internal/trace"
+)
+
+// BenchmarkRecorderAllocs pins the package's central promise: every hot-path
+// hook — counters, histograms, the occupancy gauge, and span recording into
+// a pre-sized ring — runs without heap allocation, on both a live and a
+// detached (nil) recorder. AllocsPerRun makes the check exact; any regression
+// fails the benchmark rather than just slowing it down.
+func BenchmarkRecorderAllocs(b *testing.B) {
+	rec := New(Config{SpanEvents: 64})
+	ev := trace.Event{Kind: trace.CallPost, Conn: 1, Slot: 2, Seq: 3}
+	hooks := func() {
+		rec.Call(1500, 400, 900, false)
+		rec.Call(2100, 500, 1200, true)
+		rec.Writes(1)
+		rec.Reads(4)
+		rec.Retries(1)
+		rec.Fallback()
+		rec.Occupancy(7)
+		rec.Event(ev)
+	}
+	if allocs := testing.AllocsPerRun(1000, hooks); allocs != 0 {
+		b.Fatalf("hot-path hooks allocate %v times per op, want 0", allocs)
+	}
+	var detached *Recorder
+	nilHooks := func() {
+		detached.Call(1500, 400, 900, false)
+		detached.Writes(1)
+		detached.Reads(1)
+		detached.Retries(1)
+		detached.Fallback()
+		detached.Occupancy(1)
+		detached.Event(ev)
+	}
+	if allocs := testing.AllocsPerRun(1000, nilHooks); allocs != 0 {
+		b.Fatalf("detached-recorder hooks allocate %v times per op, want 0", allocs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hooks()
+	}
+}

@@ -23,6 +23,8 @@ type Hist struct {
 // Add records one sample (negative values clamp to zero). Single-writer:
 // the simulation records from one goroutine; atomics make concurrent
 // snapshot reads race-clean, not concurrent writers.
+//
+//rfp:hotpath
 func (h *Hist) Add(v int64) {
 	if v < 0 {
 		v = 0
@@ -129,6 +131,8 @@ const (
 // bucketOf maps a non-negative value to its bucket index. Values below
 // histSub map exactly; above, the top histSubBits bits under the leading
 // one select the sub-bucket.
+//
+//rfp:hotpath
 func bucketOf(v int64) int {
 	if v < 0 {
 		v = 0

@@ -49,6 +49,8 @@ type Config struct {
 // Recorder accumulates per-call telemetry. One recorder may be shared by
 // any number of connections (a Group, a Jakiro client's partitions, a whole
 // shard fan-out); counters then aggregate across them.
+//
+//rfp:nilsafe
 type Recorder struct {
 	calls      atomic.Uint64
 	fetchCalls atomic.Uint64
@@ -89,6 +91,8 @@ func New(cfg Config) *Recorder {
 // Call records one completed call: its post→completion latency, the
 // request-delivery leg, and the completion leg attributed to fetch or
 // server-reply mode.
+//
+//rfp:hotpath
 func (r *Recorder) Call(totalNs, sendNs, recvNs int64, reply bool) {
 	if r == nil {
 		return
@@ -106,6 +110,8 @@ func (r *Recorder) Call(totalNs, sendNs, recvNs int64, reply bool) {
 }
 
 // Writes counts n issued request writes (posts, resends).
+//
+//rfp:hotpath
 func (r *Recorder) Writes(n int) {
 	if r == nil {
 		return
@@ -115,6 +121,8 @@ func (r *Recorder) Writes(n int) {
 
 // Reads counts n issued result fetches (first reads, retries,
 // continuations, fallback probes).
+//
+//rfp:hotpath
 func (r *Recorder) Reads(n int) {
 	if r == nil {
 		return
@@ -123,6 +131,8 @@ func (r *Recorder) Reads(n int) {
 }
 
 // Retries counts n fetch attempts that read an incomplete or stale image.
+//
+//rfp:hotpath
 func (r *Recorder) Retries(n int) {
 	if r == nil {
 		return
@@ -131,6 +141,8 @@ func (r *Recorder) Retries(n int) {
 }
 
 // Fallback counts one mid-call switch from fetching to server-reply wait.
+//
+//rfp:hotpath
 func (r *Recorder) Fallback() {
 	if r == nil {
 		return
@@ -139,6 +151,8 @@ func (r *Recorder) Fallback() {
 }
 
 // Occupancy samples the ring occupancy (requests outstanding after a post).
+//
+//rfp:hotpath
 func (r *Recorder) Occupancy(n int) {
 	if r == nil {
 		return
@@ -169,6 +183,8 @@ func (r *Recorder) Decide(d Decision) {
 
 // Event records one call-scoped span event; a no-op unless the recorder was
 // configured with SpanEvents > 0. Single-writer, like trace.Ring.
+//
+//rfp:hotpath
 func (r *Recorder) Event(e trace.Event) {
 	if r == nil {
 		return

@@ -79,6 +79,8 @@ func (e Event) String() string {
 // Ring is a bounded event recorder; once full it overwrites oldest-first.
 // A nil *Ring is valid and records nothing, so instrumented code needs no
 // branches beyond the method call.
+//
+//rfp:nilsafe
 type Ring struct {
 	events []Event
 	next   int
@@ -96,6 +98,8 @@ func NewRing(capacity int) *Ring {
 }
 
 // Record appends one event. Safe on a nil receiver.
+//
+//rfp:hotpath
 func (r *Ring) Record(e Event) {
 	if r == nil {
 		return
