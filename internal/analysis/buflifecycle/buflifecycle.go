@@ -30,6 +30,18 @@
 //   - returns-fresh: a helper that returns a MallocBuf-derived buffer makes
 //     its caller the owner — a `buf := newBuf()` binding is held to the
 //     same free/return/post rule as a direct MallocBuf call.
+//
+// Slab and endpoint leases (internal/rnic's SlabRegistrar.Lease and
+// EndpointPool.Lease, DESIGN.md §13) follow the same pairing with two
+// lease-specific twists: the releasing call is a method on the lease itself
+// (lease.Release(), so the receiver — not an argument — is what gets
+// resolved), and the *designed* owner of a lease is a long-lived struct
+// (Conn.lease, Client.local, Client.epLease) that Close/retire later
+// releases. Storing a lease into a struct field is therefore a visible,
+// recognized ownership transfer for Lease results — the field name is the
+// documentation — while MallocBuf keeps the stricter return/post/free rule.
+// A Lease result that is dropped on an error path without Release, or bound
+// to a local that never escapes, is still flagged.
 package buflifecycle
 
 import (
@@ -218,13 +230,18 @@ func calleeName(call *ast.CallExpr) string {
 
 func checkFunc(pass *analysis.Pass, sum *summary, fn *ast.FuncDecl) {
 	var mallocs []*ast.CallExpr
+	var leases []*ast.CallExpr     // Lease results owned by this function
 	var freshCalls []*ast.CallExpr // calls to returns-fresh helpers: caller owns the result
 	hasFree := false
-	returned := make(map[string]bool)     // identifiers appearing in return statements
-	posted := make(map[string]bool)       // identifiers handed to Post/PostBatch
-	rangeOver := make(map[string]string)  // range variable -> ranged collection
-	appendInto := make(map[string]string) // appended element -> collection
-	returnsCall := false                  // a MallocBuf call returned directly
+	returned := make(map[string]bool)        // identifiers appearing in return statements
+	posted := make(map[string]bool)          // identifiers handed to Post/PostBatch
+	released := make(map[string]bool)        // lease receivers of a .Release() call
+	fieldStored := make(map[string]bool)     // identifiers assigned into a struct field
+	fieldCalls := make(map[ast.Expr]bool)    // Lease calls assigned straight into a field
+	returnedCalls := make(map[ast.Expr]bool) // Lease calls returned directly
+	rangeOver := make(map[string]string)     // range variable -> ranged collection
+	appendInto := make(map[string]string)    // appended element -> collection
+	returnsCall := false                     // a MallocBuf call returned directly
 
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -232,6 +249,15 @@ func checkFunc(pass *analysis.Pass, sum *summary, fn *ast.FuncDecl) {
 			switch calleeName(n) {
 			case "MallocBuf":
 				mallocs = append(mallocs, n)
+			case "Lease":
+				leases = append(leases, n)
+			case "Release":
+				// lease.Release() resolves its receiver, the lease itself.
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if id := rootIdent(sel.X); id != nil {
+						released[id.Name] = true
+					}
+				}
 			case "FreeBuf":
 				hasFree = true
 			case "Post", "PostBatch":
@@ -264,6 +290,22 @@ func checkFunc(pass *analysis.Pass, sum *summary, fn *ast.FuncDecl) {
 				}
 			}
 		case *ast.AssignStmt:
+			// Storing into a struct field is the designed ownership transfer
+			// for leases (Conn.lease, Client.epLease, ...): the long-lived
+			// struct's teardown releases them.
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if _, isField := lhs.(*ast.SelectorExpr); !isField {
+						continue
+					}
+					switch rhs := n.Rhs[i].(type) {
+					case *ast.Ident:
+						fieldStored[rhs.Name] = true
+					case *ast.CallExpr:
+						fieldCalls[rhs] = true
+					}
+				}
+			}
 			// `bufs = append(bufs, buf)` moves buf's ownership into bufs:
 			// whatever resolves the collection resolves the element.
 			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
@@ -295,8 +337,11 @@ func checkFunc(pass *analysis.Pass, sum *summary, fn *ast.FuncDecl) {
 					case *ast.Ident:
 						returned[m.Name] = true
 					case *ast.CallExpr:
-						if calleeName(m) == "MallocBuf" {
+						switch calleeName(m) {
+						case "MallocBuf":
 							returnsCall = true
+						case "Lease":
+							returnedCalls[m] = true
 						}
 						if pass.Prog != nil {
 							if cs := pass.Prog.SiteOf(m); cs != nil && sum.fresh[cs.Callee] {
@@ -322,10 +367,6 @@ func checkFunc(pass *analysis.Pass, sum *summary, fn *ast.FuncDecl) {
 		}
 	}
 
-	if len(mallocs)+len(freshCalls) == 0 || hasFree || returnsCall {
-		return
-	}
-
 	// resolved reports a recognized ownership transfer for name: returned
 	// or posted directly, or appended into a collection that is.
 	resolved := func(name string) bool {
@@ -336,6 +377,24 @@ func checkFunc(pass *analysis.Pass, sum *summary, fn *ast.FuncDecl) {
 			name = appendInto[name]
 		}
 		return false
+	}
+
+	// Lease pairing: every Lease result must be released, returned, or
+	// stored into the struct that owns it from then on.
+	for _, call := range leases {
+		if fieldCalls[call] || returnedCalls[call] {
+			continue
+		}
+		name := assignedVar(pass, fn.Body, call)
+		if name != "" && (resolved(name) || released[name] || fieldStored[name]) {
+			continue
+		}
+		pass.Reportf(call.Pos(), "Lease result in %s is neither released (Release) nor handed to an owning struct; release it, return it, or document the ownership transfer with %s buflifecycle <reason>",
+			fn.Name.Name, analysis.AllowDirective)
+	}
+
+	if len(mallocs)+len(freshCalls) == 0 || hasFree || returnsCall {
+		return
 	}
 
 	// Map each malloc to the variable it initializes, if any, so a

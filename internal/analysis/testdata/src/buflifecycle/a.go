@@ -203,3 +203,68 @@ func stashedFromHelper(a alloc, p *pool) {
 	buf := newBuf(a) //rfpvet:allow buflifecycle ownership parks in the pool, freed by pool.drain
 	p.bufs = append(p.bufs, buf)
 }
+
+// Slab/endpoint lease pairing (DESIGN.md §13): a Lease result must be
+// released, returned, or stored into the struct that owns it from then on.
+// Unlike MallocBuf, a struct-field store IS the designed transfer — the
+// long-lived owner's teardown (Close/retire) releases the lease.
+
+type registrar struct{}
+type lease struct{}
+
+func (registrar) Lease(size int) *lease { return &lease{} }
+func (*lease) Release()                 {}
+
+type conn struct {
+	region  *lease
+	landing *lease
+}
+
+func leaseLeak(r registrar) {
+	l := r.Lease(64) // want `Lease result in leaseLeak is neither released`
+	_ = l
+}
+
+func leaseDropped(r registrar) {
+	r.Lease(64) // want `Lease result in leaseDropped is neither released`
+}
+
+func leaseReleased(r registrar) {
+	l := r.Lease(64)
+	defer l.Release()
+}
+
+func leaseReturned(r registrar) *lease {
+	l := r.Lease(64)
+	return l
+}
+
+func leaseDirect(r registrar) *lease {
+	return r.Lease(64)
+}
+
+func leaseFieldDirect(r registrar, c *conn) {
+	c.region = r.Lease(64)
+}
+
+func leaseFieldStored(r registrar, c *conn) {
+	l := r.Lease(64)
+	c.landing = l
+}
+
+func leaseMultiAssign(r registrar, c *conn) {
+	reg := r.Lease(64)
+	land := r.Lease(32)
+	c.region, c.landing = reg, land
+}
+
+// leaseRollback releases on the error path and stores on success; either
+// way the lease is accounted for.
+func leaseRollback(r registrar, c *conn, fail bool) {
+	l := r.Lease(64)
+	if fail {
+		l.Release()
+		return
+	}
+	c.region = l
+}

@@ -56,11 +56,18 @@ type ClientStats struct {
 type Client struct {
 	machine *fabric.Machine
 	params  Params
-	qp      *rnic.QP
-	server  rnic.RemoteMR
+	qp      *rnic.QP      // shared with other logical clients when pooled
+	server  rnic.RemoteMR // windowed handle onto this ring's region carve
 	maxReq  int
 	maxResp int
-	local   *rnic.MR // reply-mode landing buffers, one respStride per slot
+	local   *rnic.SlabLease // reply-mode landing buffers, one respStride per slot
+	landing []byte          // local.Buf(), cached for the poll path
+
+	// epLease is the client's claim on a multiplexed endpoint (DESIGN.md
+	// §13): nil for a dedicated connection. Pooled posts go to the
+	// endpoint's shared hardware CQ, whose tag demux forwards this client's
+	// completions to cq.
+	epLease *rnic.EndpointLease
 
 	// Slot-ring geometry and per-slot staging (index = slot). The sync
 	// Send/Recv path is the ring's depth-1 special case pinned to slot 0.
@@ -185,6 +192,69 @@ func (c *Client) PendingDepth() int { return c.pendingDepth }
 // MaxDepth returns the ring's slot capacity (the bound of SetDepth).
 func (c *Client) MaxDepth() int { return c.maxDepth }
 
+// SetCapacity re-registers the ring for a new slot capacity (the bound
+// SetDepth resizes within) — the elastic half of the pooled-endpoint design
+// (DESIGN.md §13): a tuner can grow a hot client's ring or return an idle
+// one's carve to the slab without touching its QP or endpoint lease. Unlike
+// SetDepth this exchanges buffer locations again (a control-path reconnect
+// of the regions only), so it is rejected with ErrRingBusy while posts are
+// in flight: geometry never changes under a pending completion, exactly the
+// quiesce rule. Clamped to [1, MaxDepth].
+func (c *Client) SetCapacity(p *sim.Proc, capacity int) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if c.outstanding > 0 {
+		return ErrRingBusy
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	if capacity > MaxDepth {
+		capacity = MaxDepth
+	}
+	if capacity == c.maxDepth {
+		return nil
+	}
+	if c.srv == nil || c.conn == nil {
+		return errors.New("core: connection cannot be re-registered")
+	}
+	// Fresh buffer locations travel out of band like any registration
+	// exchange (paper Sec. 3.1) — the same control-path cost as a reconnect.
+	p.Sleep(sim.Duration(3*c.machine.Profile().PropagationNs + reconnectSetupNs))
+	if c.srv.machine.Down() {
+		return ErrServerDown
+	}
+	cfg := c.srv.cfg
+	region := c.srv.slabs.Lease(regionSize(cfg, capacity))
+	landing := c.srv.landingSlabs(c.machine).Lease(capacity * respArea(cfg))
+	c.conn.lease.Release()
+	c.local.Release()
+	c.conn.lease, c.conn.buf = region, region.Buf()
+	c.conn.client = landing.Handle()
+	c.conn.depth = capacity
+	c.conn.lastSlot, c.conn.curSlot = 0, 0
+	c.server = region.Handle()
+	c.local, c.landing = landing, landing.Buf()
+	c.maxDepth = capacity
+	c.reqOffs = make([]int, capacity)
+	c.respOffs = make([]int, capacity)
+	for i := 0; i < capacity; i++ {
+		c.reqOffs[i] = reqOffAt(cfg, i)
+		c.respOffs[i] = respOffAt(cfg, i)
+	}
+	if c.pendingDepth > capacity {
+		c.pendingDepth = capacity
+	}
+	if c.depth > capacity {
+		c.resize(capacity)
+	}
+	if c.mode == ModeReply {
+		c.conn.buf[0] = byte(ModeReply) // re-exchanged during setup, like Accept
+	}
+	return nil
+}
+
 // targetDepth is the depth the ring is headed for: the pending resize if
 // one is queued, else the active depth.
 func (c *Client) targetDepth() int {
@@ -267,7 +337,7 @@ func (c *Client) Send(p *sim.Proc, payload []byte) error {
 	c.seq++
 	// Clear the local landing header so a reply-mode delivery for this
 	// call is unambiguous.
-	putHeader(c.local.Buf, header{})
+	putHeader(c.landing, header{})
 	stage := c.stages[0]
 	putHeader(stage, header{valid: true, size: len(payload), seq: c.seq})
 	copy(stage[HeaderSize:], payload)
@@ -327,8 +397,44 @@ func (c *Client) Close(p *sim.Proc) error {
 		}
 	}
 	err := c.qp.Write(p, c.server, 0, []byte{modeClosed})
-	c.local.Deregister()
+	c.local.Release()
+	if c.epLease != nil {
+		// Free the WR-ID tag for the next logical client. Straggler
+		// completions under the old tag are dropped by the endpoint demux
+		// (counted, never delivered to another client).
+		c.epLease.Release()
+	}
 	return err
+}
+
+// postCQ is the queue passed to Post: the endpoint's shared hardware CQ for
+// a pooled connection (its tag demux forwards this client's completions to
+// c.cq), or the private CQ itself for a dedicated one.
+//
+//rfp:hotpath
+func (c *Client) postCQ() *rnic.CQ {
+	if c.epLease != nil {
+		return c.epLease.PostCQ()
+	}
+	return c.cq
+}
+
+// relabel swaps a pooled connection onto a fresh endpoint lease delivering
+// into deliver — a new pool-wide tag, and possibly a different shared QP
+// pair (the server-side Conn follows). Only called with the ring quiesced
+// (group Add/rekey require it), so no posted WR carries the old tag when the
+// swap lands; a straggler completion meets the demux's empty slot.
+func (c *Client) relabel(deliver *rnic.CQ) error {
+	l, err := c.srv.pool.Lease(c.machine.NIC(), deliver)
+	if err != nil {
+		return err
+	}
+	c.epLease.Release()
+	c.epLease = l
+	c.tag = l.Tag()
+	c.qp = l.QP()
+	c.conn.qp = l.HomeQP()
+	return nil
 }
 
 // Call is the convenience RPC round trip: Send then Recv.
@@ -464,9 +570,9 @@ func (c *Client) recvReply(p *sim.Proc, out []byte) (int, error) {
 	var waited int64
 	nextFallback := c.params.FallbackFetchNs
 	for {
-		hdr := parseHeader(c.local.Buf)
+		hdr := parseHeader(c.landing)
 		if hdr.valid && hdr.seq == c.seq {
-			n := copy(out, c.local.Buf[HeaderSize:HeaderSize+hdr.size])
+			n := copy(out, c.landing[HeaderSize:HeaderSize+hdr.size])
 			c.Stats.ReplyDeliveries++
 			if err := c.maybeSwitchBack(p, hdr); err != nil {
 				return 0, err

@@ -23,7 +23,7 @@ func TestDeregisteredServerRegionFailsCalls(t *testing.T) {
 	r.cluster.Clients[0].Spawn("cli", func(p *sim.Proc) {
 		out := make([]byte, 64)
 		_, firstErr = cli.Call(p, []byte("ok"), out)
-		conn.region.Deregister() // simulate the server tearing down
+		conn.lease.Release() // simulate the server tearing down (dedicated lease: deregisters)
 		_, secondErr = cli.Call(p, []byte("fails"), out)
 	})
 	r.env.Run(sim.Time(sim.Millisecond))

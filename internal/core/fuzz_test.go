@@ -131,7 +131,7 @@ func TestTryRecvBadRequest(t *testing.T) {
 	// Forge a torn delivery in slot 0: status bit set, size far beyond
 	// MaxRequest.
 	off := reqOffAt(conn.srv.cfg, 0)
-	putHeader(conn.region.Buf[off:], header{valid: true, size: conn.srv.cfg.MaxRequest + 999, seq: 3})
+	putHeader(conn.buf[off:], header{valid: true, size: conn.srv.cfg.MaxRequest + 999, seq: 3})
 
 	done := false
 	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {

@@ -167,10 +167,47 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
+// PoolConfig opts a server into multiplexed endpoints (DESIGN.md §13): a
+// small fixed set of QP pairs per client machine, shared slab registrations
+// carved per connection, and WR-ID tag demux on the completion path. The
+// zero value keeps the paper's one-QP-and-one-MR-per-client handshake, call
+// for call — pooling is strictly opt-in, so default configurations stay
+// byte-identical to the seed.
+type PoolConfig struct {
+	// QPs is the number of shared QP pairs per (server, client-machine)
+	// pair. Zero disables pooling entirely.
+	QPs int
+
+	// SlabBytes is the size of each shared registration slab that per-client
+	// ring regions (and reply landings) are carved from. Zero with QPs > 0
+	// picks 1 MiB.
+	SlabBytes int
+}
+
+// enabled reports whether the configuration opts into pooling.
+func (pc PoolConfig) enabled() bool { return pc.QPs > 0 || pc.SlabBytes > 0 }
+
+func (pc PoolConfig) withDefaults() PoolConfig {
+	if !pc.enabled() {
+		return pc
+	}
+	if pc.QPs <= 0 {
+		pc.QPs = 1
+	}
+	if pc.SlabBytes <= 0 {
+		pc.SlabBytes = 1 << 20
+	}
+	return pc
+}
+
 // ServerConfig sizes the per-connection buffers.
 type ServerConfig struct {
 	MaxRequest  int // largest request payload in bytes
 	MaxResponse int // largest response payload in bytes
+
+	// Pool configures endpoint/MR multiplexing; the zero value means
+	// dedicated per-connection QPs and regions (the paper's handshake).
+	Pool PoolConfig
 }
 
 // DefaultServerConfig allows 1 KB requests and 16 KB responses, enough for
@@ -187,5 +224,6 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.MaxResponse <= 0 {
 		c.MaxResponse = d.MaxResponse
 	}
+	c.Pool = c.Pool.withDefaults()
 	return c
 }

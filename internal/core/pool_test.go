@@ -1,0 +1,327 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rfp/internal/fabric"
+	"rfp/internal/hw"
+	"rfp/internal/sim"
+)
+
+// poolCfg is a small pooled server configuration for tests: one or few QPs,
+// slab-carved regions.
+func poolCfg(qps int) ServerConfig {
+	return ServerConfig{Pool: PoolConfig{QPs: qps, SlabBytes: 64 << 10}}
+}
+
+// TestPooledEchoEndToEnd: many logical clients over a 2-QP pool make
+// interleaved sync calls; every response reaches its own caller and the
+// transport stays at pool-sized QP counts.
+func TestPooledEchoEndToEnd(t *testing.T) {
+	const n = 12
+	r := newRig(t, 2, poolCfg(2))
+	clis := make([]*Client, n)
+	var conns []*Conn
+	for i := 0; i < n; i++ {
+		cli, conn, err := r.srv.TryAccept(r.cluster.Clients[i%2], DefaultParams())
+		if err != nil {
+			t.Fatalf("accept %d: %v", i, err)
+		}
+		clis[i] = cli
+		conns = append(conns, conn)
+	}
+	if got := r.srv.Pool().Leases(); got != n {
+		t.Fatalf("pool leases = %d, want %d", got, n)
+	}
+	// 2 client machines x 2 QPs per peer: at most 4 endpoints.
+	if got := r.srv.Pool().Endpoints(); got > 4 {
+		t.Fatalf("pool endpoints = %d, want <= 4", got)
+	}
+	r.srv.AddThreads(1)
+	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {
+		Serve(p, conns, echoHandler)
+	})
+	done := 0
+	for i := 0; i < n; i++ {
+		i := i
+		cli := clis[i]
+		r.cluster.Clients[i%2].Spawn("cli", func(p *sim.Proc) {
+			out := make([]byte, 64)
+			for k := 0; k < 25; k++ {
+				msg := []byte{0xC0, byte(i), byte(k)}
+				nn, err := cli.Call(p, msg, out)
+				if err != nil || nn != 3 || out[1] != byte(i) || out[2] != byte(k) {
+					t.Errorf("client %d call %d: (%v, % x)", i, k, err, out[:nn])
+					return
+				}
+				done++
+			}
+		})
+	}
+	r.env.Run(sim.Time(20 * sim.Millisecond))
+	if done != n*25 {
+		t.Fatalf("%d/%d calls completed", done, n*25)
+	}
+	if r.srv.Pool().Misrouted != 0 {
+		t.Fatalf("misrouted completions: %d", r.srv.Pool().Misrouted)
+	}
+}
+
+// TestPooledPipelinedCalls: the ring path (Post/Poll) works through a shared
+// endpoint's demuxed CQ, two clients pipelining on the same QP.
+func TestPooledPipelinedCalls(t *testing.T) {
+	r := newRig(t, 1, poolCfg(1))
+	params := DefaultParams()
+	params.Depth = 4
+	a, ca := r.srv.Accept(r.cluster.Clients[0], params)
+	b, cb := r.srv.Accept(r.cluster.Clients[0], params)
+	if ae, be := a.epLease.Endpoint(), b.epLease.Endpoint(); ae != be {
+		t.Fatal("QPs=1 clients landed on different endpoints")
+	}
+	r.srv.AddThreads(1)
+	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {
+		Serve(p, []*Conn{ca, cb}, echoHandler)
+	})
+	run := func(cli *Client, mark byte, count *int) func(*sim.Proc) {
+		return func(p *sim.Proc) {
+			out := make([]byte, 64)
+			for k := 0; k < 10; k++ {
+				var hs []Handle
+				for j := 0; j < 4; j++ {
+					h, err := cli.Post(p, []byte{mark, byte(k), byte(j)})
+					if err != nil {
+						t.Errorf("post: %v", err)
+						return
+					}
+					hs = append(hs, h)
+				}
+				for j, h := range hs {
+					n, err := cli.Poll(p, h, out)
+					if err != nil || n != 3 || out[0] != mark || out[2] != byte(j) {
+						t.Errorf("poll %c/%d/%d: (%v, % x)", mark, k, j, err, out[:n])
+						return
+					}
+					*count++
+				}
+			}
+		}
+	}
+	var na, nb int
+	r.cluster.Clients[0].Spawn("cliA", run(a, 'A', &na))
+	r.cluster.Clients[0].Spawn("cliB", run(b, 'B', &nb))
+	r.env.Run(sim.Time(20 * sim.Millisecond))
+	if na != 40 || nb != 40 {
+		t.Fatalf("completed A=%d B=%d, want 40/40", na, nb)
+	}
+	if r.srv.Pool().Misrouted != 0 {
+		t.Fatalf("misrouted completions: %d", r.srv.Pool().Misrouted)
+	}
+}
+
+// TestSetCapacityBusyRejected: a capacity resize releases the connection's
+// ring regions, so it is refused outright while posts are in flight — the
+// quiesce rule for buffer lifecycle, not a deferred apply.
+func TestSetCapacityBusyRejected(t *testing.T) {
+	r := newRig(t, 1, poolCfg(1))
+	params := DefaultParams()
+	params.Depth = 2
+	params.MaxDepth = 8
+	cli, conn := r.srv.Accept(r.cluster.Clients[0], params)
+	r.srv.AddThreads(1)
+	r.srv.Machine().Spawn("srv", func(p *sim.Proc) {
+		Serve(p, []*Conn{conn}, echoHandler)
+	})
+	r.cluster.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		h, err := cli.Post(p, []byte("in-flight"))
+		if err != nil {
+			t.Errorf("post: %v", err)
+			return
+		}
+		if err := cli.SetCapacity(p, 16); !errors.Is(err, ErrRingBusy) {
+			t.Errorf("SetCapacity with a post in flight: err = %v, want ErrRingBusy", err)
+		}
+		out := make([]byte, 64)
+		if _, err := cli.Poll(p, h, out); err != nil {
+			t.Errorf("poll: %v", err)
+			return
+		}
+		// Quiesced: the resize lands, old carves are released, and the ring
+		// keeps working at the new geometry.
+		if err := cli.SetCapacity(p, 16); err != nil {
+			t.Errorf("SetCapacity after quiesce: %v", err)
+			return
+		}
+		if cli.MaxDepth() != 16 {
+			t.Errorf("MaxDepth = %d after resize", cli.MaxDepth())
+		}
+		for k := 0; k < 5; k++ {
+			req := []byte(fmt.Sprintf("resized-%d", k))
+			n, err := cli.Call(p, req, out)
+			if err != nil || string(out[:n]) != string(req) {
+				t.Errorf("call %d after resize: (%v, %q)", k, err, out[:n])
+				return
+			}
+		}
+	})
+	r.env.Run(sim.Time(20 * sim.Millisecond))
+	if got := r.srv.Slabs().Leases(); got != 1 {
+		t.Fatalf("server region leases = %d after resize, want 1 (old carve released)", got)
+	}
+}
+
+// TestGroupTagCapacityGuard: overflowing the WR-ID member-tag space is a
+// typed error, never a silent alias of two members onto one tag.
+func TestGroupTagCapacityGuard(t *testing.T) {
+	r := newRig(t, 1, ServerConfig{})
+	g := NewGroup()
+	g.setTagLimit(2)
+	for i := 0; i < 2; i++ {
+		cli, _ := r.srv.Accept(r.cluster.Clients[0], DefaultParams())
+		if err := g.Add(cli); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	third, _ := r.srv.Accept(r.cluster.Clients[0], DefaultParams())
+	if err := g.Add(third); !errors.Is(err, ErrTagCapacity) {
+		t.Fatalf("third member err = %v, want ErrTagCapacity", err)
+	}
+	if third.group != nil {
+		t.Fatal("rejected member was left attached to the group")
+	}
+}
+
+// TestGroupCrossPoolTags: pooled members from different servers' pools start
+// with colliding lease tags (each pool hands out its highest tag first); the
+// group must re-lease until tags are group-unique, and fan-out calls must
+// then route correctly.
+func TestGroupCrossPoolTags(t *testing.T) {
+	env := sim.NewEnv(7)
+	t.Cleanup(env.Close)
+	cl := newTwoServerCluster(env)
+	srvA := NewServer(cl.serverA, poolCfg(1))
+	srvB := NewServer(cl.serverB, poolCfg(1))
+	cliA, connA := srvA.Accept(cl.client, DefaultParams())
+	cliB, connB := srvB.Accept(cl.client, DefaultParams())
+	if cliA.tag != cliB.tag {
+		t.Fatalf("precondition: fresh pool tags differ (%#x vs %#x) — collision path untested", cliA.tag, cliB.tag)
+	}
+	g := NewGroup()
+	if err := g.Add(cliA); err != nil {
+		t.Fatalf("add A: %v", err)
+	}
+	if err := g.Add(cliB); err != nil {
+		t.Fatalf("add B: %v", err)
+	}
+	if cliA.tag == cliB.tag {
+		t.Fatalf("group admitted two members under tag %#x", cliA.tag)
+	}
+	srvA.AddThreads(1)
+	srvB.AddThreads(1)
+	cl.serverA.Spawn("srvA", func(p *sim.Proc) { Serve(p, []*Conn{connA}, echoHandler) })
+	cl.serverB.Spawn("srvB", func(p *sim.Proc) { Serve(p, []*Conn{connB}, echoHandler) })
+	done := 0
+	cl.client.Spawn("cli", func(p *sim.Proc) {
+		out := make([]byte, 64)
+		for k := 0; k < 20; k++ {
+			ha, err := cliA.Post(p, []byte{'a', byte(k)})
+			if err != nil {
+				t.Errorf("post A: %v", err)
+				return
+			}
+			hb, err := cliB.Post(p, []byte{'b', byte(k)})
+			if err != nil {
+				t.Errorf("post B: %v", err)
+				return
+			}
+			if n, err := cliA.Poll(p, ha, out); err != nil || out[0] != 'a' || n != 2 {
+				t.Errorf("poll A: (%v, % x)", err, out[:n])
+				return
+			}
+			if n, err := cliB.Poll(p, hb, out); err != nil || out[0] != 'b' || n != 2 {
+				t.Errorf("poll B: (%v, % x)", err, out[:n])
+				return
+			}
+			done++
+		}
+	})
+	env.Run(sim.Time(20 * sim.Millisecond))
+	if done != 20 {
+		t.Fatalf("%d/20 fan-out rounds completed", done)
+	}
+	if srvA.Pool().Misrouted != 0 || srvB.Pool().Misrouted != 0 {
+		t.Fatalf("misrouted: A=%d B=%d", srvA.Pool().Misrouted, srvB.Pool().Misrouted)
+	}
+}
+
+// TestPooledAcceptCloseChurn: dialer threads concurrently accept, call over,
+// and close connections that all multiplex one endpoint (QPs: 1), recycling
+// tags and slab carves; run under -race this exercises the pool's shared
+// state across the sim's goroutine handoffs.
+func TestPooledAcceptCloseChurn(t *testing.T) {
+	const dialers = 6
+	const rounds = 5
+	r := newRig(t, dialers, poolCfg(1))
+	// Up to one live serve thread per dialer at a time.
+	r.srv.AddThreads(dialers)
+	srvm := r.srv.Machine()
+	done := 0
+	for d := 0; d < dialers; d++ {
+		d := d
+		r.cluster.Clients[d].Spawn("dialer", func(p *sim.Proc) {
+			out := make([]byte, 64)
+			for round := 0; round < rounds; round++ {
+				cli, conn, err := r.srv.TryAccept(r.cluster.Clients[d], DefaultParams())
+				if err != nil {
+					t.Errorf("dialer %d round %d accept: %v", d, round, err)
+					return
+				}
+				srvm.Spawn("srv", func(p *sim.Proc) {
+					Serve(p, []*Conn{conn}, echoHandler) // returns when conn closes
+				})
+				for k := 0; k < 5; k++ {
+					msg := []byte{byte(d), byte(round), byte(k)}
+					n, err := cli.Call(p, msg, out)
+					if err != nil || n != 3 || out[0] != byte(d) || out[1] != byte(round) || out[2] != byte(k) {
+						t.Errorf("dialer %d round %d call %d: (%v, % x)", d, round, k, err, out[:n])
+						return
+					}
+				}
+				if err := cli.Close(p); err != nil {
+					t.Errorf("dialer %d round %d close: %v", d, round, err)
+					return
+				}
+				done++
+			}
+		})
+	}
+	r.env.Run(sim.Time(100 * sim.Millisecond))
+	if done != dialers*rounds {
+		t.Fatalf("%d/%d churn rounds completed", done, dialers*rounds)
+	}
+	if got := r.srv.Pool().Leases(); got != 0 {
+		t.Fatalf("pool leases leaked: %d", got)
+	}
+	if r.srv.Pool().Misrouted != 0 {
+		t.Fatalf("misrouted completions: %d", r.srv.Pool().Misrouted)
+	}
+	if got := r.srv.Slabs().Leases(); got != 0 {
+		t.Fatalf("region carves leaked: %d", got)
+	}
+}
+
+// twoServerCluster is a hand-built topology for cross-pool tests: two server
+// machines plus one client machine.
+type twoServerCluster struct {
+	serverA, serverB, client *fabric.Machine
+}
+
+func newTwoServerCluster(env *sim.Env) *twoServerCluster {
+	prof := hw.ConnectX3()
+	return &twoServerCluster{
+		serverA: fabric.NewMachine(env, "serverA", prof),
+		serverB: fabric.NewMachine(env, "serverB", prof),
+		client:  fabric.NewMachine(env, "client", prof),
+	}
+}

@@ -182,7 +182,6 @@ func (c *Client) reconnect(p *sim.Proc) error {
 	if c.srv == nil || c.conn == nil {
 		return errors.New("core: connection cannot be re-established")
 	}
-	cfg := c.srv.cfg
 	// Control-plane exchange: buffer locations travel out of band exactly
 	// as at Accept (paper Sec. 3.1), a few round trips plus setup work. The
 	// attempt is charged before the outcome is known — discovering a dead
@@ -192,15 +191,37 @@ func (c *Client) reconnect(p *sim.Proc) error {
 	if c.srv.machine.Down() {
 		return ErrServerDown
 	}
-	region := c.srv.machine.NIC().RegisterMemory(regionSize(cfg, c.maxDepth))
-	qpC, qpS := rnic.Connect(c.machine.NIC(), c.srv.machine.NIC())
-	landing := c.machine.NIC().RegisterMemory(c.maxDepth * respArea(cfg))
-	c.conn.region.Deregister()
-	c.local.Deregister()
-	c.conn.region, c.conn.qp, c.conn.client = region, qpS, landing.Handle()
-	c.qp, c.server, c.local = qpC, region.Handle(), landing
+	// Acquire before releasing, exactly like the dedicated handshake (the old
+	// registrations are deregistered only once the fresh ones exist). With
+	// pooling on, the fresh resources are slab carves and an endpoint lease
+	// delivering into the client's existing queue; the new lease means a new
+	// WR-ID tag, so any straggler completion under the old tag is dropped by
+	// the demux instead of resolving a fresh slot.
+	res, err := c.srv.leaseResources(c.machine, c.maxDepth, c.cq)
+	if err != nil {
+		return err
+	}
+	c.conn.lease.Release()
+	c.local.Release()
+	c.conn.lease, c.conn.buf = res.region, res.region.Buf()
+	c.conn.qp, c.conn.client = res.qpS, res.landing.Handle()
+	c.qp, c.server = res.qpC, res.region.Handle()
+	c.local, c.landing = res.landing, res.landing.Buf()
+	if res.ep != nil {
+		oldTag := c.tag
+		if c.epLease != nil {
+			c.epLease.Release()
+		}
+		c.epLease = res.ep
+		c.tag = res.ep.Tag()
+		if c.group != nil {
+			if err := c.group.rekey(c, oldTag); err != nil {
+				return err
+			}
+		}
+	}
 	if c.mode == ModeReply {
-		region.Buf[0] = byte(ModeReply) // exchanged during setup, like Accept
+		c.conn.buf[0] = byte(ModeReply) // exchanged during setup, like Accept
 	}
 	c.needReconnect = false
 	c.Stats.Reconnects++
@@ -327,7 +348,7 @@ func (c *Client) slotTimers(p *sim.Proc, i int) bool {
 func (c *Client) repostSend(p *sim.Proc, i int) {
 	sl := &c.slots[i]
 	sl.state = slotPosted
-	c.qp.Post(p, c.cq, rnic.WR{
+	c.qp.Post(p, c.postCQ(), rnic.WR{
 		ID:     c.ringID(wrKindSend, i, sl.seq),
 		Op:     rnic.WRWrite,
 		Remote: c.server,

@@ -170,11 +170,11 @@ func (c *Client) Post(p *sim.Proc, req []byte) (Handle, error) {
 	}
 	// Clear the slot's local landing header so a reply-mode delivery for
 	// this call is unambiguous, then stage header + payload and post.
-	putHeader(c.local.Buf[si*c.respStride:], header{})
+	putHeader(c.landing[si*c.respStride:], header{})
 	stage := c.stages[si]
 	putHeader(stage, header{valid: true, size: len(req), seq: c.seq})
 	copy(stage[HeaderSize:], req)
-	c.qp.Post(p, c.cq, rnic.WR{
+	c.qp.Post(p, c.postCQ(), rnic.WR{
 		ID:     c.ringID(wrKindSend, si, c.seq),
 		Op:     rnic.WRWrite,
 		Remote: c.server,
@@ -368,9 +368,9 @@ func (c *Client) issue(p *sim.Proc) bool {
 			sl.state = slotReading
 		}
 		if len(c.wrScratch) == 1 {
-			c.qp.Post(p, c.cq, c.wrScratch[0])
+			c.qp.Post(p, c.postCQ(), c.wrScratch[0])
 		} else if len(c.wrScratch) > 1 {
-			c.qp.PostBatch(p, c.cq, c.wrScratch)
+			c.qp.PostBatch(p, c.postCQ(), c.wrScratch)
 		}
 		if n := len(c.wrScratch); n > 0 {
 			c.Stats.FetchReads += uint64(n)
@@ -390,7 +390,7 @@ func (c *Client) issue(p *sim.Proc) bool {
 		if sl.state != slotWaiting {
 			continue
 		}
-		lb := c.local.Buf[i*c.respStride:]
+		lb := c.landing[i*c.respStride:]
 		hdr := parseHeader(lb)
 		if hdr.valid && hdr.seq == sl.seq {
 			copy(c.fetches[i], lb[:HeaderSize+hdr.size])
@@ -522,7 +522,7 @@ func (c *Client) handleCQE(p *sim.Proc, e rnic.CQE) bool {
 			// The inline size field tells us exactly what remains: one
 			// continuation read, no size-probe round trip.
 			f := c.fetchLen()
-			c.qp.Post(p, c.cq, rnic.WR{
+			c.qp.Post(p, c.postCQ(), rnic.WR{
 				ID:     c.ringID(wrKindFetch2, si, sl.seq),
 				Op:     rnic.WRRead,
 				Remote: c.server,

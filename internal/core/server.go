@@ -26,11 +26,70 @@ type Server struct {
 	machine *fabric.Machine
 	cfg     ServerConfig
 	conns   []*Conn
+
+	// Connection-resource pooling (DESIGN.md §13). slabs carves server-side
+	// ring regions; landing carves each client machine's reply landings;
+	// pool multiplexes QPs (nil unless cfg.Pool opts in). With pooling off,
+	// the registrars run in dedicated mode — one exact-size MR per lease —
+	// so the handshake is call-for-call the paper's.
+	slabs   *rnic.SlabRegistrar
+	landing map[*fabric.Machine]*rnic.SlabRegistrar
+	pool    *rnic.EndpointPool
 }
 
 // NewServer creates an RFP server on machine m.
 func NewServer(m *fabric.Machine, cfg ServerConfig) *Server {
-	return &Server{machine: m, cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		machine: m,
+		cfg:     cfg,
+		slabs:   rnic.NewSlabRegistrar(m.NIC(), cfg.Pool.SlabBytes),
+		landing: make(map[*fabric.Machine]*rnic.SlabRegistrar),
+	}
+	if cfg.Pool.enabled() {
+		s.pool = rnic.NewEndpointPool(m.NIC(), cfg.Pool.QPs)
+	}
+	return s
+}
+
+// Pool returns the server's endpoint pool, nil when pooling is off.
+func (s *Server) Pool() *rnic.EndpointPool { return s.pool }
+
+// Resources gauges the transport footprint behind this server's
+// connections: registered memory and MRs across the ring-region registrar
+// and every client machine's landing registrar, QPs on the serving NIC, and
+// the endpoint pool's multiplexing state. This is the registered-memory
+// footprint the ext-crowd experiment compares pooled vs dedicated.
+func (s *Server) Resources() telemetry.Resources {
+	r := telemetry.Resources{
+		RegisteredBytes: s.slabs.RegisteredBytes(),
+		RegisteredMRs:   s.slabs.RegisteredMRs(),
+		QPs:             s.machine.NIC().QPs(),
+	}
+	for _, lr := range s.landing {
+		r.RegisteredBytes += lr.RegisteredBytes()
+		r.RegisteredMRs += lr.RegisteredMRs()
+	}
+	if s.pool != nil {
+		r.Endpoints = s.pool.Endpoints()
+		r.EndpointLeases = s.pool.Leases()
+		r.EndpointOccupancy = s.pool.Occupancy()
+	}
+	return r
+}
+
+// Slabs returns the server-side ring-region registrar.
+func (s *Server) Slabs() *rnic.SlabRegistrar { return s.slabs }
+
+// landingSlabs returns (creating on first use) the registrar carving reply
+// landings on one client machine.
+func (s *Server) landingSlabs(cm *fabric.Machine) *rnic.SlabRegistrar {
+	r := s.landing[cm]
+	if r == nil {
+		r = rnic.NewSlabRegistrar(cm.NIC(), s.cfg.Pool.SlabBytes)
+		s.landing[cm] = r
+	}
+	return r
 }
 
 // Machine returns the hosting machine.
@@ -59,8 +118,9 @@ type Conn struct {
 	srv *Server
 	id  int
 
-	region *rnic.MR // server-side buffers
-	qp     *rnic.QP // server->client endpoint (reply-mode writes)
+	lease  *rnic.SlabLease // server-side buffers (a slab carve, or a whole dedicated MR)
+	buf    []byte          // lease.Buf(), cached for the poll path
+	qp     *rnic.QP        // server->client endpoint (reply-mode writes); shared when pooled
 	client rnic.RemoteMR
 	depth  int
 
@@ -90,10 +150,10 @@ func (c *Conn) Depth() int { return c.depth }
 
 // Mode returns the connection's current delivery mode as last written by
 // the client into the server-side flag.
-func (c *Conn) Mode() Mode { return Mode(c.region.Buf[0] & 1) }
+func (c *Conn) Mode() Mode { return Mode(c.buf[0] & 1) }
 
 // Closed reports whether the client has torn the connection down.
-func (c *Conn) Closed() bool { return c.region.Buf[0]&modeClosed != 0 }
+func (c *Conn) Closed() bool { return c.buf[0]&modeClosed != 0 }
 
 // TryRecv scans the connection's request slots (server_recv in the paper's
 // API), starting after the last slot served so a busy ring is drained
@@ -106,7 +166,7 @@ func (c *Conn) TryRecv(p *sim.Proc) ([]byte, bool) {
 	for i := 1; i <= c.depth; i++ {
 		s := (c.lastSlot + i) % c.depth
 		off := reqOffAt(c.srv.cfg, s)
-		buf := c.region.Buf[off : off+HeaderSize+c.srv.cfg.MaxRequest]
+		buf := c.buf[off : off+HeaderSize+c.srv.cfg.MaxRequest]
 		hdr, req, ok := parseSlot(buf, c.srv.cfg.MaxRequest)
 		if !ok {
 			if hdr.valid {
@@ -150,7 +210,7 @@ func (c *Conn) Send(p *sim.Proc, payload []byte) error {
 	}
 	procNs := int64(p.Now().Sub(c.recvAt))
 	hdr := header{valid: true, size: len(payload), timeUs: clampTimeUs(procNs), seq: c.curSeq}
-	buf := c.region.Buf[respOffAt(c.srv.cfg, c.curSlot):]
+	buf := c.buf[respOffAt(c.srv.cfg, c.curSlot):]
 	// Payload and size first, status bit last: a fetch racing this publish
 	// sees an invalid (or stale-seq) header, never a torn valid response.
 	pubAt := p.Now()
@@ -168,6 +228,12 @@ func (c *Conn) Send(p *sim.Proc, payload []byte) error {
 // RespScratch returns a per-connection scratch buffer of MaxResponse bytes
 // for handlers to build responses in.
 func (c *Conn) RespScratch() []byte { return c.scratch }
+
+// retire releases a closed connection's server-side region back to its
+// registrar. Idempotent (Release tolerates repeats); only called once the
+// connection has left every Serve loop's polling set, so no slot scan can
+// touch a recycled carve.
+func (c *Conn) retire() { c.lease.Release() }
 
 // Handler processes one request and writes the response into resp
 // (RespScratch-sized), returning the response length.
@@ -212,7 +278,11 @@ func Serve(p *sim.Proc, conns []*Conn, h Handler) {
 		kept := live[:0]
 		for _, c := range live {
 			if c.Closed() {
-				continue // client tore the connection down; stop polling it
+				// The client tore the connection down: stop polling it and
+				// return its ring region to the registrar (a slab carve is
+				// recycled for the next Accept; a dedicated MR deregisters).
+				c.retire()
+				continue
 			}
 			kept = append(kept, c)
 			// Drain every ready slot (at most one ring's worth per sweep,
@@ -253,11 +323,63 @@ func Serve(p *sim.Proc, conns []*Conn, h Handler) {
 	}
 }
 
+// leased bundles one connection's transport resources: the server-side ring
+// region, the client-side reply landing, the QP pair, and — when pooling is
+// on — the endpoint lease with its demuxed deliver queue.
+type leased struct {
+	region  *rnic.SlabLease
+	landing *rnic.SlabLease
+	qpC     *rnic.QP
+	qpS     *rnic.QP
+	ep      *rnic.EndpointLease
+	deliver *rnic.CQ
+}
+
+// leaseResources acquires a connection's transport resources. With pooling
+// off the acquisition order — server region, QP pair, client landing — is
+// exactly the paper's per-client handshake, registration for registration,
+// which is what keeps default configurations byte-identical to the seed.
+// With pooling on, the QP pair comes from the endpoint pool (ErrTagSpace
+// when the WR-ID tag field is exhausted) and both regions are slab carves.
+func (s *Server) leaseResources(cm *fabric.Machine, capacity int, deliver *rnic.CQ) (leased, error) {
+	var out leased
+	out.region = s.slabs.Lease(regionSize(s.cfg, capacity))
+	if s.pool != nil {
+		if deliver == nil {
+			deliver = rnic.NewCQ(cm.NIC())
+		}
+		ep, err := s.pool.Lease(cm.NIC(), deliver)
+		if err != nil {
+			out.region.Release()
+			return leased{}, err
+		}
+		out.ep, out.deliver = ep, deliver
+		out.qpC, out.qpS = ep.QP(), ep.HomeQP()
+	} else {
+		out.qpC, out.qpS = rnic.Connect(cm.NIC(), s.machine.NIC())
+	}
+	out.landing = s.landingSlabs(cm).Lease(capacity * respArea(s.cfg))
+	return out, nil
+}
+
 // Accept establishes an RFP connection from a (thread on a) client machine
 // and returns both endpoints. Buffer locations are exchanged at
 // registration time, exactly once, so the data path never needs further
-// coordination (paper Sec. 3.1).
+// coordination (paper Sec. 3.1). Accept panics when the pool's logical
+// client space is exhausted; servers expecting tens of thousands of
+// connections should use TryAccept.
 func (s *Server) Accept(clientMachine *fabric.Machine, params Params) (*Client, *Conn) {
+	cli, conn, err := s.TryAccept(clientMachine, params)
+	if err != nil {
+		panic(fmt.Sprintf("core: Accept: %v", err))
+	}
+	return cli, conn
+}
+
+// TryAccept is Accept with the pooled-handshake failure surfaced: a server
+// whose endpoint pool has no free WR-ID tag returns rnic.ErrTagSpace instead
+// of silently aliasing two logical clients onto one tag.
+func (s *Server) TryAccept(clientMachine *fabric.Machine, params Params) (*Client, *Conn, error) {
 	params = params.withDefaults()
 	maxF := HeaderSize + s.cfg.MaxResponse
 	if params.F > maxF {
@@ -274,18 +396,18 @@ func (s *Server) Accept(clientMachine *fabric.Machine, params Params) (*Client, 
 	// capacity slots — inactive ones simply never hold a valid request.
 	depth := params.Depth
 	capacity := params.MaxDepth
-	region := s.machine.NIC().RegisterMemory(regionSize(s.cfg, capacity))
-	qpC, qpS := rnic.Connect(clientMachine.NIC(), s.machine.NIC())
-	// The client-side landing region mirrors the ring's response slots:
-	// reply-mode pushes for slot i land at i*respArea.
-	clientMR := clientMachine.NIC().RegisterMemory(capacity * respArea(s.cfg))
+	res, err := s.leaseResources(clientMachine, capacity, nil)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	conn := &Conn{
 		srv:     s,
 		id:      len(s.conns),
-		region:  region,
-		qp:      qpS,
-		client:  clientMR.Handle(),
+		lease:   res.region,
+		buf:     res.region.Buf(),
+		qp:      res.qpS,
+		client:  res.landing.Handle(),
 		depth:   capacity,
 		scratch: make([]byte, s.cfg.MaxResponse),
 	}
@@ -294,21 +416,27 @@ func (s *Server) Accept(clientMachine *fabric.Machine, params Params) (*Client, 
 	cli := &Client{
 		machine:    clientMachine,
 		params:     params,
-		qp:         qpC,
+		qp:         res.qpC,
 		srv:        s,
 		conn:       conn,
-		server:     region.Handle(),
+		server:     res.region.Handle(),
 		depth:      depth,
 		maxDepth:   capacity,
 		respStride: respArea(s.cfg),
 		maxReq:     s.cfg.MaxRequest,
 		maxResp:    s.cfg.MaxResponse,
-		local:      clientMR,
+		local:      res.landing,
+		landing:    res.landing.Buf(),
+		epLease:    res.ep,
+		cq:         res.deliver,
 		slots:      make([]slot, depth),
 		reqOffs:    make([]int, capacity),
 		respOffs:   make([]int, capacity),
 		stages:     make([][]byte, depth),
 		fetches:    make([][]byte, depth),
+	}
+	if res.ep != nil {
+		cli.tag = res.ep.Tag()
 	}
 	for i := 0; i < capacity; i++ {
 		cli.reqOffs[i] = reqOffAt(s.cfg, i)
@@ -320,7 +448,7 @@ func (s *Server) Accept(clientMachine *fabric.Machine, params Params) (*Client, 
 	}
 	if params.ForceReply {
 		cli.mode = ModeReply
-		region.Buf[0] = byte(ModeReply) // set during connection setup
+		conn.buf[0] = byte(ModeReply) // set during connection setup
 	}
-	return cli, conn
+	return cli, conn, nil
 }

@@ -13,6 +13,7 @@ import (
 	"rfp/internal/hw"
 	"rfp/internal/sim"
 	"rfp/internal/stats"
+	"rfp/internal/telemetry"
 )
 
 // Options tune how heavily an experiment runs. Zero values take defaults.
@@ -81,8 +82,32 @@ type Result struct {
 	// round-trips per call, tuner decisions), present only when
 	// Options.Telemetry was set.
 	Telemetry []string
+	// Memory holds resource-footprint samples (registered memory, MRs,
+	// QPs, endpoint occupancy) for experiments that measure them
+	// (ext-crowd); absent otherwise, so archived encodings are unchanged.
+	Memory []MemorySample
 	// Notes document modeling caveats for this experiment.
 	Notes []string
+}
+
+// MemorySample is one measured transport-resource footprint: the gauges of
+// telemetry.Resources at a labelled point of a sweep.
+type MemorySample struct {
+	Label     string
+	Clients   int
+	Resources telemetry.Resources
+}
+
+// String renders the sample as one report line.
+func (m MemorySample) String() string {
+	s := fmt.Sprintf("%-10s clients=%-6d %8.1f KB in %d MRs, %d QPs",
+		m.Label, m.Clients, float64(m.Resources.RegisteredBytes)/1024,
+		m.Resources.RegisteredMRs, m.Resources.QPs)
+	if m.Resources.Endpoints > 0 {
+		s += fmt.Sprintf("; %d leases over %d endpoints (occupancy %d)",
+			m.Resources.EndpointLeases, m.Resources.Endpoints, m.Resources.EndpointOccupancy)
+	}
+	return s
 }
 
 // String renders the result in the harness's text format.
@@ -136,6 +161,14 @@ func (r Result) render(chart bool) string {
 		for _, line := range r.Telemetry {
 			b.WriteString("  ")
 			b.WriteString(line)
+			b.WriteString("\n")
+		}
+	}
+	if len(r.Memory) > 0 {
+		b.WriteString("memory:\n")
+		for _, m := range r.Memory {
+			b.WriteString("  ")
+			b.WriteString(m.String())
 			b.WriteString("\n")
 		}
 	}

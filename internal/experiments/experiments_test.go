@@ -25,7 +25,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-inline", "ablation-switch", "ablation-selection", "ablation-twosided",
 		"ext-herd", "ext-loss", "ext-scaleout", "ext-tuning",
 		"ext-async", "ext-farm", "ext-ycsb", "ext-pipeline",
-		"ext-adaptive-depth", "ext-chaos",
+		"ext-adaptive-depth", "ext-chaos", "ext-crowd",
 	}
 	ids := IDs()
 	have := map[string]bool{}

@@ -40,8 +40,23 @@ type JSONResult struct {
 	CDFs       []JSONCDF    `json:"cdfs,omitempty"`
 	Rows       []string     `json:"rows,omitempty"`
 	Telemetry  []string     `json:"telemetry,omitempty"`
+	Memory     []JSONMemory `json:"memory,omitempty"`
 	Notes      []string     `json:"notes,omitempty"`
 	WallTimeMs float64      `json:"wall_time_ms"`
+}
+
+// JSONMemory is one transport-resource footprint sample in -json output.
+// Only experiments that measure footprints (ext-crowd) emit it — the
+// omitempty keeps every archived encoding byte-identical.
+type JSONMemory struct {
+	Label             string `json:"label"`
+	Clients           int    `json:"clients"`
+	RegisteredBytes   int64  `json:"registered_bytes"`
+	RegisteredMRs     int    `json:"registered_mrs"`
+	QPs               int    `json:"qps"`
+	Endpoints         int    `json:"endpoints,omitempty"`
+	EndpointLeases    int    `json:"endpoint_leases,omitempty"`
+	EndpointOccupancy int    `json:"endpoint_occupancy,omitempty"`
 }
 
 // cdfQuantiles are the summary points emitted for each latency histogram.
@@ -62,6 +77,18 @@ func ToJSON(res Result, o Options, wall time.Duration) JSONResult {
 		Telemetry:  res.Telemetry,
 		Notes:      res.Notes,
 		WallTimeMs: float64(wall.Nanoseconds()) / 1e6,
+	}
+	for _, m := range res.Memory {
+		out.Memory = append(out.Memory, JSONMemory{
+			Label:             m.Label,
+			Clients:           m.Clients,
+			RegisteredBytes:   m.Resources.RegisteredBytes,
+			RegisteredMRs:     m.Resources.RegisteredMRs,
+			QPs:               m.Resources.QPs,
+			Endpoints:         m.Resources.Endpoints,
+			EndpointLeases:    m.Resources.EndpointLeases,
+			EndpointOccupancy: m.Resources.EndpointOccupancy,
+		})
 	}
 	for _, s := range res.Series {
 		out.Series = append(out.Series, JSONSeries{

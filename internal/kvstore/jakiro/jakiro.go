@@ -45,6 +45,11 @@ type Config struct {
 	// negative to disable.
 	SpikeProb            float64
 	SpikeLoNs, SpikeHiNs int64
+
+	// Pool opts the store's RFP server into multiplexed endpoints and
+	// shared-slab registration (core.PoolConfig; DESIGN.md §13). The zero
+	// value keeps the paper's per-client QPs and regions.
+	Pool core.PoolConfig
 }
 
 // DefaultConfig returns the evaluation's standard server: 6 threads, room
@@ -99,6 +104,7 @@ func NewServer(m *fabric.Machine, cfg Config) *Server {
 		rfp: core.NewServer(m, core.ServerConfig{
 			MaxRequest:  1 + workload.KeySize + cfg.MaxValue,
 			MaxResponse: 1 + cfg.MaxValue,
+			Pool:        cfg.Pool,
 		}),
 		conns: make([][]*core.Conn, cfg.Threads),
 	}

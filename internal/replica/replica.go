@@ -34,6 +34,11 @@ type Config struct {
 	Backups  int // number of backup machines (default 1)
 	Buckets  int // store size per replica
 	MaxValue int
+
+	// Pool opts the primary's (and each backup's) RFP server into
+	// multiplexed endpoints and shared-slab registration (DESIGN.md §13).
+	// Zero keeps per-client QPs and regions.
+	Pool core.PoolConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +68,7 @@ func newBackup(m *fabric.Machine, cfg Config) *backup {
 		rfp: core.NewServer(m, core.ServerConfig{
 			MaxRequest:  1 + workload.KeySize + cfg.MaxValue,
 			MaxResponse: 8,
+			Pool:        cfg.Pool,
 		}),
 		store: kv.NewBucketStore(cfg.Buckets),
 	}
@@ -119,6 +125,7 @@ func NewService(primaryMachine *fabric.Machine, backupMachines []*fabric.Machine
 		rfp: core.NewServer(primaryMachine, core.ServerConfig{
 			MaxRequest:  1 + workload.KeySize + cfg.MaxValue,
 			MaxResponse: 1 + cfg.MaxValue,
+			Pool:        cfg.Pool,
 		}),
 		store: kv.NewBucketStore(cfg.Buckets),
 	}

@@ -59,11 +59,30 @@ type CQE struct {
 type CQ struct {
 	nic     *NIC
 	entries *sim.Queue[CQE]
+
+	// route, when set, demultiplexes every delivery: the completion lands
+	// in the returned queue instead of this one (nil drops it). This is how
+	// a multiplexed endpoint (endpoint.go) fans one hardware CQ out to many
+	// logical clients by WR-ID tag — routing happens at delivery time, so a
+	// client blocked in Wait on its own queue is woken directly and nobody
+	// has to pump the shared queue.
+	route func(CQE) *CQ
 }
 
 // NewCQ creates a completion queue on the NIC that will consume it.
 func NewCQ(n *NIC) *CQ {
 	return &CQ{nic: n, entries: sim.NewQueue[CQE](n.env)}
+}
+
+// put delivers one completion, honouring the demux hook.
+func (c *CQ) put(e CQE) {
+	if c.route != nil {
+		if t := c.route(e); t != nil {
+			t.entries.Put(e)
+		}
+		return
+	}
+	c.entries.Put(e)
 }
 
 // Poll reaps one completion without blocking, charging one CQ-poll's CPU.
@@ -102,16 +121,16 @@ func (q *QP) ensureEngine() {
 			wr, cq := a.wr, a.cq
 			// Dead-endpoint and validation errors complete immediately.
 			if err := q.gate(); err != nil {
-				cq.entries.Put(CQE{ID: wr.ID, Op: wr.Op, Err: err})
+				cq.put(CQE{ID: wr.ID, Op: wr.Op, Err: err})
 				continue
 			}
 			if err := q.checkTarget(wr.Remote, wr.Roff, len(wr.Local)); err != nil {
-				cq.entries.Put(CQE{ID: wr.ID, Op: wr.Op, Err: err})
+				cq.put(CQE{ID: wr.ID, Op: wr.Op, Err: err})
 				continue
 			}
 			act := q.decide(p, wr.Op, len(wr.Local))
 			if act.Err != nil {
-				cq.entries.Put(CQE{ID: wr.ID, Op: wr.Op, Err: act.Err})
+				cq.put(CQE{ID: wr.ID, Op: wr.Op, Err: act.Err})
 				continue
 			}
 			// Initiator engine: serialized per NIC, in post order.
@@ -129,7 +148,7 @@ func (q *QP) ensureEngine() {
 					local.tracer.Record(trace.Event{Start: start, End: p2.Now(), Kind: kind,
 						Src: local.name, Dst: remote.name, Bytes: len(wr.Local)})
 				}
-				cq.entries.Put(CQE{ID: wr.ID, Op: wr.Op, Err: err})
+				cq.put(CQE{ID: wr.ID, Op: wr.Op, Err: err})
 			})
 		}
 	})

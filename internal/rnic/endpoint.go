@@ -1,0 +1,235 @@
+package rnic
+
+// Multiplexed endpoints. The QP half of RFP's scaling wall: a reliable
+// connection per client means per-client QP state in the NIC, and past a few
+// thousand QPs the cache that holds that state thrashes (the RDMAvisor /
+// Swift observation in PAPERS.md). An EndpointPool instead keeps a small
+// fixed set of QP pairs per machine pair and multiplexes many logical
+// clients over them. Each logical client holds an EndpointLease: a 16-bit
+// tag (the WR-ID bits core.Group already reserves for fan-out members) plus
+// the right to post on the endpoint's shared QP.
+//
+// Demultiplexing happens on the CQ path: every endpoint owns one hardware
+// CQ, and its route hook (async.go) inspects the completed WR's tag bits at
+// delivery time and forwards the CQE to the lease's private deliver queue.
+// A completion whose tag names no live lease of that endpoint is dropped and
+// counted (Misrouted) — never delivered to the wrong logical client. Routing
+// at delivery (not at poll) keeps blocking semantics: a client in Wait on
+// its own queue is woken directly, with no one pumping the shared CQ.
+
+import "errors"
+
+// Tag-field geometry: WR-ID bits [TagShift, TagShift+TagBits) carry the
+// logical-client tag, the same field core.Group uses for member routing.
+const (
+	TagShift = 48
+	TagBits  = 16
+	// MaxTags bounds concurrent leases per pool; tag images must fit the
+	// WR-ID field, so exhaustion is a typed error, never silent aliasing.
+	MaxTags = 1 << TagBits
+)
+
+// ErrTagSpace reports a lease request that would overflow the WR-ID tag
+// field: every tag is in use by a live lease.
+var ErrTagSpace = errors.New("rnic: endpoint tag space exhausted")
+
+// EndpointPool multiplexes logical clients over perPeer QP pairs per remote
+// NIC. Tags are allocated pool-wide, so a tag identifies one logical client
+// across every endpoint of the pool's NIC.
+type EndpointPool struct {
+	home     *NIC // the pool owner's NIC (the server side, for RFP)
+	perPeer  int  // QP pairs per (home, peer) machine pair
+	tagLimit int  // test hook; MaxTags normally
+	nextTag  int  // tags handed out so far (they descend from tagLimit-1)
+	freeTags []uint16
+	used     map[uint16]*EndpointLease
+	sites    map[*NIC]*peerSite
+
+	// Misrouted counts completions whose tag named no live lease on the
+	// endpoint that completed them; they are dropped, never delivered.
+	Misrouted uint64
+}
+
+// peerSite is the endpoint set for one remote NIC.
+type peerSite struct {
+	eps  []*Endpoint
+	next int // round-robin lease placement
+}
+
+// NewEndpointPool creates a pool on the owner's NIC with perPeer QP pairs
+// per remote machine (clamped to at least 1).
+func NewEndpointPool(home *NIC, perPeer int) *EndpointPool {
+	if perPeer < 1 {
+		perPeer = 1
+	}
+	return &EndpointPool{
+		home:     home,
+		perPeer:  perPeer,
+		tagLimit: MaxTags,
+		used:     make(map[uint16]*EndpointLease),
+		sites:    make(map[*NIC]*peerSite),
+	}
+}
+
+// SetTagLimit lowers the tag space (tests exercise exhaustion without 64k
+// leases). Only meaningful before the first lease.
+func (p *EndpointPool) SetTagLimit(n int) {
+	if n < 1 || n > MaxTags {
+		n = MaxTags
+	}
+	p.tagLimit = n
+}
+
+// Endpoints returns the number of endpoints (QP pairs) created so far.
+func (p *EndpointPool) Endpoints() int {
+	total := 0
+	for _, s := range p.sites {
+		total += len(s.eps)
+	}
+	return total
+}
+
+// Leases returns the number of live leases across the pool.
+func (p *EndpointPool) Leases() int { return len(p.used) }
+
+// Occupancy returns the heaviest endpoint's live-lease count — the
+// multiplexing factor telemetry reports.
+func (p *EndpointPool) Occupancy() int {
+	max := 0
+	for _, s := range p.sites {
+		for _, ep := range s.eps {
+			if ep.leases > max {
+				max = ep.leases
+			}
+		}
+	}
+	return max
+}
+
+// Endpoint is one shared QP pair between the pool's NIC and a peer, plus the
+// hardware CQ its completions demux from.
+type Endpoint struct {
+	pool   *EndpointPool
+	peer   *NIC
+	qpPeer *QP // peer-machine side: the logical clients' initiator endpoint
+	qpHome *QP // pool-owner side (reply-mode pushes, for RFP)
+	cq     *CQ // shared hardware CQ on the peer NIC, demuxed by tag
+	leases int
+}
+
+// newEndpoint connects one QP pair and arms the demux hook.
+func (p *EndpointPool) newEndpoint(peer *NIC) *Endpoint {
+	qpPeer, qpHome := Connect(peer, p.home)
+	ep := &Endpoint{pool: p, peer: peer, qpPeer: qpPeer, qpHome: qpHome, cq: NewCQ(peer)}
+	ep.cq.route = ep.routeCQE
+	return ep
+}
+
+// routeCQE demultiplexes one completion by its WR-ID tag. Only a tag naming
+// a live lease of this very endpoint is delivered; anything else — a stale
+// tag, a foreign endpoint's tag, a forged image — is dropped and counted.
+//
+//rfp:hotpath
+func (ep *Endpoint) routeCQE(e CQE) *CQ {
+	l, ok := ep.pool.used[uint16(e.ID>>TagShift)]
+	if !ok || l.ep != ep {
+		ep.pool.Misrouted++
+		return nil
+	}
+	return l.deliver
+}
+
+// EndpointLease is one logical client's claim on an endpoint: a tag and a
+// private deliver queue.
+type EndpointLease struct {
+	ep       *Endpoint
+	tag      uint16
+	deliver  *CQ
+	released bool
+}
+
+// Lease places a logical client for the given peer NIC onto an endpoint
+// (round-robin, creating endpoints lazily up to perPeer) and allocates its
+// tag. Completions for WRs carrying the tag land in deliver.
+func (p *EndpointPool) Lease(peer *NIC, deliver *CQ) (*EndpointLease, error) {
+	if deliver == nil {
+		panic("rnic: endpoint lease needs a deliver CQ")
+	}
+	tag, ok := p.takeTag()
+	if !ok {
+		return nil, ErrTagSpace
+	}
+	s := p.sites[peer]
+	if s == nil {
+		s = &peerSite{}
+		p.sites[peer] = s
+	}
+	var ep *Endpoint
+	if len(s.eps) < p.perPeer {
+		ep = p.newEndpoint(peer)
+		s.eps = append(s.eps, ep)
+	} else {
+		ep = s.eps[s.next%len(s.eps)]
+		s.next++
+	}
+	ep.leases++
+	l := &EndpointLease{ep: ep, tag: tag, deliver: deliver}
+	p.used[tag] = l
+	return l, nil
+}
+
+// takeTag allocates a tag. Fresh tags descend from the top of the space so
+// they are disjoint from the small member indices an unpooled core.Group
+// assigns from zero up; released tags are recycled only once the fresh space
+// is exhausted, so a straggler completion for a just-released tag meets an
+// empty demux slot (dropped), not a fast re-claimer.
+func (p *EndpointPool) takeTag() (uint16, bool) {
+	if p.nextTag < p.tagLimit {
+		t := uint16(p.tagLimit - 1 - p.nextTag)
+		p.nextTag++
+		return t, true
+	}
+	if n := len(p.freeTags); n > 0 {
+		t := p.freeTags[0]
+		p.freeTags = p.freeTags[1:]
+		return t, true
+	}
+	return 0, false
+}
+
+// Tag returns the lease's tag image, already shifted into WR-ID position —
+// OR it into every WR ID posted under this lease.
+func (l *EndpointLease) Tag() uint64 { return uint64(l.tag) << TagShift }
+
+// QP returns the shared initiator-side QP (on the peer machine).
+func (l *EndpointLease) QP() *QP { return l.ep.qpPeer }
+
+// HomeQP returns the shared pool-owner-side QP (reply-mode pushes).
+func (l *EndpointLease) HomeQP() *QP { return l.ep.qpHome }
+
+// PostCQ returns the endpoint's shared hardware CQ: pass it to Post, and the
+// demux delivers this lease's completions to its deliver queue.
+func (l *EndpointLease) PostCQ() *CQ { return l.ep.cq }
+
+// Redirect re-targets the lease's deliveries (a client joining a fan-out
+// group points its lease at the group's shared queue).
+func (l *EndpointLease) Redirect(cq *CQ) { l.deliver = cq }
+
+// Endpoint returns the endpoint this lease multiplexes onto.
+func (l *EndpointLease) Endpoint() *Endpoint { return l.ep }
+
+// Release frees the tag for reuse. Completions still in flight under the
+// tag are dropped by the demux from here on (counted as misrouted), which
+// is exactly the "never deliver to the wrong client" contract: a recycled
+// tag's new holder must not see the old holder's stragglers — the pool
+// hands the tag out again only after release, and the demux map already
+// points at nothing.
+func (l *EndpointLease) Release() {
+	if l.released {
+		return
+	}
+	l.released = true
+	l.ep.leases--
+	delete(l.ep.pool.used, l.tag)
+	l.ep.pool.freeTags = append(l.ep.pool.freeTags, l.tag)
+}

@@ -84,7 +84,7 @@ func (n *NIC) Region(i int) *MR { return n.mrs[i] }
 // memory rather than stale pre-crash bytes.
 func (n *NIC) InvalidateRegions() {
 	for _, mr := range n.mrs {
-		mr.valid = false
+		mr.Deregister()
 		for i := range mr.Buf {
 			mr.Buf[i] = 0
 		}

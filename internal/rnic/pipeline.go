@@ -70,7 +70,7 @@ func (q *QP) remotePhase(p *sim.Proc, op WROp, remote RemoteMR, roff int, local 
 		// Responder side: RX pipe + in-bound engine, all in NIC hardware.
 		r.rx.Use(p, sim.Duration(r.prof.WireNs(size)))
 		r.inEngine.Use(p, sim.Duration(r.prof.InEngineNs))
-		copy(remote.mr.Buf[roff:], local)
+		copy(remote.buf(roff, size), local)
 	case WRRead:
 		// The responder engine is only occupied for the base in-bound
 		// service time (its reciprocal is the in-bound IOPS ceiling);
@@ -83,7 +83,7 @@ func (q *QP) remotePhase(p *sim.Proc, op WROp, remote RemoteMR, roff int, local 
 		// region being concurrently modified is returned verbatim;
 		// consistency is the application's problem (CRCs in Pilaf, status
 		// bits in RFP).
-		copy(local, remote.mr.Buf[roff:roff+size])
+		copy(local, remote.buf(roff, size))
 		r.tx.Use(p, sim.Duration(r.prof.WireNs(size)))
 	}
 	r.Stats.InOps++

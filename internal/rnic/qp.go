@@ -38,6 +38,8 @@ func Connect(a, b *NIC) (*QP, *QP) {
 	qa := &QP{local: a, remote: b, recvQ: sim.NewQueue[message](a.env)}
 	qb := &QP{local: b, remote: a, recvQ: sim.NewQueue[message](b.env)}
 	qa.peer, qb.peer = qb, qa
+	a.qps++
+	b.qps++
 	return qa, qb
 }
 

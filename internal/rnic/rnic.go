@@ -69,6 +69,14 @@ type NIC struct {
 	down     bool          // machine crashed: refuse to serve or issue
 	mrs      []*MR         // every registration, for crash invalidation
 
+	// Resource-footprint accounting (control plane, no virtual time).
+	// regBytes is page-rounded: a real RNIC pins whole pages, which is why
+	// thousands of small per-client regions cost far more than their byte
+	// count suggests — the waste the slab registrar (slab.go) removes.
+	regBytes int64 // page-rounded bytes across live registrations
+	regMRs   int   // live registrations
+	qps      int   // QP endpoints created on this NIC
+
 	// Stats accumulates since construction; callers snapshot it around
 	// measurement windows.
 	Stats Stats
@@ -151,6 +159,16 @@ type MR struct {
 	valid bool
 }
 
+// PageSize is the registration (pinning) granularity: every region occupies
+// whole pages of NIC-translatable memory, so RegisteredBytes rounds each MR
+// up to it.
+const PageSize = 4096
+
+// pageRound rounds a region size up to whole pages.
+func pageRound(size int) int64 {
+	return int64((size + PageSize - 1) / PageSize * PageSize)
+}
+
 // RegisterMemory allocates and registers a region of the given size.
 func (n *NIC) RegisterMemory(size int) *MR {
 	if size <= 0 {
@@ -159,11 +177,29 @@ func (n *NIC) RegisterMemory(size int) *MR {
 	n.nextRKey++
 	mr := &MR{nic: n, Buf: make([]byte, size), rkey: n.nextRKey, valid: true}
 	n.mrs = append(n.mrs, mr)
+	n.regMRs++
+	n.regBytes += pageRound(size)
 	return mr
 }
 
+// RegisteredBytes returns the page-rounded footprint of live registrations.
+func (n *NIC) RegisteredBytes() int64 { return n.regBytes }
+
+// RegisteredMRs returns the number of live registrations.
+func (n *NIC) RegisteredMRs() int { return n.regMRs }
+
+// QPs returns the number of QP endpoints created on this NIC.
+func (n *NIC) QPs() int { return n.qps }
+
 // Deregister invalidates the region; subsequent remote access fails.
-func (mr *MR) Deregister() { mr.valid = false }
+func (mr *MR) Deregister() {
+	if !mr.valid {
+		return
+	}
+	mr.valid = false
+	mr.nic.regMRs--
+	mr.nic.regBytes -= pageRound(len(mr.Buf))
+}
 
 // Size returns the region length in bytes.
 func (mr *MR) Size() int { return len(mr.Buf) }
@@ -173,19 +209,39 @@ func (mr *MR) Size() int { return len(mr.Buf) }
 func (mr *MR) Handle() RemoteMR { return RemoteMR{mr: mr, rkey: mr.rkey} }
 
 // RemoteMR is a peer's capability to access a memory region with one-sided
-// operations.
+// operations. A handle may cover the whole region (MR.Handle) or a window of
+// it (Window): offsets in one-sided operations are window-relative, and
+// access outside the window fails bounds checking — which is what lets a
+// slab registrar hand many clients capabilities into one shared MR without
+// any client being able to reach a neighbour's carve.
 type RemoteMR struct {
 	mr   *MR
 	rkey uint32
+	base int // window start within the region
+	span int // window length; 0 means the whole region
+}
+
+// Window returns a sub-handle covering length bytes starting at off within
+// this handle. Windowing composes (a window of a window re-bases again) and
+// never widens access: the requested range must fit the current handle.
+func (r RemoteMR) Window(off, length int) RemoteMR {
+	if off < 0 || length <= 0 || off+length > r.Size() {
+		panic(fmt.Sprintf("rnic: window [%d,%d) outside handle of %d bytes", off, off+length, r.Size()))
+	}
+	return RemoteMR{mr: r.mr, rkey: r.rkey, base: r.base + off, span: length}
 }
 
 // Valid reports whether the handle refers to a live registration.
 func (r RemoteMR) Valid() bool { return r.mr != nil && r.mr.valid }
 
-// Size returns the remote region's size.
+// Size returns the handle's accessible size: the window length, or the whole
+// region for an unwindowed handle.
 func (r RemoteMR) Size() int {
 	if r.mr == nil {
 		return 0
+	}
+	if r.span > 0 {
+		return r.span
 	}
 	return len(r.mr.Buf)
 }
@@ -205,8 +261,14 @@ func (r RemoteMR) check(off, length int) error {
 	if r.rkey != r.mr.rkey {
 		return ErrBadKey
 	}
-	if off < 0 || length < 0 || off+length > len(r.mr.Buf) {
+	if off < 0 || length < 0 || off+length > r.Size() {
 		return ErrBounds
 	}
 	return nil
+}
+
+// buf returns the window's backing bytes for the data-path copy, already
+// validated by check.
+func (r RemoteMR) buf(off, length int) []byte {
+	return r.mr.Buf[r.base+off : r.base+off+length]
 }

@@ -1,0 +1,157 @@
+package rnic
+
+import (
+	"testing"
+
+	"rfp/internal/hw"
+	"rfp/internal/sim"
+)
+
+// TestSlabDedicatedMode: slab size zero registers one exact-size MR per
+// lease (the seed's handshake) and releases deregister it.
+func TestSlabDedicatedMode(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	n := New(env, "n", hw.ConnectX3())
+	r := NewSlabRegistrar(n, 0)
+	a := r.Lease(100)
+	b := r.Lease(5000)
+	if r.Slabs() != 0 {
+		t.Fatalf("dedicated mode created %d slabs", r.Slabs())
+	}
+	if r.Leases() != 2 || r.RegisteredMRs() != 2 {
+		t.Fatalf("leases=%d mrs=%d, want 2/2", r.Leases(), r.RegisteredMRs())
+	}
+	// Page-rounded pinning: 100 B -> 1 page, 5000 B -> 2 pages.
+	if got := r.RegisteredBytes(); got != 3*PageSize {
+		t.Fatalf("RegisteredBytes = %d, want %d", got, 3*PageSize)
+	}
+	a.Release()
+	if a.Valid() {
+		t.Fatal("released dedicated lease still valid")
+	}
+	if got := r.RegisteredBytes(); got != 2*PageSize {
+		t.Fatalf("after release RegisteredBytes = %d, want %d", got, 2*PageSize)
+	}
+	a.Release() // idempotent
+	if r.Leases() != 1 {
+		t.Fatalf("double release changed lease count: %d", r.Leases())
+	}
+	_ = b
+}
+
+// TestSlabChurn: carve/release cycles recycle the same slab bytes, zeroed
+// each time, without growing the slab set.
+func TestSlabChurn(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	n := New(env, "n", hw.ConnectX3())
+	r := NewSlabRegistrar(n, 1024)
+	for i := 0; i < 100; i++ {
+		l := r.Lease(200)
+		buf := l.Buf()
+		if len(buf) != 200 {
+			t.Fatalf("lease buf len = %d", len(buf))
+		}
+		for _, c := range buf {
+			if c != 0 {
+				t.Fatalf("iteration %d: recycled carve not zeroed", i)
+			}
+		}
+		for j := range buf {
+			buf[j] = 0xee // dirty it for the next iteration's check
+		}
+		l.Release()
+	}
+	if r.Slabs() != 1 {
+		t.Fatalf("churn grew the slab set to %d", r.Slabs())
+	}
+	if r.Leases() != 0 {
+		t.Fatalf("leases leaked: %d", r.Leases())
+	}
+}
+
+// TestSlabExhaustionGrowsNewSlab: when every slab is full the registrar
+// registers another one rather than failing.
+func TestSlabExhaustionGrowsNewSlab(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	n := New(env, "n", hw.ConnectX3())
+	r := NewSlabRegistrar(n, 256)
+	var leases []*SlabLease
+	for i := 0; i < 6; i++ { // 6 x 128-aligned carves = 3 slabs of 256
+		leases = append(leases, r.Lease(100))
+	}
+	if r.Slabs() != 3 {
+		t.Fatalf("Slabs = %d, want 3", r.Slabs())
+	}
+	if got := r.RegisteredBytes(); got != 3*PageSize {
+		t.Fatalf("RegisteredBytes = %d, want %d (3 page-rounded slabs)", got, 3*PageSize)
+	}
+	for _, l := range leases {
+		l.Release()
+	}
+	// Everything coalesced: one full-slab carve fits in the first slab.
+	full := r.Lease(256)
+	if r.Slabs() != 3 {
+		t.Fatalf("full-size carve after release grew slabs to %d", r.Slabs())
+	}
+	full.Release()
+}
+
+// TestSlabOversizeFallsBackToDedicated: a request larger than the slab gets
+// its own registration.
+func TestSlabOversizeFallsBackToDedicated(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	n := New(env, "n", hw.ConnectX3())
+	r := NewSlabRegistrar(n, 256)
+	l := r.Lease(1000)
+	if r.Slabs() != 0 {
+		t.Fatalf("oversize lease consumed a slab")
+	}
+	if l.Size() != 1000 {
+		t.Fatalf("Size = %d", l.Size())
+	}
+	mrs := n.RegisteredMRs()
+	l.Release()
+	if n.RegisteredMRs() != mrs-1 {
+		t.Fatal("oversize release did not deregister its MR")
+	}
+}
+
+// TestSlabHandleWindowed: a lease's remote handle is windowed to exactly the
+// carve — lease-relative offsets land in the right bytes, and neighbouring
+// carves are out of reach.
+func TestSlabHandleWindowed(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	prof := hw.ConnectX3()
+	a := New(env, "a", prof)
+	b := New(env, "b", prof)
+	qa, _ := Connect(a, b)
+	r := NewSlabRegistrar(b, 1024)
+	first := r.Lease(128)
+	second := r.Lease(128)
+	h := second.Handle()
+	if h.Size() != 128 {
+		t.Fatalf("window size = %d", h.Size())
+	}
+	env.Go("cli", func(p *sim.Proc) {
+		if err := qa.Write(p, h, 0, []byte("window")); err != nil {
+			t.Errorf("Write: %v", err)
+		}
+		if err := qa.Write(p, h, 125, []byte("spill")); err == nil {
+			t.Error("write past the window succeeded")
+		}
+	})
+	env.RunAll()
+	if string(second.Buf()[:6]) != "window" {
+		t.Fatalf("second carve holds %q", second.Buf()[:6])
+	}
+	for _, c := range first.Buf() {
+		if c != 0 {
+			t.Fatal("write leaked into the neighbouring carve")
+		}
+	}
+}

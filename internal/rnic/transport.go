@@ -70,12 +70,15 @@ func (q *UCQP) Write(p *sim.Proc, remote RemoteMR, roff int, local []byte) error
 	}
 	r := q.remote
 	data := append([]byte(nil), local...)
-	mr := remote.mr
 	n.env.After(sim.Duration(n.prof.PropagationNs), func() {
-		// Delivery consumes responder resources asynchronously.
+		// Delivery consumes responder resources asynchronously; the target
+		// was validated at post time, so a since-deregistered window just
+		// drops the bytes (unreliable transport).
 		r.Stats.InOps++
 		r.Stats.InBytes += uint64(size)
-		copy(mr.Buf[roff:], data)
+		if remote.check(roff, size) == nil {
+			copy(remote.buf(roff, size), data)
+		}
 	})
 	n.tracer.Record(trace.Event{Start: start, End: p.Now(), Kind: trace.UCWrite,
 		Src: n.name, Dst: r.name, Bytes: size})

@@ -26,6 +26,40 @@ type Snapshot struct {
 
 	Decisions      []Decision
 	DecisionsTotal uint64
+
+	// Resources are transport-resource gauges sampled at snapshot time
+	// (core.Server.Resources); all-zero on snapshots that never sampled
+	// them, and omitted from Text then.
+	Resources Resources
+}
+
+// Resources gauges the transport-resource footprint behind a set of
+// connections: pinned registered memory (page-rounded, as an RNIC pins it),
+// memory regions, QPs, and — under endpoint pooling — how hard the endpoints
+// are multiplexed. Point-in-time values, not accumulating counters.
+type Resources struct {
+	RegisteredBytes int64 // page-rounded bytes pinned by registrations
+	RegisteredMRs   int   // live memory regions
+	QPs             int   // QPs on the serving NIC
+	Endpoints       int   // pooled endpoints (QP pairs); 0 when pooling is off
+	EndpointLeases  int   // live logical clients multiplexed onto them
+
+	// EndpointOccupancy is the heaviest endpoint's lease count — the
+	// multiplexing factor.
+	EndpointOccupancy int
+}
+
+// merge sums gauges (footprints of disjoint servers add) and takes the
+// worst occupancy.
+func (r *Resources) merge(o Resources) {
+	r.RegisteredBytes += o.RegisteredBytes
+	r.RegisteredMRs += o.RegisteredMRs
+	r.QPs += o.QPs
+	r.Endpoints += o.Endpoints
+	r.EndpointLeases += o.EndpointLeases
+	if o.EndpointOccupancy > r.EndpointOccupancy {
+		r.EndpointOccupancy = o.EndpointOccupancy
+	}
 }
 
 // Merge accumulates another snapshot into s (counters add, histograms
@@ -47,6 +81,7 @@ func (s *Snapshot) Merge(o Snapshot) {
 	}
 	s.Decisions = append(s.Decisions, o.Decisions...)
 	s.DecisionsTotal += o.DecisionsTotal
+	s.Resources.merge(o.Resources)
 }
 
 // RoundTripsPerCall is the paper's amplification metric: one-sided verbs
@@ -126,6 +161,15 @@ func (s Snapshot) Text() []string {
 		for _, d := range s.Decisions {
 			lines = append(lines, "  "+d.String())
 		}
+	}
+	if r := s.Resources; r.RegisteredMRs > 0 || r.QPs > 0 {
+		line := fmt.Sprintf("resources: %.1f KB registered in %d MRs, %d QPs",
+			float64(r.RegisteredBytes)/1024, r.RegisteredMRs, r.QPs)
+		if r.Endpoints > 0 {
+			line += fmt.Sprintf("; %d leases over %d endpoints (occupancy %d)",
+				r.EndpointLeases, r.Endpoints, r.EndpointOccupancy)
+		}
+		lines = append(lines, line)
 	}
 	return lines
 }
