@@ -57,6 +57,51 @@ func TestBenchPipelineArchiveByteIdentical(t *testing.T) {
 	}
 }
 
+// TestBenchSimArchiveByteIdentical guards the kernel-throughput archive
+// (rfpbench -quick -json ext-scaleout > BENCH_sim.json). The archive is a
+// real timed run, so its wall_time_ms and events_per_sec fields are
+// measurements from the machine that recorded it; every other field —
+// series, rows, and sim_events, the kernel's deterministic event count — is
+// pinned byte for byte. A drift in sim_events means the kernel retired a
+// different event schedule: a real behavior change, to be re-archived in the
+// same PR when intentional.
+func TestBenchSimArchiveByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full archived runs in -short mode")
+	}
+	raw, err := os.ReadFile("../../BENCH_sim.json")
+	if err != nil {
+		t.Fatalf("reading archive: %v", err)
+	}
+	var archived JSONResult
+	if err := json.Unmarshal(raw, &archived); err != nil {
+		t.Fatalf("decoding archive: %v", err)
+	}
+	if archived.WallTimeMs <= 0 || archived.EventsPerSec <= 0 {
+		t.Fatalf("archive must carry a real measurement: wall_time_ms=%v events_per_sec=%v",
+			archived.WallTimeMs, archived.EventsPerSec)
+	}
+	archived.WallTimeMs, archived.EventsPerSec = 0, 0
+
+	o := DefaultOptions()
+	o.Quick = true
+	res, err := Run("ext-scaleout", o)
+	if err != nil {
+		t.Fatalf("Run(ext-scaleout): %v", err)
+	}
+	var got, want bytes.Buffer
+	if err := json.NewEncoder(&got).Encode(ToJSON(res, o, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewEncoder(&want).Encode(archived); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("fresh run diverged from BENCH_sim.json (wall fields excluded)\ngot:\n%s\nwant:\n%s",
+			got.String(), want.String())
+	}
+}
+
 // TestSnapshotConcurrentWithSetDepthAndClose hammers Snapshot from a reader
 // goroutine while the simulated client records calls, churns its ring depth
 // through the quiesce path, and finally closes. Run under -race in CI; any

@@ -178,8 +178,16 @@ func chaosPipeClient(p *sim.Proc, cli *core.Client, id, calls int, res *chaosCli
 }
 
 // runChaosPlan runs one (plan, clients, calls) cell and renders its row.
-func runChaosPlan(o Options, pl chaosPlan, clients, calls int) (row string, results []*chaosClientResult, agg core.ClientStats, inj *faults.Injector) {
+// With o.Parallel > 0, plans without crash windows or invalidations run on
+// the sharded kernel with a per-machine injector split (faults
+// .InstallSharded); crash plans stay serial — a crash zeroes memory remote
+// lanes may be reading, which the conservative barrier cannot order.
+func runChaosPlan(o Options, pl chaosPlan, clients, calls int) (row string, results []*chaosClientResult, agg core.ClientStats, inj faults.Tracer) {
 	env := sim.NewEnv(o.Seed)
+	sharded := o.Parallel > 0 && len(pl.plan.Crashes) == 0 && len(pl.plan.Invalidations) == 0
+	if sharded {
+		env.SetSharded(o.Parallel)
+	}
 	defer env.Close()
 	cl := fabric.NewCluster(env, o.Profile, clients)
 	srv := core.NewServer(cl.Server, core.ServerConfig{
@@ -194,9 +202,14 @@ func runChaosPlan(o Options, pl chaosPlan, clients, calls int) (row string, resu
 	params.BackoffNs = 2000
 	params.DemoteAfter = 8
 
-	inj = faults.New(pl.plan)
 	machines := append([]*fabric.Machine{cl.Server}, cl.Clients...)
-	faults.Install(env, inj, machines...)
+	if sharded {
+		inj = faults.InstallSharded(pl.plan, machines...)
+	} else {
+		si := faults.New(pl.plan)
+		faults.Install(env, si, machines...)
+		inj = si
+	}
 
 	clis := make([]*core.Client, clients)
 	conns := make([]*core.Conn, clients)

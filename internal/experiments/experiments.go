@@ -31,6 +31,13 @@ type Options struct {
 	// default: recording is out of the virtual-time data path, but the extra
 	// result lines would break byte-identity of archived runs.
 	Telemetry bool
+	// Parallel > 0 runs supporting experiments (ext-scaleout, ext-chaos) on
+	// the sharded kernel: one scheduler lane per machine under the
+	// conservative-window barrier, driven by Parallel worker threads.
+	// Parallel == 1 is sharded-serial execution — byte-identical to any
+	// other worker count for the same seed. 0 (the default) keeps the
+	// single-lane serial kernel, whose archived outputs are byte-pinned.
+	Parallel int
 }
 
 // DefaultOptions returns the standard measurement envelope.
@@ -86,6 +93,10 @@ type Result struct {
 	// QPs, endpoint occupancy) for experiments that measure them
 	// (ext-crowd); absent otherwise, so archived encodings are unchanged.
 	Memory []MemorySample
+	// SimEvents counts kernel events retired across the experiment's
+	// simulations, for events-per-second reporting. Only ext-scaleout sets
+	// it; zero keeps other archived encodings unchanged.
+	SimEvents uint64
 	// Notes document modeling caveats for this experiment.
 	Notes []string
 }

@@ -222,9 +222,14 @@ func extScaleout(o Options) Result {
 	counts := o.pick([]int{1, 2, 3, 4}, []int{1, 2, 4})
 	pipe := &stats.Series{Label: "sharded pipelined (depth 8)", XLabel: "server machines", YLabel: "MOPS"}
 	syn := &stats.Series{Label: "synchronous fan-out", XLabel: "server machines", YLabel: "MOPS"}
+	var events uint64
 	for _, n := range counts {
-		pipe.Add(float64(n), runScaleout(o, n, true))
-		syn.Add(float64(n), runScaleout(o, n, false))
+		mops, ev := runScaleout(o, n, true)
+		pipe.Add(float64(n), mops)
+		events += ev
+		mops, ev = runScaleout(o, n, false)
+		syn.Add(float64(n), mops)
+		events += ev
 	}
 	last := len(counts) - 1
 	return Result{
@@ -240,7 +245,9 @@ func extScaleout(o Options) Result {
 				return s[:len(s)-1]
 			}(),
 			fmt.Sprintf("pipelined/synchronous at %d servers: %.1fx", counts[last], pipe.Y[last]/syn.Y[last]),
+			fmt.Sprintf("kernel events retired: %d", events),
 		},
+		SimEvents: events,
 		Notes: []string{
 			"synchronous fan-out is round-trip-bound: one call in flight per thread, so added servers buy almost nothing",
 			"the sharded pipelined client (core.Group) keeps every server's rings full from the same 14 threads: in-bound capacity adds per server until the clients' issue engines bind",
@@ -248,13 +255,26 @@ func extScaleout(o Options) Result {
 	}
 }
 
+// scaleoutEnvHook, when non-nil, observes the environment each runScaleout
+// creates, right after its execution mode is fixed — the cross-kernel
+// equivalence test uses it to enable and read kernel digests.
+var scaleoutEnvHook func(*sim.Env)
+
 // runScaleout shards Jakiro across n server machines with one client
 // thread on each of 14 client machines — a deliberately latency-bound
 // topology. Synchronous clients route each call to the owning server and
 // wait it out; pipelined clients keep a window of posted operations spread
-// over every server's rings (internal/shard over core.Group).
-func runScaleout(o Options, nServers int, pipelined bool) float64 {
+// over every server's rings (internal/shard over core.Group). It returns
+// the run's MOPS and the number of kernel events retired. With o.Parallel
+// > 0 the run executes on the sharded kernel, one lane per machine.
+func runScaleout(o Options, nServers int, pipelined bool) (float64, uint64) {
 	env := sim.NewEnv(o.Seed)
+	if o.Parallel > 0 {
+		env.SetSharded(o.Parallel)
+	}
+	if scaleoutEnvHook != nil {
+		scaleoutEnvHook(env)
+	}
 	defer env.Close()
 	cl := fabric.NewCluster(env, o.Profile, 14)
 	servers := make([]*jakiro.Server, nServers)
@@ -355,7 +375,7 @@ func runScaleout(o Options, nServers int, pipelined bool) float64 {
 	before := sumU64(ops)
 	start := env.Now()
 	env.Run(start.Add(o.Window))
-	return stats.MOPS(sumU64(ops)-before, int64(o.Window))
+	return stats.MOPS(sumU64(ops)-before, int64(o.Window)), env.EventsRetired()
 }
 
 // extTuning drives an echo service whose result size shifts from 32 B to

@@ -43,6 +43,12 @@ type JSONResult struct {
 	Memory     []JSONMemory `json:"memory,omitempty"`
 	Notes      []string     `json:"notes,omitempty"`
 	WallTimeMs float64      `json:"wall_time_ms"`
+	// SimEvents/EventsPerSec report kernel throughput for experiments that
+	// measure it (ext-scaleout). EventsPerSec derives from wall time, so a
+	// -stable run omits it (wall is zeroed) and keeps the encoding
+	// byte-stable; SimEvents itself is deterministic per seed.
+	SimEvents    uint64  `json:"sim_events,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
 // JSONMemory is one transport-resource footprint sample in -json output.
@@ -77,6 +83,10 @@ func ToJSON(res Result, o Options, wall time.Duration) JSONResult {
 		Telemetry:  res.Telemetry,
 		Notes:      res.Notes,
 		WallTimeMs: float64(wall.Nanoseconds()) / 1e6,
+		SimEvents:  res.SimEvents,
+	}
+	if res.SimEvents > 0 && wall > 0 {
+		out.EventsPerSec = float64(res.SimEvents) / wall.Seconds()
 	}
 	for _, m := range res.Memory {
 		out.Memory = append(out.Memory, JSONMemory{

@@ -1,0 +1,72 @@
+package experiments
+
+// Cross-kernel equivalence tests for parallel mode (-parallel): the sharded
+// kernel must produce byte-identical results for any worker count on the
+// same seed. The comparisons here are sharded-1-worker vs sharded-4-worker:
+// sharding itself re-homes per-machine PRNG streams, so its outputs
+// legitimately differ from the single-lane serial kernel (whose archived
+// outputs are pinned by bench_regress_test.go and the chaos replay tests);
+// what must never differ is the same sharded run under different degrees of
+// real parallelism. Run under -race in CI with GOMAXPROCS > 1, these tests
+// also check the window barrier's memory-model discipline.
+
+import (
+	"testing"
+
+	"rfp/internal/sim"
+)
+
+// runScaleoutTraced runs one sharded ext-scaleout cell with kernel tracing
+// on and returns (MOPS, events retired, kernel digest).
+func runScaleoutTraced(t *testing.T, workers, nServers int, pipelined bool) (float64, uint64, uint64) {
+	t.Helper()
+	o := quickOpts()
+	o.Parallel = workers
+	var env *sim.Env
+	scaleoutEnvHook = func(e *sim.Env) {
+		env = e
+		e.EnableKernelTrace()
+	}
+	defer func() { scaleoutEnvHook = nil }()
+	mops, events := runScaleout(o, nServers, pipelined)
+	return mops, events, env.KernelDigest()
+}
+
+func TestScaleoutParallelMatchesSerial(t *testing.T) {
+	for _, pipelined := range []bool{true, false} {
+		m1, e1, d1 := runScaleoutTraced(t, 1, 2, pipelined)
+		m4, e4, d4 := runScaleoutTraced(t, 4, 2, pipelined)
+		if e1 == 0 || m1 == 0 {
+			t.Fatalf("pipelined=%v: sharded run retired no work (%.3f MOPS, %d events)", pipelined, m1, e1)
+		}
+		if m1 != m4 || e1 != e4 || d1 != d4 {
+			t.Fatalf("pipelined=%v: 1 worker vs 4 diverged: MOPS %v/%v events %d/%d digest %016x/%016x",
+				pipelined, m1, m4, e1, e4, d1, d4)
+		}
+	}
+}
+
+func TestChaosParallelMatchesSerial(t *testing.T) {
+	o := DefaultOptions()
+	o.Quick = true
+	light := chaosPlans(o)[1]
+	run := func(workers int) (string, uint64) {
+		o := o
+		o.Parallel = workers
+		row, results, _, inj := runChaosPlan(o, light, 6, 120)
+		for i, r := range results {
+			if !r.finished {
+				t.Fatalf("workers=%d: client %d never finished", workers, i)
+			}
+		}
+		return row, inj.Digest()
+	}
+	row1, dig1 := run(1)
+	row4, dig4 := run(4)
+	if dig1 == 0 {
+		t.Fatal("light plan injected nothing")
+	}
+	if row1 != row4 || dig1 != dig4 {
+		t.Fatalf("1 worker vs 4 diverged:\n%s\n%s\ndigest %016x vs %016x", row1, row4, dig1, dig4)
+	}
+}

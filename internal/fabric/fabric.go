@@ -18,6 +18,7 @@ type Machine struct {
 	name    string
 	prof    hw.Profile
 	nic     *rnic.NIC
+	shard   *sim.Shard
 	threads int
 	down    bool
 
@@ -26,14 +27,23 @@ type Machine struct {
 	BusyNs int64
 }
 
-// NewMachine creates a machine with a fresh NIC.
+// NewMachine creates a machine with a fresh NIC. In a sharded environment
+// the machine gets its own scheduler lane, its NIC's hardware is homed to
+// it, and the machine's link latency feeds the conservative-window
+// lookahead; in the default environment NewShard aliases the single lane
+// and nothing changes.
 func NewMachine(env *sim.Env, name string, prof hw.Profile) *Machine {
-	return &Machine{
-		env:  env,
-		name: name,
-		prof: prof,
-		nic:  rnic.New(env, name+"/nic0", prof),
+	sh := env.NewShard(name)
+	env.ObserveLinkFloor(sim.Duration(prof.LinkFloorNs()))
+	m := &Machine{
+		env:   env,
+		name:  name,
+		prof:  prof,
+		nic:   rnic.New(env, name+"/nic0", prof),
+		shard: sh,
 	}
+	m.nic.SetShard(sh)
+	return m
 }
 
 // Name returns the machine name.
@@ -41,6 +51,10 @@ func (m *Machine) Name() string { return m.name }
 
 // NIC returns the machine's RNIC.
 func (m *Machine) NIC() *rnic.NIC { return m.nic }
+
+// Shard returns the scheduler lane this machine is homed to (the default
+// lane in a non-sharded environment).
+func (m *Machine) Shard() *sim.Shard { return m.shard }
 
 // Profile returns the machine's hardware profile.
 func (m *Machine) Profile() hw.Profile { return m.prof }
@@ -105,9 +119,10 @@ func (m *Machine) ComputeNs(p *sim.Proc, ns int64) {
 	m.Compute(p, sim.Duration(ns))
 }
 
-// Spawn starts a process logically bound to this machine.
+// Spawn starts a process logically bound to this machine, homed to the
+// machine's scheduler lane.
 func (m *Machine) Spawn(name string, fn func(*sim.Proc)) {
-	m.env.Go(m.name+"/"+name, fn)
+	m.shard.Go(m.name+"/"+name, fn)
 }
 
 // Cluster is the paper's topology: one server machine plus a set of client

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"rfp/internal/dist"
@@ -185,6 +186,111 @@ func (in *Injector) Digest() uint64 {
 	for _, e := range in.events {
 		h.Write([]byte(e))
 		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}
+
+// Tracer is the read side of an installed fault plan, implemented by both
+// Injector (serial environments) and ShardedInjector (sharded ones), so
+// harnesses can report on either uniformly.
+type Tracer interface {
+	Counts() Counts
+	Events() int
+	TraceString() string
+	Digest() uint64
+}
+
+// ShardedInjector runs one Plan as a set of per-machine injectors, one per
+// scheduler lane. A single Injector cannot serve a sharded environment: its
+// PRNG would be drawn from many lanes concurrently, racing and destroying
+// replay determinism. Splitting the plan gives each machine its own stream
+// (seeded from the plan seed and the machine name), confined to that
+// machine's lane — so a sharded run replays byte-identically for any worker
+// count, though its trace necessarily differs from a serial single-stream
+// run of the same plan.
+type ShardedInjector struct {
+	names []string // sorted machine names
+	per   map[string]*Injector
+}
+
+// InstallSharded splits the plan across the machines' lanes and attaches a
+// per-machine injector to each NIC. Crash windows and invalidations are not
+// supported: a crash zeroes memory that remote lanes may be reading
+// mid-window, which the conservative barrier cannot order. Plans that need
+// them must run on a serial environment with Install.
+func InstallSharded(plan Plan, machines ...*fabric.Machine) *ShardedInjector {
+	if len(plan.Crashes) > 0 || len(plan.Invalidations) > 0 {
+		panic("faults: sharded install does not support crash windows or invalidations; use Install on a serial environment")
+	}
+	si := &ShardedInjector{per: make(map[string]*Injector, len(machines))}
+	for _, m := range machines {
+		p := plan
+		p.Seed = shardSeed(plan.Seed, m.Name())
+		in := New(p)
+		m.NIC().SetInjector(in)
+		si.per[m.Name()] = in
+		si.names = append(si.names, m.Name())
+	}
+	sort.Strings(si.names)
+	return si
+}
+
+// shardSeed derives a per-machine PRNG seed from the plan seed and the
+// machine name, so adding a machine never shifts another machine's stream.
+func shardSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed*1_000_003 + int64(h.Sum64()&0x7fffffffffffffff)
+}
+
+// Per returns the injector attached to the named machine's NIC.
+func (si *ShardedInjector) Per(name string) *Injector { return si.per[name] }
+
+// Counts sums the fault tallies across all machines.
+func (si *ShardedInjector) Counts() Counts {
+	var c Counts
+	for _, in := range si.per {
+		pc := in.counts
+		c.Drops += pc.Drops
+		c.Delays += pc.Delays
+		c.Corruptions += pc.Corruptions
+		c.QPErrors += pc.QPErrors
+		c.Crashes += pc.Crashes
+		c.Restarts += pc.Restarts
+		c.Invalidations += pc.Invalidations
+	}
+	return c
+}
+
+// Events returns the total trace length across all machines.
+func (si *ShardedInjector) Events() int {
+	n := 0
+	for _, in := range si.per {
+		n += len(in.events)
+	}
+	return n
+}
+
+// TraceString concatenates the per-machine traces in sorted machine-name
+// order, each section headed by the machine name. Within a machine the
+// trace is in execution order; the cross-machine interleaving is not totally
+// ordered by wall time, which is exactly why the sections stay separate.
+func (si *ShardedInjector) TraceString() string {
+	var b strings.Builder
+	for _, name := range si.names {
+		fmt.Fprintf(&b, "[%s]\n", name)
+		b.WriteString(si.per[name].TraceString())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Digest folds the per-machine trace digests in sorted machine-name order —
+// the sharded replay witness. Equal for any worker count on the same seed.
+func (si *ShardedInjector) Digest() uint64 {
+	h := fnv.New64a()
+	for _, name := range si.names {
+		fmt.Fprintf(h, "%s=%016x\n", name, si.per[name].Digest())
 	}
 	return h.Sum64()
 }

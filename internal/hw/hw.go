@@ -150,6 +150,13 @@ func (p Profile) BytesPerSecond() float64 {
 	return p.LinkGbps / 8 * 1e9
 }
 
+// LinkFloorNs returns the minimum latency of any cross-machine interaction
+// under this profile: the one-way propagation delay. The sharded simulation
+// kernel uses it as the conservative-window lookahead — no machine can
+// affect another in less than this, so lanes may run a window of this width
+// without synchronizing (sim.Env.ObserveLinkFloor).
+func (p Profile) LinkFloorNs() int64 { return p.PropagationNs }
+
 // WireNs returns the serialization time of a payload of the given size on
 // the link, including per-message header overhead.
 func (p Profile) WireNs(payload int) int64 {

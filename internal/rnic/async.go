@@ -14,12 +14,13 @@ package rnic
 // QP's work requests in post order, but their network/remote phases overlap
 // — which is exactly why a single thread posting a pipeline of reads can
 // saturate its NIC's issue engine instead of one round trip at a time.
+//
+// The engine itself is a run-to-completion state machine (engine.go), not a
+// process: posting and completing steady-state operations schedules pooled
+// callback events and allocates nothing.
 
 import (
-	"fmt"
-
 	"rfp/internal/sim"
-	"rfp/internal/trace"
 )
 
 // WROp distinguishes work-request kinds.
@@ -71,10 +72,12 @@ type CQ struct {
 
 // NewCQ creates a completion queue on the NIC that will consume it.
 func NewCQ(n *NIC) *CQ {
-	return &CQ{nic: n, entries: sim.NewQueue[CQE](n.env)}
+	return &CQ{nic: n, entries: sim.NewQueueOn[CQE](n.shard)}
 }
 
 // put delivers one completion, honouring the demux hook.
+//
+//rfp:hotpath
 func (c *CQ) put(e CQE) {
 	if c.route != nil {
 		if t := c.route(e); t != nil {
@@ -107,59 +110,14 @@ type asyncWR struct {
 	cq *CQ
 }
 
-// ensureEngine lazily spawns the per-QP engine process that drains posted
-// work requests in order.
-func (q *QP) ensureEngine() {
-	if q.sendQ != nil {
-		return
-	}
-	q.sendQ = sim.NewQueue[asyncWR](q.local.env)
-	local, remote := q.local, q.remote
-	q.local.env.Go(fmt.Sprintf("%s/qp-engine", q.local.name), func(p *sim.Proc) {
-		for {
-			a := q.sendQ.Get(p)
-			wr, cq := a.wr, a.cq
-			// Dead-endpoint and validation errors complete immediately.
-			if err := q.gate(); err != nil {
-				cq.put(CQE{ID: wr.ID, Op: wr.Op, Err: err})
-				continue
-			}
-			if err := q.checkTarget(wr.Remote, wr.Roff, len(wr.Local)); err != nil {
-				cq.put(CQE{ID: wr.ID, Op: wr.Op, Err: err})
-				continue
-			}
-			act := q.decide(p, wr.Op, len(wr.Local))
-			if act.Err != nil {
-				cq.put(CQE{ID: wr.ID, Op: wr.Op, Err: act.Err})
-				continue
-			}
-			// Initiator engine: serialized per NIC, in post order.
-			start := p.Now()
-			q.issuePhase(p, wr.Op, len(wr.Local))
-			// Network + responder phases overlap with later WRs: hand off.
-			local.env.Go("wr-flight", func(p2 *sim.Proc) {
-				err := q.flight(p2, wr.Op, wr.Remote, wr.Roff, wr.Local, act)
-				p2.Sleep(sim.Duration(local.prof.PropagationNs))
-				if err == nil {
-					kind := trace.Write
-					if wr.Op == WRRead {
-						kind = trace.Read
-					}
-					local.tracer.Record(trace.Event{Start: start, End: p2.Now(), Kind: kind,
-						Src: local.name, Dst: remote.name, Bytes: len(wr.Local)})
-				}
-				cq.put(CQE{ID: wr.ID, Op: wr.Op, Err: err})
-			})
-		}
-	})
-}
-
 // Post submits one work request without waiting: the caller pays only the
 // doorbell/post CPU and continues; the completion lands in cq.
+//
+//rfp:hotpath
 func (q *QP) Post(p *sim.Proc, cq *CQ, wr WR) {
 	q.ensureEngine()
 	p.Sleep(q.local.cpu(q.local.prof.PostNs) + q.local.jitter(p))
-	q.sendQ.Put(asyncWR{wr: wr, cq: cq})
+	q.eng.enqueue(asyncWR{wr: wr, cq: cq})
 }
 
 // PostBatch submits several work requests under one doorbell: the first
@@ -173,6 +131,6 @@ func (q *QP) PostBatch(p *sim.Proc, cq *CQ, wrs []WR) {
 	extra := int64(len(wrs)-1) * q.local.prof.PostBatchNs
 	p.Sleep(q.local.cpu(q.local.prof.PostNs+extra) + q.local.jitter(p))
 	for _, wr := range wrs {
-		q.sendQ.Put(asyncWR{wr: wr, cq: cq})
+		q.eng.enqueue(asyncWR{wr: wr, cq: cq})
 	}
 }

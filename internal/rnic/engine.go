@@ -1,0 +1,419 @@
+package rnic
+
+// Run-to-completion initiator engine and flight state machine. This is the
+// callback counterpart of what used to be two goroutine processes per QP
+// (the qp-engine loop and a detached wr-flight per operation): the same
+// virtual-time structure expressed as scheduled continuations, so retiring
+// an event costs a function call instead of two channel handoffs, and the
+// per-operation state lives in a pooled flightOp instead of a goroutine
+// stack — steady-state posting allocates nothing.
+//
+// Equivalence with the goroutine form is exact, event for event: every
+// Sleep becomes one scheduled continuation, every Resource.Use becomes a
+// TimedUse (same grant/expiry events), the flight handoff becomes one
+// zero-delay event (mirroring the spawned process's start event), and the
+// engine's idle flag mirrors "parked waiting for the next post". The only
+// difference is the removal of the one-time engine-spawn event, which
+// shifts later sequence numbers uniformly and cannot reorder anything. The
+// archived-run byte-identity tests pin this equivalence.
+//
+// In sharded environments the flight's remote phases run on the responder's
+// lane: the request and response hops cross lanes via Shard.SendAfter with
+// the propagation delay, which is at least the environment's lookahead
+// floor. Fault corruption of read-response payloads is applied on the
+// initiator's lane at completion time in that mode (the injector's RNG and
+// the destination buffer are both initiator-side state); single-lane runs
+// keep the original apply point so archived traces stay byte-identical.
+
+import (
+	"rfp/internal/sim"
+	"rfp/internal/trace"
+)
+
+// qpEngine drains one QP's posted work requests in order, issuing through
+// the local NIC's out-bound engine one at a time (hardware initiator
+// serialization) while flights overlap freely.
+type qpEngine struct {
+	q       *QP
+	pend    []asyncWR // FIFO of posted WRs; hd is the drain cursor
+	hd      int
+	idle    bool
+	issuing *flightOp
+
+	outUse sim.TimedUse // out-bound engine occupancy of the WR being issued
+	txUse  sim.TimedUse // TX-pipe occupancy (writes only)
+
+	// Continuations, bound once at engine creation.
+	step     func()
+	afterOut func()
+	afterTx  func()
+
+	free *flightOp // pooled flight records
+}
+
+// ensureEngine lazily attaches the run-to-completion engine to the QP.
+func (q *QP) ensureEngine() {
+	if q.eng != nil {
+		return
+	}
+	e := &qpEngine{q: q, idle: true}
+	e.step = e.run
+	e.afterOut = e.onOutDone
+	e.afterTx = e.onTxDone
+	e.outUse.Bind()
+	e.txUse.Bind()
+	q.eng = e
+}
+
+// enqueue appends one posted WR and kicks the engine if it was idle — the
+// exact mirror of Queue.Put waking the engine process parked in Get.
+//
+//rfp:hotpath
+func (e *qpEngine) enqueue(a asyncWR) {
+	e.pend = append(e.pend, a)
+	if e.idle {
+		e.idle = false
+		e.q.local.shard.After(0, e.step)
+	}
+}
+
+// run processes pending WRs until one reaches the issue phase (the engine
+// then "blocks" holding the out-bound engine and resumes via afterOut) or
+// the queue drains (the engine goes idle until the next post).
+//
+//rfp:hotpath
+func (e *qpEngine) run() {
+	q := e.q
+	for {
+		if e.hd == len(e.pend) {
+			e.pend = e.pend[:0]
+			e.hd = 0
+			e.idle = true
+			return
+		}
+		a := e.pend[e.hd]
+		e.pend[e.hd] = asyncWR{}
+		e.hd++
+		wr, cq := a.wr, a.cq
+		// Dead-endpoint and validation errors complete immediately.
+		if err := q.gate(); err != nil {
+			cq.put(CQE{ID: wr.ID, Op: wr.Op, Err: err})
+			continue
+		}
+		if err := q.checkTarget(wr.Remote, wr.Roff, len(wr.Local)); err != nil {
+			cq.put(CQE{ID: wr.ID, Op: wr.Op, Err: err})
+			continue
+		}
+		act := q.decideAt(q.local.shard.Now(), wr.Op, len(wr.Local))
+		if act.Err != nil {
+			cq.put(CQE{ID: wr.ID, Op: wr.Op, Err: act.Err})
+			continue
+		}
+		fl := e.getFlight()
+		fl.wr, fl.cq, fl.act = wr, cq, act
+		fl.start = q.local.shard.Now()
+		fl.err = nil
+		e.issuing = fl
+		// Initiator engine: serialized per NIC, in post order.
+		n := q.local
+		e.outUse.Start(n.outEngine, sim.Duration(n.prof.OutEngineTimeNs(n.issuers, wr.Op == WRRead)), e.afterOut)
+		return
+	}
+}
+
+//rfp:hotpath
+func (e *qpEngine) onOutDone() {
+	n := e.q.local
+	n.Stats.OutOps++
+	fl := e.issuing
+	if fl.wr.Op == WRWrite {
+		n.Stats.OutBytes += uint64(len(fl.wr.Local))
+		e.txUse.Start(n.tx, sim.Duration(n.prof.WireNs(len(fl.wr.Local))), e.afterTx)
+		return
+	}
+	e.launch()
+}
+
+//rfp:hotpath
+func (e *qpEngine) onTxDone() { e.launch() }
+
+// launch detaches the issued WR's flight (network + responder phases
+// overlap with later WRs) and immediately looks for the next pending WR —
+// mirroring the goroutine engine spawning wr-flight and looping back into
+// Get within the same instant.
+//
+//rfp:hotpath
+func (e *qpEngine) launch() {
+	fl := e.issuing
+	e.issuing = nil
+	e.q.local.shard.After(0, fl.stepLaunch)
+	e.run()
+}
+
+// getFlight takes a pooled flight record, allocating (and binding its
+// continuations) only on pool growth.
+//
+//rfp:hotpath
+func (e *qpEngine) getFlight() *flightOp {
+	fl := e.free
+	if fl == nil {
+		fl = newFlightOp(e)
+		return fl
+	}
+	e.free = fl.next
+	fl.next = nil
+	return fl
+}
+
+//rfp:hotpath
+func (e *qpEngine) putFlight(fl *flightOp) {
+	fl.next = e.free
+	e.free = fl
+}
+
+// flightOp carries one operation through its network and responder phases.
+// The step functions below are the continuation-passing form of
+// QP.flight + QP.remotePhase plus the async completion tail; each comment
+// names the goroutine-form statement it mirrors.
+type flightOp struct {
+	e     *qpEngine
+	wr    WR
+	cq    *CQ
+	act   FaultAction
+	start sim.Time
+	err   error
+	buf   []byte // damaged write image (act.Corrupt), reused across ops
+	data  []byte // payload delivered to the responder: wr.Local or buf
+	next  *flightOp
+
+	rxUse sim.TimedUse // responder RX pipe (writes)
+	inUse sim.TimedUse // responder in-bound engine
+	txUse sim.TimedUse // responder TX pipe (read responses)
+
+	// Continuations, bound once at construction.
+	stepLaunch   func()
+	stepDepart   func()
+	stepHome     func()
+	stepRemote   func()
+	stepWrIn     func()
+	stepWrCopy   func()
+	stepRdExtra  func()
+	stepRdCopy   func()
+	stepRdDone   func()
+	stepTailDrop func()
+	stepFailHome func()
+	stepComplete func()
+}
+
+func newFlightOp(e *qpEngine) *flightOp {
+	fl := &flightOp{e: e}
+	fl.stepLaunch = fl.onLaunch
+	fl.stepDepart = fl.depart
+	fl.stepHome = fl.homeLocal
+	fl.stepRemote = fl.onRemoteArrive
+	fl.stepWrIn = fl.onWrIn
+	fl.stepWrCopy = fl.onWrCopy
+	fl.stepRdExtra = fl.onRdExtra
+	fl.stepRdCopy = fl.onRdCopy
+	fl.stepRdDone = fl.onRdDone
+	fl.stepTailDrop = fl.onTailDrop
+	fl.stepFailHome = fl.onFailHome
+	fl.stepComplete = fl.onComplete
+	fl.rxUse.Bind()
+	fl.inUse.Bind()
+	fl.txUse.Bind()
+	return fl
+}
+
+func (f *flightOp) op() FaultOp {
+	q := f.e.q
+	return FaultOp{Op: f.wr.Op, Bytes: len(f.wr.Local),
+		Initiator: q.local.name, Target: q.remote.name}
+}
+
+// onLaunch is the flight's first event — the mirror of the wr-flight
+// process's start event.
+//
+//rfp:hotpath
+func (f *flightOp) onLaunch() {
+	if f.act.ExtraNs > 0 {
+		// mirrors: p.Sleep(act.ExtraNs)
+		f.e.q.local.shard.After(sim.Duration(f.act.ExtraNs), f.stepDepart)
+		return
+	}
+	f.depart()
+}
+
+//rfp:hotpath
+func (f *flightOp) depart() {
+	q := f.e.q
+	f.data = f.wr.Local
+	if f.act.Corrupt && f.wr.Op == WRWrite {
+		// mirrors: data = append([]byte(nil), local...); Damage(data) —
+		// the damaged image is delivered; the caller's buffer is untouched.
+		f.buf = append(f.buf[:0], f.wr.Local...)
+		q.local.injector.Damage(f.op(), f.buf)
+		f.data = f.buf
+	}
+	if f.wr.Op == WRRead && f.act.DropNs > 0 {
+		// mirrors: p.Sleep(act.DropNs); return ErrTimeout — the read
+		// response is lost; nothing lands locally.
+		f.err = ErrTimeout
+		q.local.shard.After(sim.Duration(f.act.DropNs), f.stepHome)
+		return
+	}
+	// mirrors: p.Sleep(PropagationNs) at the head of remotePhase — the
+	// request hop, crossing to the responder's lane when sharded.
+	q.local.shard.SendAfter(q.remote.shard, sim.Duration(q.local.prof.PropagationNs), f.stepRemote)
+}
+
+// homeLocal schedules the return hop then completion: used by the read-drop
+// path, which never leaves the initiator's lane.
+//
+//rfp:hotpath
+func (f *flightOp) homeLocal() {
+	// mirrors: p2.Sleep(PropagationNs) before the CQE
+	q := f.e.q
+	q.local.shard.After(sim.Duration(q.local.prof.PropagationNs), f.stepComplete)
+}
+
+// onRemoteArrive runs on the responder's lane: the head of remotePhase.
+//
+//rfp:hotpath
+func (f *flightOp) onRemoteArrive() {
+	q := f.e.q
+	r := q.remote
+	if r.down {
+		f.err = ErrNICDown
+		f.failRemote()
+		return
+	}
+	if err := f.wr.Remote.check(f.wr.Roff, len(f.wr.Local)); err != nil {
+		f.err = err
+		f.failRemote()
+		return
+	}
+	if f.wr.Op == WRWrite {
+		// mirrors: r.rx.Use(WireNs(size))
+		f.rxUse.Start(r.rx, sim.Duration(r.prof.WireNs(len(f.wr.Local))), f.stepWrIn)
+		return
+	}
+	// mirrors: r.inEngine.Use(InEngineNs)
+	f.inUse.Start(r.inEngine, sim.Duration(r.prof.InEngineNs), f.stepRdExtra)
+}
+
+// failRemote mirrors the flight's remotePhase-error tail: charge the
+// transport's detection window, then propagate the failure home.
+func (f *flightOp) failRemote() {
+	f.e.q.remote.shard.After(sim.Duration(faultTimeoutNs), f.stepFailHome)
+}
+
+//rfp:hotpath
+func (f *flightOp) onFailHome() {
+	q := f.e.q
+	q.remote.shard.SendAfter(q.local.shard, sim.Duration(q.local.prof.PropagationNs), f.stepComplete)
+}
+
+//rfp:hotpath
+func (f *flightOp) onWrIn() {
+	r := f.e.q.remote
+	// mirrors: r.inEngine.Use(InEngineNs)
+	f.inUse.Start(r.inEngine, sim.Duration(r.prof.InEngineNs), f.stepWrCopy)
+}
+
+//rfp:hotpath
+func (f *flightOp) onWrCopy() {
+	r := f.e.q.remote
+	size := len(f.wr.Local)
+	copy(f.wr.Remote.buf(f.wr.Roff, size), f.data)
+	r.Stats.InOps++
+	r.Stats.InBytes += uint64(size)
+	f.tail()
+}
+
+//rfp:hotpath
+func (f *flightOp) onRdExtra() {
+	// mirrors: p.Sleep(ReadRespExtraNs) — response assembly latency that
+	// does not occupy the in-bound engine.
+	f.e.q.remote.shard.After(sim.Duration(f.e.q.remote.prof.ReadRespExtraNs), f.stepRdCopy)
+}
+
+//rfp:hotpath
+func (f *flightOp) onRdCopy() {
+	q := f.e.q
+	r := q.remote
+	size := len(f.wr.Local)
+	// Snapshot the remote bytes at response-generation time — the torn-read
+	// seam the paper discusses lives at exactly this instant.
+	copy(f.wr.Local, f.wr.Remote.buf(f.wr.Roff, size))
+	// mirrors: r.tx.Use(WireNs(size))
+	f.txUse.Start(r.tx, sim.Duration(r.prof.WireNs(size)), f.stepRdDone)
+}
+
+//rfp:hotpath
+func (f *flightOp) onRdDone() {
+	r := f.e.q.remote
+	r.Stats.InOps++
+	r.Stats.InBytes += uint64(len(f.wr.Local))
+	f.tail()
+}
+
+// tail mirrors the flight statements after remotePhase succeeds.
+//
+//rfp:hotpath
+func (f *flightOp) tail() {
+	q := f.e.q
+	if f.act.Corrupt && f.wr.Op == WRRead && !q.local.env.Sharded() {
+		// Single-lane: damage the read payload here, exactly where the
+		// goroutine flight did. Sharded runs defer this to onComplete —
+		// the injector RNG and the destination buffer live on the
+		// initiator's lane.
+		q.local.injector.Damage(f.op(), f.wr.Local)
+	}
+	if f.act.DropNs > 0 {
+		// mirrors: p.Sleep(act.DropNs); return ErrTimeout — delivered, but
+		// the completion is lost (the classic ambiguous write failure).
+		f.err = ErrTimeout
+		q.remote.shard.After(sim.Duration(f.act.DropNs), f.stepTailDrop)
+		return
+	}
+	f.homeRemote()
+}
+
+//rfp:hotpath
+func (f *flightOp) onTailDrop() { f.homeRemote() }
+
+//rfp:hotpath
+func (f *flightOp) homeRemote() {
+	// mirrors: p2.Sleep(PropagationNs) — the response/ack hop back to the
+	// initiator's lane.
+	q := f.e.q
+	q.remote.shard.SendAfter(q.local.shard, sim.Duration(q.local.prof.PropagationNs), f.stepComplete)
+}
+
+// onComplete runs on the initiator's lane: trace, deliver the CQE, recycle.
+//
+//rfp:hotpath
+func (f *flightOp) onComplete() {
+	e := f.e
+	q := e.q
+	if f.act.Corrupt && f.wr.Op == WRRead && f.err == nil && q.local.env.Sharded() {
+		q.local.injector.Damage(f.op(), f.wr.Local)
+	}
+	if f.err == nil {
+		kind := trace.Write
+		if f.wr.Op == WRRead {
+			kind = trace.Read
+		}
+		q.local.tracer.Record(trace.Event{Start: f.start, End: q.local.shard.Now(), Kind: kind,
+			Src: q.local.name, Dst: q.remote.name, Bytes: len(f.wr.Local)})
+	}
+	cq, id, op, err := f.cq, f.wr.ID, f.wr.Op, f.err
+	f.cq = nil
+	f.wr = WR{}
+	f.data = nil
+	f.act = FaultAction{}
+	f.err = nil
+	e.putFlight(f)
+	cq.put(CQE{ID: id, Op: op, Err: err})
+}

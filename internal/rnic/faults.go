@@ -107,11 +107,18 @@ func (q *QP) gate() error {
 // decide consults the initiator-side injector for this operation, applying
 // any QP-state transition it requests.
 func (q *QP) decide(p *sim.Proc, op WROp, size int) FaultAction {
+	return q.decideAt(p.Now(), op, size)
+}
+
+// decideAt is decide for run-to-completion contexts that have no Proc.
+//
+//rfp:hotpath
+func (q *QP) decideAt(now sim.Time, op WROp, size int) FaultAction {
 	inj := q.local.injector
 	if inj == nil {
 		return FaultAction{}
 	}
-	act := inj.Decide(p.Now(), FaultOp{Op: op, Bytes: size,
+	act := inj.Decide(now, FaultOp{Op: op, Bytes: size,
 		Initiator: q.local.name, Target: q.remote.name})
 	if act.QPError {
 		q.errored = true

@@ -25,8 +25,9 @@ type QP struct {
 	remote  *NIC
 	peer    *QP
 	recvQ   *sim.Queue[message]
-	sendQ   *sim.Queue[asyncWR] // async engine input (lazily created)
-	errored bool                // QP transitioned to error state (faults.go)
+	eng     *qpEngine // run-to-completion initiator engine (lazily created)
+	syncCQ  *CQ       // private CQ for sharded-mode sync verbs (lazily created)
+	errored bool      // QP transitioned to error state (faults.go)
 }
 
 // Connect establishes a reliable connection between NICs a and b and
@@ -35,8 +36,8 @@ func Connect(a, b *NIC) (*QP, *QP) {
 	if a.env != b.env {
 		panic("rnic: cannot connect NICs from different environments")
 	}
-	qa := &QP{local: a, remote: b, recvQ: sim.NewQueue[message](a.env)}
-	qb := &QP{local: b, remote: a, recvQ: sim.NewQueue[message](b.env)}
+	qa := &QP{local: a, remote: b, recvQ: sim.NewQueueOn[message](a.shard)}
+	qb := &QP{local: b, remote: a, recvQ: sim.NewQueueOn[message](b.shard)}
 	qa.peer, qb.peer = qb, qa
 	a.qps++
 	b.qps++
@@ -56,10 +57,44 @@ func (q *QP) completeOneSided(p *sim.Proc) {
 	p.Sleep(sim.Duration(n.prof.PropagationNs) + n.cpu(n.prof.PollNs))
 }
 
+// syncOp routes a synchronous verb through the run-to-completion engine.
+// Sharded environments use it for every sync verb: the flight's responder
+// phases then execute on the responder's lane with proper cross-lane hops,
+// which the inline path below cannot express. Fault-free single-lane
+// environments use it too — the engine form retires the same virtual-time
+// schedule with two goroutine handoffs per op instead of seven, which is
+// most of the serial kernel's speedup on synchronous workloads. Validation
+// errors return before any time is charged, exactly like the inline path;
+// the flight's completion already includes the return propagation, so the
+// reap costs only the poll — total latency matches completeOneSided.
+func (q *QP) syncOp(p *sim.Proc, op WROp, remote RemoteMR, roff int, local []byte) error {
+	if err := q.gate(); err != nil {
+		return err
+	}
+	if err := q.checkTarget(remote, roff, len(local)); err != nil {
+		return err
+	}
+	q.ensureEngine()
+	if q.syncCQ == nil {
+		q.syncCQ = NewCQ(q.local)
+	}
+	n := q.local
+	p.Sleep(n.cpu(n.prof.PostNs) + n.jitter(p))
+	q.eng.enqueue(asyncWR{wr: WR{Op: op, Remote: remote, Roff: roff, Local: local}, cq: q.syncCQ})
+	e := q.syncCQ.Wait(p)
+	return e.Err
+}
+
 // Write performs a one-sided RDMA Write of local into the remote region at
 // offset roff, blocking until completion. The remote CPU is not involved:
 // only the responder NIC's in-bound engine and RX pipe are charged.
 func (q *QP) Write(p *sim.Proc, remote RemoteMR, roff int, local []byte) error {
+	if q.local.env.Sharded() || q.local.injector == nil {
+		// With an injector attached the inline path below is kept: it draws
+		// the injector's RNG inside the calling process's slice, and the
+		// archived chaos digests pin that draw order.
+		return q.syncOp(p, WRWrite, remote, roff, local)
+	}
 	if err := q.gate(); err != nil {
 		return err
 	}
@@ -87,6 +122,9 @@ func (q *QP) Write(p *sim.Proc, remote RemoteMR, roff int, local []byte) error {
 // region at offset roff into local, blocking until completion. The response
 // payload occupies the responder's TX pipe; the responder CPU is bypassed.
 func (q *QP) Read(p *sim.Proc, remote RemoteMR, roff int, local []byte) error {
+	if q.local.env.Sharded() || q.local.injector == nil {
+		return q.syncOp(p, WRRead, remote, roff, local)
+	}
 	if err := q.gate(); err != nil {
 		return err
 	}
@@ -127,10 +165,11 @@ func (q *QP) Send(p *sim.Proc, data []byte) error {
 	n.Stats.Sends++
 	msg := message{data: append([]byte(nil), data...)}
 	// Delivery happens after propagation; the sender does not wait for the
-	// receiver to post a matching Recv (buffered SRQ semantics).
-	env := n.env
+	// receiver to post a matching Recv (buffered SRQ semantics). SendAfter
+	// is a plain After on a single-lane environment and a window-barrier
+	// hop when the peer lives on another lane.
 	peer := q.peer
-	env.After(sim.Duration(n.prof.PropagationNs), func() {
+	n.shard.SendAfter(peer.local.shard, sim.Duration(n.prof.PropagationNs), func() {
 		peer.recvQ.Put(msg)
 	})
 	p.Sleep(n.cpu(n.prof.PollNs))

@@ -50,9 +50,10 @@ type Stats struct {
 
 // NIC is one simulated RDMA NIC attached to a machine.
 type NIC struct {
-	env  *sim.Env
-	prof hw.Profile
-	name string
+	env   *sim.Env
+	prof  hw.Profile
+	name  string
+	shard *sim.Shard // scheduler lane this NIC's hardware is homed to
 
 	outEngine *sim.Resource // initiator-side processing engine
 	inEngine  *sim.Resource // responder-side processing engine
@@ -82,12 +83,15 @@ type NIC struct {
 	Stats Stats
 }
 
-// New creates a NIC in env with the given profile.
+// New creates a NIC in env with the given profile, homed to the default
+// scheduler lane. In sharded environments the fabric layer calls SetShard
+// right after construction, before any QPs or CQs exist.
 func New(env *sim.Env, name string, prof hw.Profile) *NIC {
 	return &NIC{
 		env:       env,
 		prof:      prof,
 		name:      name,
+		shard:     env.DefaultShard(),
 		outEngine: sim.NewResource(env, 1),
 		inEngine:  sim.NewResource(env, 1),
 		tx:        sim.NewResource(env, 1),
@@ -96,6 +100,20 @@ func New(env *sim.Env, name string, prof hw.Profile) *NIC {
 		nextRKey:  0x1000,
 	}
 }
+
+// SetShard homes the NIC's hardware model (engines, pipes, and every queue
+// created afterwards) to a scheduler lane. Must be called before the NIC
+// serves any traffic; fabric.NewMachine does it during machine setup.
+func (n *NIC) SetShard(sh *sim.Shard) {
+	n.shard = sh
+	n.outEngine.SetShard(sh)
+	n.inEngine.SetShard(sh)
+	n.tx.SetShard(sh)
+	n.rx.SetShard(sh)
+}
+
+// Shard returns the scheduler lane this NIC is homed to.
+func (n *NIC) Shard() *sim.Shard { return n.shard }
 
 // Name returns the NIC's name.
 func (n *NIC) Name() string { return n.name }

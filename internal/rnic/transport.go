@@ -70,7 +70,7 @@ func (q *UCQP) Write(p *sim.Proc, remote RemoteMR, roff int, local []byte) error
 	}
 	r := q.remote
 	data := append([]byte(nil), local...)
-	n.env.After(sim.Duration(n.prof.PropagationNs), func() {
+	n.shard.SendAfter(r.shard, sim.Duration(n.prof.PropagationNs), func() {
 		// Delivery consumes responder resources asynchronously; the target
 		// was validated at post time, so a since-deregistered window just
 		// drops the bytes (unreliable transport).
@@ -94,7 +94,7 @@ type UD struct {
 
 // NewUD creates a datagram endpoint on a NIC.
 func NewUD(n *NIC) *UD {
-	return &UD{nic: n, recvQ: sim.NewQueue[message](n.env)}
+	return &UD{nic: n, recvQ: sim.NewQueueOn[message](n.shard)}
 }
 
 // NIC returns the owning NIC.
@@ -120,7 +120,7 @@ func (u *UD) SendTo(p *sim.Proc, dst *UD, data []byte) error {
 		return nil // dropped
 	}
 	msg := message{data: append([]byte(nil), data...)}
-	n.env.After(sim.Duration(n.prof.PropagationNs), func() {
+	n.shard.SendAfter(dst.nic.shard, sim.Duration(n.prof.PropagationNs), func() {
 		dst.recvQ.Put(msg)
 	})
 	n.tracer.Record(trace.Event{Start: start, End: p.Now(), Kind: trace.UDSend,

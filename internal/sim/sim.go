@@ -2,21 +2,33 @@
 //
 // The kernel drives the virtual RDMA cluster used throughout this
 // repository. Simulated entities (client threads, server threads, NIC
-// engines) are modeled as processes: ordinary Go functions running in their
-// own goroutines, but scheduled cooperatively so that exactly one process
-// executes at any instant of virtual time. Determinism follows from a single
-// event heap ordered by (time, sequence number); two runs with the same seed
-// and the same spawn order produce identical traces.
+// engines) are modeled two ways: as processes — ordinary Go functions
+// running in their own goroutines, scheduled cooperatively so that exactly
+// one executes at any instant of virtual time — and as run-to-completion
+// callbacks (fn events) that fire and return without ever parking. The fast
+// paths in internal/rnic use the callback form, so retiring their events
+// costs a function call instead of two goroutine channel handoffs.
 //
-// Because only one process runs at a time, simulated shared state (such as
-// the byte slices backing registered RDMA memory regions) needs no locking,
-// while protocol-level races — e.g. reading a response buffer before its
-// status bit is set — remain perfectly expressible.
+// Events live in per-lane calendar queues ordered by (time, sequence
+// number); two runs with the same seed and the same spawn order produce
+// identical traces. The default environment has a single lane and behaves
+// exactly like a single global event queue. SetSharded partitions the
+// simulation into one lane per machine and runs lanes under a conservative
+// time-window barrier (see window.go), preserving determinism even when
+// windows execute on multiple OS threads.
+//
+// Because only one event runs at a time within a lane — and cross-lane
+// interactions are separated by at least the link-latency floor — simulated
+// shared state (such as the byte slices backing registered RDMA memory
+// regions) needs no locking, while protocol-level races — e.g. reading a
+// response buffer before its status bit is set — remain perfectly
+// expressible.
 package sim
 
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // Time is an instant of virtual time, in nanoseconds since simulation start.
@@ -53,6 +65,10 @@ func (t Time) Sub(earlier Time) Duration { return Duration(t - earlier) }
 
 func (t Time) String() string { return fmt.Sprintf("%.3fus", float64(t)/1e3) }
 
+// maxTime is "the end of time" for RunAll and Close drains. It leaves
+// headroom so window arithmetic (tmin + lookahead) cannot overflow.
+const maxTime = Time(1 << 62)
+
 // stopped is panicked inside process goroutines when the environment shuts
 // down, unwinding their stacks so the goroutines can exit.
 type stopped struct{}
@@ -64,111 +80,126 @@ type event struct {
 	fn  func()
 }
 
-// eventHeap is a binary min-heap ordered by (t, seq).
-type eventHeap []event
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h *eventHeap) push(ev event) {
-	*h = append(*h, ev)
-	i := len(*h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !(*h).less(i, parent) {
-			break
-		}
-		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
-		i = parent
-	}
-}
-
-func (h *eventHeap) pop() event {
-	old := *h
-	top := old[0]
-	n := len(old) - 1
-	old[0] = old[n]
-	*h = old[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && (*h).less(l, smallest) {
-			smallest = l
-		}
-		if r < n && (*h).less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
-		i = smallest
-	}
-	return top
-}
-
 // proc is the scheduler-side handle for a process goroutine.
 type proc struct {
 	id     int
 	name   string
+	lane   *lane
 	resume chan bool // true = run, false = shut down
-	parked bool      // parked outside the event heap (event/resource/queue wait)
 	done   bool
+}
+
+// lane is one shard of the scheduler: a virtual clock, a pending-event
+// queue, a sequence counter and the processes homed to it. A default
+// environment has exactly one lane; a sharded environment has one per
+// machine. Everything inside a lane is single-threaded — during a parallel
+// window each lane is driven by exactly one worker, and cross-lane effects
+// ride the window barrier (window.go).
+type lane struct {
+	env     *Env
+	id      int
+	name    string
+	q       calQueue
+	seq     uint64
+	now     Time
+	rng     *rand.Rand
+	yield   chan struct{} // process -> lane driver: I parked or finished
+	cur     *proc
+	procs   map[int]*proc
+	nextID  int
+	outbox  []crossEvent // cross-lane sends buffered until the window barrier
+	until   Time         // active drain bound; Sleep may fast-forward up to it
+	retired uint64
+	hash    bool
+	digest  uint64
+}
+
+// crossEvent is a deferred schedule onto another lane, delivered in
+// deterministic order at the end of the window in which it was sent.
+type crossEvent struct {
+	t  Time
+	to *lane
+	fn func()
 }
 
 // Env is a simulation environment: a virtual clock plus the event scheduler.
 // All processes, resources and events belong to exactly one Env. Env is not
 // safe for concurrent use from multiple OS threads; everything happens on
-// the goroutine calling Run and on the process goroutines it coordinates.
+// the goroutine calling Run and on the process goroutines it coordinates
+// (in sharded mode, on the window workers — see window.go).
 type Env struct {
-	now    Time
-	heap   eventHeap
-	seq    uint64
-	yield  chan struct{} // process -> scheduler: I parked or finished
-	cur    *proc
-	procs  map[int]*proc
-	nextID int
-	rng    *rand.Rand
-	closed bool
+	lanes     []*lane
+	def       *lane // lanes[0]; the only lane unless sharded
+	seed      int64
+	sharded   bool
+	workers   int
+	lookahead Duration // conservative window width; min cross-lane latency
+	xbuf      []crossEvent
+	now       Time
+	closed    bool
+	hash      bool
 }
 
 // NewEnv returns a fresh environment whose clock reads zero and whose
 // pseudo-random source is seeded with seed.
 func NewEnv(seed int64) *Env {
-	return &Env{
+	e := &Env{seed: seed}
+	e.def = e.newLane("main")
+	return e
+}
+
+func (e *Env) newLane(name string) *lane {
+	id := len(e.lanes)
+	seed := e.seed
+	if id > 0 {
+		// Derived lanes get their own deterministic stream so same-seed
+		// sharded runs replay byte-identically regardless of worker count.
+		seed = e.seed*1_000_003 + int64(id)
+	}
+	l := &lane{
+		env:   e,
+		id:    id,
+		name:  name,
+		rng:   rand.New(rand.NewSource(seed)),
 		yield: make(chan struct{}),
 		procs: make(map[int]*proc),
-		rng:   rand.New(rand.NewSource(seed)),
+		hash:  e.hash,
 	}
+	l.digest = fnvOffset64
+	e.lanes = append(e.lanes, l)
+	return l
 }
 
 // Now returns the current virtual time.
-func (e *Env) Now() Time { return e.now }
-
-// Rand returns the environment's deterministic random source. It must only
-// be used from process context or between Run calls, never concurrently.
-func (e *Env) Rand() *rand.Rand { return e.rng }
-
-func (e *Env) schedule(t Time, p *proc, fn func()) {
-	if t < e.now {
-		t = e.now
+func (e *Env) Now() Time {
+	if e.sharded {
+		return e.now
 	}
-	e.seq++
-	e.heap.push(event{t: t, seq: e.seq, p: p, fn: fn})
+	return e.def.now
+}
+
+// Rand returns the environment's deterministic random source (the default
+// lane's source in sharded mode). It must only be used from process context
+// or between Run calls, never concurrently.
+func (e *Env) Rand() *rand.Rand { return e.def.rng }
+
+//rfp:hotpath
+func (l *lane) schedule(t Time, p *proc, fn func()) {
+	if t < l.now {
+		t = l.now
+	}
+	l.seq++
+	l.q.push(event{t: t, seq: l.seq, p: p, fn: fn})
 }
 
 // At schedules fn to run at absolute time t (clamped to now if in the past).
-// fn runs in scheduler context and must not block.
-func (e *Env) At(t Time, fn func()) { e.schedule(t, nil, fn) }
+// fn runs in scheduler context and must not block. In sharded mode the fn is
+// homed to the default lane; use Shard.At for machine-homed callbacks.
+func (e *Env) At(t Time, fn func()) { e.def.schedule(t, nil, fn) }
 
 // After schedules fn to run d from now. fn runs in scheduler context and
 // must not block.
-func (e *Env) After(d Duration, fn func()) { e.schedule(e.now.Add(d), nil, fn) }
+func (e *Env) After(d Duration, fn func()) { e.def.schedule(e.def.now.Add(d), nil, fn) }
 
 // Proc is the in-process view of a running simulation process. A Proc is
 // only valid inside the function passed to Go; calls on it from any other
@@ -184,47 +215,55 @@ func (p *Proc) Env() *Env { return p.env }
 // Name returns the process name given to Go.
 func (p *Proc) Name() string { return p.p.name }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.env.now }
+// Now returns the current virtual time (of this process's lane).
+func (p *Proc) Now() Time { return p.p.lane.now }
 
-// Rand returns the environment's deterministic random source.
-func (p *Proc) Rand() *rand.Rand { return p.env.rng }
+// Rand returns the deterministic random source of this process's lane.
+func (p *Proc) Rand() *rand.Rand { return p.p.lane.rng }
+
+// Shard returns the shard this process is homed to.
+func (p *Proc) Shard() *Shard { return &Shard{l: p.p.lane} }
 
 // Go spawns a new process executing fn. The process starts at the current
-// virtual time, after the spawning context yields control.
-func (e *Env) Go(name string, fn func(*Proc)) {
+// virtual time, after the spawning context yields control. In sharded mode
+// the process is homed to the default lane; use Shard.Go for machine-homed
+// processes.
+func (e *Env) Go(name string, fn func(*Proc)) { e.def.gogo(name, fn) }
+
+func (l *lane) gogo(name string, fn func(*Proc)) {
+	e := l.env
 	if e.closed {
 		panic("sim: Go on closed Env")
 	}
-	e.nextID++
-	pr := &proc{id: e.nextID, name: name, resume: make(chan bool)}
-	e.procs[pr.id] = pr
+	l.nextID++
+	pr := &proc{id: l.nextID, name: name, lane: l, resume: make(chan bool)}
+	l.procs[pr.id] = pr
 	go func() {
 		if !<-pr.resume {
 			pr.done = true
-			e.yield <- struct{}{}
+			l.yield <- struct{}{}
 			return
 		}
 		defer func() {
 			pr.done = true
-			delete(e.procs, pr.id)
+			delete(l.procs, pr.id)
 			if r := recover(); r != nil {
 				if _, ok := r.(stopped); ok {
-					e.yield <- struct{}{}
+					l.yield <- struct{}{}
 					return
 				}
 				panic(r)
 			}
-			e.yield <- struct{}{}
+			l.yield <- struct{}{}
 		}()
 		fn(&Proc{env: e, p: pr})
 	}()
-	e.schedule(e.now, pr, nil)
+	l.schedule(l.now, pr, nil)
 }
 
 // park suspends the calling process until the scheduler resumes it.
 func (p *Proc) park() {
-	p.env.yield <- struct{}{}
+	p.p.lane.yield <- struct{}{}
 	if !<-p.p.resume {
 		panic(stopped{})
 	}
@@ -236,80 +275,211 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.env.schedule(p.env.now.Add(d), p.p, nil)
+	l := p.p.lane
+	wake := l.now.Add(d)
+	if l.sleepFast(wake) {
+		return
+	}
+	l.schedule(wake, p.p, nil)
 	p.park()
 }
 
 // SleepUntil advances the process to absolute time t (no-op wait if t has
 // already passed, but still yields).
 func (p *Proc) SleepUntil(t Time) {
-	p.env.schedule(t, p.p, nil)
+	l := p.p.lane
+	if t < l.now {
+		t = l.now
+	}
+	if l.sleepFast(t) {
+		return
+	}
+	l.schedule(t, p.p, nil)
 	p.park()
 }
 
-// Run executes events until the event heap is empty or the clock would pass
+// sleepFast advances the lane clock to wake without yielding when the
+// sleeping process's wakeup would be the very next event anyway: nothing is
+// pending at or before wake and the active drain extends past it. Within a
+// lane exactly one context executes at a time, so if the queue's head lies
+// strictly beyond wake, scheduling the wakeup and parking would switch to
+// the driver only for it to switch straight back — same state, same order,
+// two goroutine handoffs later. The wakeup is never scheduled, so no
+// sequence number is consumed and no event is retired; ordering among real
+// events is unchanged.
+//
+//rfp:hotpath
+func (l *lane) sleepFast(wake Time) bool {
+	if wake > l.until {
+		return false
+	}
+	if t, ok := l.q.peek(); ok && t <= wake {
+		return false
+	}
+	l.now = wake
+	return true
+}
+
+// drain retires this lane's events in (t, seq) order until the next event
+// lies beyond until, then fast-forwards the lane clock to until. This is the
+// kernel hot loop: fn events dispatch as a plain call; only process events
+// pay the goroutine handoff.
+//
+//rfp:hotpath
+func (l *lane) drain(until Time) {
+	l.until = until
+	for {
+		ev, ok := l.q.pop(until)
+		if !ok {
+			break
+		}
+		l.now = ev.t
+		l.retired++
+		if l.hash {
+			l.digest = fnvMix64(fnvMix64(l.digest, uint64(ev.t)), ev.seq)
+		}
+		if ev.p != nil {
+			if ev.p.done {
+				continue // stale wakeup for a finished process
+			}
+			l.cur = ev.p
+			ev.p.resume <- true
+			<-l.yield
+			l.cur = nil
+			continue
+		}
+		if ev.fn != nil {
+			ev.fn()
+		}
+	}
+	if l.now < until {
+		l.now = until
+	}
+}
+
+// Run executes events until the event queue is empty or the clock would pass
 // until. It returns the virtual time at which it stopped. Events scheduled
 // exactly at until are executed.
 func (e *Env) Run(until Time) Time {
 	if e.closed {
 		panic("sim: Run on closed Env")
 	}
-	for len(e.heap) > 0 {
-		if e.heap[0].t > until {
-			e.now = until
-			return e.now
-		}
-		ev := e.heap.pop()
-		e.now = ev.t
-		switch {
-		case ev.p != nil:
-			if ev.p.done {
-				continue // stale wakeup for a finished process
-			}
-			e.cur = ev.p
-			ev.p.resume <- true
-			<-e.yield
-			e.cur = nil
-		case ev.fn != nil:
-			ev.fn()
-		}
+	if e.sharded {
+		return e.runSharded(until)
 	}
-	if e.now < until {
-		e.now = until
-	}
+	l := e.def
+	l.drain(until)
+	e.now = l.now
 	return e.now
 }
 
-// RunAll executes events until the heap drains completely (deadlocked
-// processes — parked with nothing to wake them — do not count as events).
+// RunAll executes events until every lane's queue drains completely
+// (deadlocked processes — parked with nothing to wake them — do not count
+// as events).
 func (e *Env) RunAll() Time {
-	const forever = Time(1<<63 - 1)
-	for len(e.heap) > 0 {
-		e.Run(forever)
+	for {
+		idle := true
+		for _, l := range e.lanes {
+			if !l.q.empty() {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			break
+		}
+		e.Run(maxTime)
 	}
-	return e.now
+	return e.Now()
 }
 
 // Close shuts the environment down, unwinding every process goroutine that
-// is still alive. The Env must not be used afterwards. Close is idempotent.
+// is still alive. Pending events are drained lane by lane and leftover
+// parked processes are stopped in ascending id order, so two identical
+// mid-run environments shut down with identical traces. The Env must not be
+// used afterwards. Close is idempotent.
 func (e *Env) Close() {
 	if e.closed {
 		return
 	}
 	e.closed = true
-	// Drain heap-scheduled processes and externally-parked ones alike.
-	for len(e.heap) > 0 {
-		ev := e.heap.pop()
-		if ev.p != nil && !ev.p.done {
-			ev.p.resume <- false
-			<-e.yield
+	for _, l := range e.lanes {
+		// Drain queue-scheduled processes first, in (t, seq) order.
+		for {
+			ev, ok := l.q.pop(maxTime)
+			if !ok {
+				break
+			}
+			if ev.p != nil && !ev.p.done {
+				ev.p.resume <- false
+				<-l.yield
+			}
 		}
-	}
-	for _, pr := range e.procs {
-		if !pr.done {
-			pr.resume <- false
-			<-e.yield
+		// Then unwind externally-parked processes (waiting on resources,
+		// queues or events) in ascending id order — deterministically,
+		// unlike map iteration.
+		ids := make([]int, 0, len(l.procs))
+		for id := range l.procs {
+			ids = append(ids, id)
 		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			pr := l.procs[id]
+			if !pr.done {
+				pr.resume <- false
+				<-l.yield
+			}
+		}
+		l.procs = map[int]*proc{}
+		l.outbox = nil
 	}
-	e.procs = map[int]*proc{}
+}
+
+// EnableKernelTrace turns on per-lane digesting of retired events: each
+// retired (t, seq) pair is folded into an FNV-1a accumulator. The digest is
+// the kernel's own fingerprint of a run — the cross-kernel equivalence
+// tests compare it between serial and parallel executions. Off by default;
+// the hot loop pays one predictable branch for it.
+func (e *Env) EnableKernelTrace() {
+	e.hash = true
+	for _, l := range e.lanes {
+		l.hash = true
+	}
+}
+
+// EventsRetired returns the total number of events the kernel has retired.
+func (e *Env) EventsRetired() uint64 {
+	var n uint64
+	for _, l := range e.lanes {
+		n += l.retired
+	}
+	return n
+}
+
+// KernelDigest folds the per-lane event digests (in lane order) into one
+// fingerprint. Only meaningful after EnableKernelTrace.
+func (e *Env) KernelDigest() uint64 {
+	h := uint64(fnvOffset64)
+	for _, l := range e.lanes {
+		h = fnvMix64(h, l.digest)
+		h = fnvMix64(h, l.retired)
+	}
+	return h
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix64 folds one 64-bit value into an FNV-1a accumulator byte by byte.
+//
+//rfp:hotpath
+func fnvMix64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
 }

@@ -328,8 +328,8 @@ func TestCloseUnwindsParkedProcesses(t *testing.T) {
 	e.Run(Time(100))
 	e.Close()
 	e.Close() // idempotent
-	if len(e.procs) != 0 {
-		t.Fatalf("%d processes leaked past Close", len(e.procs))
+	if len(e.def.procs) != 0 {
+		t.Fatalf("%d processes leaked past Close", len(e.def.procs))
 	}
 }
 

@@ -3,19 +3,34 @@ package sim
 // This file provides the synchronization primitives processes use to
 // interact: one-shot events, FIFO resources (queueing servers), and
 // unbounded message queues. All of them wake waiters through the central
-// event heap, preserving deterministic (time, seq) ordering.
+// per-lane event queue, preserving deterministic (time, seq) ordering.
+//
+// Resources admit two kinds of waiters in one FIFO: parked processes
+// (woken by rescheduling the proc) and run-to-completion continuations
+// (woken by scheduling a fn event). Both wake forms cost exactly one
+// event, so mixing callback-based initiators with process-based ones on
+// the same resource preserves the event sequence either way.
+
+// waiter is one FIFO entry: a parked process or a pending continuation.
+type waiter struct {
+	p  *proc
+	fn func()
+}
 
 // Event is a one-shot condition. Processes that Wait before Fire are parked;
 // Fire releases all of them at the instant it is called. Waiting on an
 // already-fired event returns immediately (after a scheduler yield).
 type Event struct {
-	env     *Env
+	l       *lane
 	fired   bool
 	waiters []*proc
 }
 
-// NewEvent returns an unfired event bound to e.
-func NewEvent(e *Env) *Event { return &Event{env: e} }
+// NewEvent returns an unfired event bound to e's default lane.
+func NewEvent(e *Env) *Event { return &Event{l: e.def} }
+
+// NewEventOn returns an unfired event bound to a shard's lane.
+func NewEventOn(sh *Shard) *Event { return &Event{l: sh.l} }
 
 // Fired reports whether the event has fired.
 func (ev *Event) Fired() bool { return ev.fired }
@@ -37,7 +52,7 @@ func (ev *Event) Fire() {
 	}
 	ev.fired = true
 	for _, w := range ev.waiters {
-		ev.env.schedule(ev.env.now, w, nil)
+		ev.l.schedule(ev.l.now, w, nil)
 	}
 	ev.waiters = nil
 }
@@ -47,10 +62,10 @@ func (ev *Event) Fire() {
 // engines (NIC processing units, bus locks) whose throughput ceiling emerges
 // from holding the resource for a service time per operation.
 type Resource struct {
-	env     *Env
+	l       *lane
 	cap     int
 	inUse   int
-	waiters []*proc
+	waiters []waiter
 
 	// Busy accumulates total holder-occupancy time, for utilization
 	// accounting: utilization = Busy / (cap * elapsed).
@@ -59,17 +74,37 @@ type Resource struct {
 	lastChange Time
 }
 
-// NewResource returns a resource with the given concurrent capacity.
+// NewResource returns a resource with the given concurrent capacity, bound
+// to e's default lane.
 func NewResource(e *Env, capacity int) *Resource {
 	if capacity < 1 {
 		panic("sim: resource capacity must be >= 1")
 	}
-	return &Resource{env: e, cap: capacity}
+	return &Resource{l: e.def, cap: capacity}
 }
 
+// NewResourceOn returns a resource bound to a shard's lane.
+func NewResourceOn(sh *Shard, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{l: sh.l, cap: capacity}
+}
+
+// SetShard rebinds the resource to a shard's lane. Topology code calls this
+// right after machine construction, before any use; rebinding a resource
+// with waiters or held slots would corrupt accounting and panics.
+func (r *Resource) SetShard(sh *Shard) {
+	if r.inUse != 0 || len(r.waiters) != 0 {
+		panic("sim: SetShard on a resource in use")
+	}
+	r.l = sh.l
+}
+
+//rfp:hotpath
 func (r *Resource) account() {
-	r.Busy += Duration(r.inUse) * r.env.now.Sub(r.lastChange)
-	r.lastChange = r.env.now
+	r.Busy += Duration(r.inUse) * r.l.now.Sub(r.lastChange)
+	r.lastChange = r.l.now
 }
 
 // Acquire blocks p until a capacity slot is free, then takes it.
@@ -79,23 +114,27 @@ func (r *Resource) Acquire(p *Proc) {
 		r.inUse++
 		return
 	}
-	r.waiters = append(r.waiters, p.p)
+	r.waiters = append(r.waiters, waiter{p: p.p})
 	p.park()
 	// Slot was transferred to us by Release before we were woken.
 }
 
-// Release frees a slot, waking the longest-waiting process if any.
+// Release frees a slot, waking the longest-waiting process or continuation
+// if any.
+//
+//rfp:hotpath
 func (r *Resource) Release() {
 	r.account()
 	r.inUse--
 	if r.inUse < 0 {
-		panic("sim: Release without Acquire")
+		panicReleaseUnderflow()
 	}
 	if len(r.waiters) > 0 {
 		w := r.waiters[0]
+		r.waiters[0] = waiter{}
 		r.waiters = r.waiters[1:]
 		r.inUse++ // transfer the slot to the woken waiter
-		r.env.schedule(r.env.now, w, nil)
+		r.l.schedule(r.l.now, w.p, w.fn)
 	}
 }
 
@@ -113,29 +152,95 @@ func (r *Resource) QueueLen() int { return len(r.waiters) }
 // InUse returns the number of currently held slots.
 func (r *Resource) InUse() int { return r.inUse }
 
+// TimedUse is the run-to-completion counterpart of Use: acquire a resource,
+// hold it for a duration, release it, then run a continuation — without a
+// process. Its event pattern mirrors Use exactly: an immediate grant costs
+// one event (the hold expiry, like Use's Sleep), and a contended grant costs
+// one wake event from Release plus the expiry, like waking a parked process
+// that then sleeps.
+//
+// A TimedUse is a reusable timer node: Bind once when the owning structure
+// is built (the two closure allocations happen there), then Start per
+// operation — steady-state operation allocates nothing. A TimedUse must not
+// be restarted while a previous Start is still in flight.
+type TimedUse struct {
+	r      *Resource
+	d      Duration
+	done   func()
+	grant  func() // bound once: slot granted by Release
+	expire func() // bound once: hold time elapsed
+}
+
+// Bind materializes the internal continuations. Call once at construction.
+func (t *TimedUse) Bind() {
+	t.grant = t.onGrant
+	t.expire = t.onExpire
+}
+
+// Start acquires r (immediately or by joining the FIFO), holds it for d,
+// releases it, then calls done.
+//
+//rfp:hotpath
+func (t *TimedUse) Start(r *Resource, d Duration, done func()) {
+	if t.grant == nil {
+		panicUnboundTimedUse()
+	}
+	t.r, t.d, t.done = r, d, done
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.account()
+		r.inUse++
+		r.l.schedule(r.l.now.Add(d), nil, t.expire)
+		return
+	}
+	r.waiters = append(r.waiters, waiter{fn: t.grant})
+}
+
+//rfp:hotpath
+func (t *TimedUse) onGrant() {
+	// Release already transferred the slot to us (exactly as it does for a
+	// parked process); start the hold.
+	r := t.r
+	r.l.schedule(r.l.now.Add(t.d), nil, t.expire)
+}
+
+//rfp:hotpath
+func (t *TimedUse) onExpire() {
+	t.r.Release()
+	t.done()
+}
+
+func panicReleaseUnderflow() { panic("sim: Release without Acquire") }
+
+func panicUnboundTimedUse() { panic("sim: TimedUse.Start before Bind") }
+
 // Queue is an unbounded FIFO message queue between processes. Put never
 // blocks; Get parks until an item is available. Items are delivered in FIFO
 // order and waiters are served in FIFO order.
 type Queue[T any] struct {
-	env     *Env
+	l       *lane
 	items   []T
 	waiters []*proc
 }
 
-// NewQueue returns an empty queue bound to e.
-func NewQueue[T any](e *Env) *Queue[T] { return &Queue[T]{env: e} }
+// NewQueue returns an empty queue bound to e's default lane.
+func NewQueue[T any](e *Env) *Queue[T] { return &Queue[T]{l: e.def} }
+
+// NewQueueOn returns an empty queue bound to a shard's lane.
+func NewQueueOn[T any](sh *Shard) *Queue[T] { return &Queue[T]{l: sh.l} }
 
 // Len returns the number of queued items.
 func (q *Queue[T]) Len() int { return len(q.items) }
 
 // Put appends v and wakes one waiter if any. It may be called from process
 // or scheduler context.
+//
+//rfp:hotpath
 func (q *Queue[T]) Put(v T) {
 	q.items = append(q.items, v)
 	if len(q.waiters) > 0 {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
-		q.env.schedule(q.env.now, w, nil)
+		q.l.schedule(q.l.now, w, nil)
 	}
 }
 
@@ -146,24 +251,29 @@ func (q *Queue[T]) Get(p *Proc) T {
 		p.park()
 	}
 	v := q.items[0]
+	var zero T
+	q.items[0] = zero
 	q.items = q.items[1:]
 	// If items remain and more waiters exist, propagate the wakeup so a
 	// multi-item Put burst wakes enough getters.
 	if len(q.items) > 0 && len(q.waiters) > 0 {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
-		q.env.schedule(q.env.now, w, nil)
+		q.l.schedule(q.l.now, w, nil)
 	}
 	return v
 }
 
 // TryGet removes and returns the oldest item without blocking.
+//
+//rfp:hotpath
 func (q *Queue[T]) TryGet() (T, bool) {
 	var zero T
 	if len(q.items) == 0 {
 		return zero, false
 	}
 	v := q.items[0]
+	q.items[0] = zero
 	q.items = q.items[1:]
 	return v, true
 }
