@@ -1,0 +1,273 @@
+package faults
+
+// Per-phase plan composition (the scenario harness's fault model): a
+// Schedule strings independent Plans along the simulation clock, one Stage
+// per workload phase, executed by a single ScheduledInjector whose PRNG is
+// seeded once — so the whole schedule replays byte-identically per seed,
+// exactly like a single Plan does. Stage boundaries are crossed by watching
+// the decision clock, never by scheduled events, so the injector stays a
+// passive data-path observer.
+//
+// Crash windows and invalidations inside a stage's Plan are *relative to
+// the stage's start*: the same phase declaration composes unchanged at any
+// position in a scenario. InstallSchedule shifts them to absolute times.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"rfp/internal/dist"
+	"rfp/internal/fabric"
+	"rfp/internal/rnic"
+	"rfp/internal/sim"
+)
+
+// Stage is one window of a composed fault schedule: plan is in force from
+// Start until the next stage's Start (the last stage runs forever).
+type Stage struct {
+	Start sim.Time
+	Plan  Plan
+}
+
+// ScheduledInjector executes a stage sequence. It implements
+// rnic.FaultInjector and Tracer; attach it with InstallSchedule.
+type ScheduledInjector struct {
+	stages   []Stage
+	idx      int // active stage (monotone: decision times never go back)
+	inner    Injector
+	perStage []Counts
+}
+
+// NewSchedule builds an injector for the stage sequence, applying each
+// plan's defaults. Stages must be ordered by ascending Start; the one
+// top-level seed drives every stage (per-stage Plan.Seed fields are
+// ignored), so two schedules differing only in probabilities still draw
+// from the same stream positions until their first divergence.
+func NewSchedule(seed int64, stages []Stage) *ScheduledInjector {
+	if len(stages) == 0 {
+		stages = []Stage{{}}
+	}
+	for i := range stages {
+		if i > 0 && stages[i].Start < stages[i-1].Start {
+			panic(fmt.Sprintf("faults: schedule stages out of order (%d before %d)",
+				int64(stages[i].Start), int64(stages[i-1].Start)))
+		}
+		if stages[i].Plan.TimeoutNs <= 0 {
+			stages[i].Plan.TimeoutNs = 10_000
+		}
+		if stages[i].Plan.Delay == nil {
+			stages[i].Plan.Delay = dist.FixedDur(2000)
+		}
+	}
+	si := &ScheduledInjector{stages: stages, perStage: make([]Counts, len(stages))}
+	si.inner = *New(Plan{Seed: seed})
+	return si
+}
+
+// Enabled reports whether any stage injects anything.
+func (si *ScheduledInjector) Enabled() bool {
+	for _, st := range si.stages {
+		if st.Plan.Enabled() {
+			return true
+		}
+	}
+	return false
+}
+
+// advance moves the active stage forward to the one covering now.
+func (si *ScheduledInjector) advance(now sim.Time) {
+	for si.idx+1 < len(si.stages) && si.stages[si.idx+1].Start <= now {
+		si.idx++
+	}
+}
+
+// Decide implements rnic.FaultInjector: the decision logic of Injector,
+// applied under whichever stage's plan covers now.
+func (si *ScheduledInjector) Decide(now sim.Time, op rnic.FaultOp) rnic.FaultAction {
+	si.advance(now)
+	before := si.inner.counts
+	si.inner.plan = si.stages[si.idx].Plan
+	act := si.inner.Decide(now, op)
+	si.perStage[si.idx] = addCounts(si.perStage[si.idx], subCounts(si.inner.counts, before))
+	return act
+}
+
+// Damage implements rnic.FaultInjector, drawing from the schedule's single
+// stream.
+func (si *ScheduledInjector) Damage(op rnic.FaultOp, buf []byte) { si.inner.Damage(op, buf) }
+
+// Counts returns the fault tallies across all stages.
+func (si *ScheduledInjector) Counts() Counts { return si.inner.counts }
+
+// StageCounts returns the tallies attributed to stage i (crash, restart
+// and invalidation events are attributed to the stage that declared them).
+func (si *ScheduledInjector) StageCounts(i int) Counts { return si.perStage[i] }
+
+// Events returns the trace length.
+func (si *ScheduledInjector) Events() int { return si.inner.Events() }
+
+// TraceString returns the full event trace, one event per line.
+func (si *ScheduledInjector) TraceString() string { return si.inner.TraceString() }
+
+// Digest returns the FNV-1a replay witness of the trace.
+func (si *ScheduledInjector) Digest() uint64 { return si.inner.Digest() }
+
+// InstallSchedule attaches the scheduled injector to every machine's NIC
+// and schedules each stage's crash windows and invalidations at their
+// absolute times (stage start + declared offset). Machines named by any
+// stage's plan must be among those passed in.
+func InstallSchedule(env *sim.Env, si *ScheduledInjector, machines ...*fabric.Machine) {
+	byName := make(map[string]*fabric.Machine, len(machines))
+	for _, m := range machines {
+		m.NIC().SetInjector(si)
+		byName[m.Name()] = m
+	}
+	lookup := func(name string) *fabric.Machine {
+		m := byName[name]
+		if m == nil {
+			panic(fmt.Sprintf("faults: schedule names unknown machine %q", name))
+		}
+		return m
+	}
+	for i, st := range si.stages {
+		i, base := i, st.Start
+		for _, w := range st.Plan.Crashes {
+			m, start, end := lookup(w.Machine), base.Add(sim.Duration(w.Start)), base.Add(sim.Duration(w.End))
+			name := w.Machine
+			env.At(start, func() {
+				si.inner.counts.Crashes++
+				si.perStage[i].Crashes++
+				si.inner.noteAt(start, "crash "+name)
+				m.Fail()
+			})
+			if w.End > w.Start {
+				env.At(end, func() {
+					si.inner.counts.Restarts++
+					si.perStage[i].Restarts++
+					si.inner.noteAt(end, "restart "+name)
+					m.Restart()
+				})
+			}
+		}
+		for _, iv := range st.Plan.Invalidations {
+			m, at, region := lookup(iv.Machine), base.Add(sim.Duration(iv.At)), iv.Region
+			name := iv.Machine
+			env.At(at, func() {
+				n := m.NIC()
+				if n.RegionCount() == 0 {
+					return
+				}
+				si.inner.counts.Invalidations++
+				si.perStage[i].Invalidations++
+				si.inner.noteAt(at, fmt.Sprintf("invalidate %s region %d", name, region))
+				n.Region(region % n.RegionCount()).Deregister()
+			})
+		}
+	}
+}
+
+// ShardedSchedule runs one Schedule as per-machine scheduled injectors,
+// one per scheduler lane — the sharded-kernel counterpart of
+// ScheduledInjector, under the same per-machine stream-splitting rule as
+// ShardedInjector (and the same restriction: no crashes or invalidations).
+type ShardedSchedule struct {
+	names []string
+	per   map[string]*ScheduledInjector
+}
+
+// InstallShardedSchedule splits the schedule across the machines' lanes
+// and attaches a per-machine scheduled injector to each NIC. Stages with
+// crash windows or invalidations are rejected, exactly as InstallSharded
+// rejects them for single plans.
+func InstallShardedSchedule(seed int64, stages []Stage, machines ...*fabric.Machine) *ShardedSchedule {
+	for _, st := range stages {
+		if len(st.Plan.Crashes) > 0 || len(st.Plan.Invalidations) > 0 {
+			panic("faults: sharded schedule does not support crash windows or invalidations; use InstallSchedule on a serial environment")
+		}
+	}
+	ss := &ShardedSchedule{per: make(map[string]*ScheduledInjector, len(machines))}
+	for _, m := range machines {
+		in := NewSchedule(shardSeed(seed, m.Name()), append([]Stage(nil), stages...))
+		m.NIC().SetInjector(in)
+		ss.per[m.Name()] = in
+		ss.names = append(ss.names, m.Name())
+	}
+	sort.Strings(ss.names)
+	return ss
+}
+
+// Per returns the injector attached to the named machine's NIC.
+func (ss *ShardedSchedule) Per(name string) *ScheduledInjector { return ss.per[name] }
+
+// Counts sums the fault tallies across all machines.
+func (ss *ShardedSchedule) Counts() Counts {
+	var c Counts
+	for _, in := range ss.per {
+		c = addCounts(c, in.Counts())
+	}
+	return c
+}
+
+// StageCounts sums stage i's tallies across all machines.
+func (ss *ShardedSchedule) StageCounts(i int) Counts {
+	var c Counts
+	for _, in := range ss.per {
+		c = addCounts(c, in.StageCounts(i))
+	}
+	return c
+}
+
+// Events returns the total trace length across all machines.
+func (ss *ShardedSchedule) Events() int {
+	n := 0
+	for _, in := range ss.per {
+		n += in.Events()
+	}
+	return n
+}
+
+// TraceString concatenates the per-machine traces in sorted machine-name
+// order (ShardedInjector's convention).
+func (ss *ShardedSchedule) TraceString() string {
+	var b strings.Builder
+	for _, name := range ss.names {
+		fmt.Fprintf(&b, "[%s]\n", name)
+		b.WriteString(ss.per[name].TraceString())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Digest folds the per-machine trace digests in sorted machine-name order.
+func (ss *ShardedSchedule) Digest() uint64 {
+	h := fnv.New64a()
+	for _, name := range ss.names {
+		fmt.Fprintf(h, "%s=%016x\n", name, ss.per[name].Digest())
+	}
+	return h.Sum64()
+}
+
+// addCounts and subCounts combine tallies field by field.
+func addCounts(a, b Counts) Counts {
+	a.Drops += b.Drops
+	a.Delays += b.Delays
+	a.Corruptions += b.Corruptions
+	a.QPErrors += b.QPErrors
+	a.Crashes += b.Crashes
+	a.Restarts += b.Restarts
+	a.Invalidations += b.Invalidations
+	return a
+}
+
+func subCounts(a, b Counts) Counts {
+	a.Drops -= b.Drops
+	a.Delays -= b.Delays
+	a.Corruptions -= b.Corruptions
+	a.QPErrors -= b.QPErrors
+	a.Crashes -= b.Crashes
+	a.Restarts -= b.Restarts
+	a.Invalidations -= b.Invalidations
+	return a
+}

@@ -1,0 +1,185 @@
+package faults
+
+// Schedule tests: stage advancement tracks the decision clock, per-stage
+// tallies partition the totals, crash windows shift relative to their
+// stage's start, the whole schedule replays byte-identically per seed, and
+// the sharded variant folds per-machine digests deterministically while
+// rejecting crash plans.
+
+import (
+	"testing"
+
+	"rfp/internal/fabric"
+	"rfp/internal/hw"
+	"rfp/internal/sim"
+)
+
+func TestScheduleStageAdvance(t *testing.T) {
+	// Stage 0: drop-heavy. Stage 1 (from t=10_000): delay-heavy, no drops.
+	si := NewSchedule(5, []Stage{
+		{Start: 0, Plan: Plan{DropProb: 0.5}},
+		{Start: 10_000, Plan: Plan{DelayProb: 0.5}},
+	})
+	if !si.Enabled() {
+		t.Fatal("schedule with active plans reports disabled")
+	}
+	ops := opSequence(4000, 3)
+	for i, op := range ops[:2000] {
+		si.Decide(sim.Time(int64(i)*4), op) // 0..8000: stage 0
+	}
+	for i, op := range ops[2000:] {
+		si.Decide(sim.Time(10_000+int64(i)*4), op) // stage 1
+	}
+	s0, s1 := si.StageCounts(0), si.StageCounts(1)
+	if s0.Drops == 0 || s0.Delays != 0 {
+		t.Fatalf("stage 0 counts = %+v, want drops only", s0)
+	}
+	if s1.Delays == 0 || s1.Drops != 0 {
+		t.Fatalf("stage 1 counts = %+v, want delays only", s1)
+	}
+	total := si.Counts()
+	if addCounts(s0, s1) != total {
+		t.Fatalf("per-stage tallies %+v + %+v do not partition the total %+v", s0, s1, total)
+	}
+}
+
+func TestScheduleReplaysIdentically(t *testing.T) {
+	stages := []Stage{
+		{Start: 0, Plan: Plan{DropProb: 0.1, CorruptProb: 0.05}},
+		{Start: 5_000, Plan: Plan{DelayProb: 0.2}},
+	}
+	a := NewSchedule(42, append([]Stage(nil), stages...))
+	b := NewSchedule(42, append([]Stage(nil), stages...))
+	for i, op := range opSequence(5000, 9) {
+		now := sim.Time(int64(i) * 3)
+		if a.Decide(now, op) != b.Decide(now, op) {
+			t.Fatalf("op %d: scheduled decisions diverge", i)
+		}
+	}
+	if a.Digest() != b.Digest() || a.TraceString() != b.TraceString() {
+		t.Fatal("same-seed schedules produced different traces")
+	}
+	c := NewSchedule(43, append([]Stage(nil), stages...))
+	for i, op := range opSequence(5000, 9) {
+		c.Decide(sim.Time(int64(i)*3), op)
+	}
+	if a.Digest() == c.Digest() {
+		t.Fatal("different seeds produced identical schedule traces")
+	}
+}
+
+func TestScheduleRejectsOutOfOrderStages(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSchedule accepted out-of-order stages")
+		}
+	}()
+	NewSchedule(1, []Stage{{Start: 5000}, {Start: 100}})
+}
+
+// Crash windows are declared relative to the stage start; InstallSchedule
+// must shift them to absolute times.
+func TestInstallScheduleShiftsCrashWindows(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	m := fabric.NewMachine(env, "server", hw.ConnectX3())
+	si := NewSchedule(2, []Stage{
+		{Start: 0, Plan: Plan{}},
+		// Window [1000,2000) relative to the stage start at 10_000:
+		// absolute [11_000,12_000).
+		{Start: 10_000, Plan: Plan{Crashes: []Window{{Machine: "server", Start: 1000, End: 2000}}}},
+	})
+	InstallSchedule(env, si, m)
+	var beforeDown, duringDown, afterDown bool
+	env.At(10_500, func() { beforeDown = m.Down() })
+	env.At(11_500, func() { duringDown = m.Down() })
+	env.At(12_500, func() { afterDown = m.Down() })
+	env.Run(20_000)
+	if beforeDown || !duringDown || afterDown {
+		t.Fatalf("down before/during/after = %v/%v/%v, want false/true/false",
+			beforeDown, duringDown, afterDown)
+	}
+	if c := si.StageCounts(1); c.Crashes != 1 || c.Restarts != 1 {
+		t.Fatalf("stage 1 counts = %+v, want 1 crash / 1 restart", c)
+	}
+	if c := si.StageCounts(0); c != (Counts{}) {
+		t.Fatalf("stage 0 charged crash events: %+v", c)
+	}
+	if si.Events() != 2 {
+		t.Fatalf("trace has %d events, want 2:\n%s", si.Events(), si.TraceString())
+	}
+}
+
+func TestInstallScheduleUnknownMachine(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	m := fabric.NewMachine(env, "server", hw.ConnectX3())
+	si := NewSchedule(2, []Stage{
+		{Plan: Plan{Crashes: []Window{{Machine: "ghost", Start: 0, End: 10}}}},
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InstallSchedule accepted a crash on an unknown machine")
+		}
+	}()
+	InstallSchedule(env, si, m)
+}
+
+func TestShardedScheduleDigestFold(t *testing.T) {
+	stages := []Stage{
+		{Start: 0, Plan: Plan{DropProb: 0.2}},
+		{Start: 5_000, Plan: Plan{DelayProb: 0.2}},
+	}
+	build := func() (*ShardedSchedule, func()) {
+		env := sim.NewEnv(1)
+		a := fabric.NewMachine(env, "alpha", hw.ConnectX3())
+		b := fabric.NewMachine(env, "beta", hw.ConnectX3())
+		return InstallShardedSchedule(7, stages, a, b), env.Close
+	}
+	ss1, close1 := build()
+	defer close1()
+	ss2, close2 := build()
+	defer close2()
+	ops := opSequence(3000, 11)
+	drive := func(ss *ShardedSchedule) {
+		for i, op := range ops {
+			now := sim.Time(int64(i) * 4)
+			ss.Per("alpha").Decide(now, op)
+			ss.Per("beta").Decide(now, op)
+		}
+	}
+	drive(ss1)
+	drive(ss2)
+	if ss1.Digest() != ss2.Digest() {
+		t.Fatal("same-seed sharded schedules produced different folded digests")
+	}
+	if ss1.Per("alpha").Digest() == ss1.Per("beta").Digest() {
+		t.Fatal("per-machine streams are not split (identical digests)")
+	}
+	if ss1.Events() != ss1.Per("alpha").Events()+ss1.Per("beta").Events() {
+		t.Fatal("Events does not sum the per-machine traces")
+	}
+	var want Counts
+	want = addCounts(ss1.Per("alpha").Counts(), ss1.Per("beta").Counts())
+	if ss1.Counts() != want {
+		t.Fatalf("Counts = %+v, want per-machine sum %+v", ss1.Counts(), want)
+	}
+	got := addCounts(ss1.StageCounts(0), ss1.StageCounts(1))
+	if got != want {
+		t.Fatalf("stage counts %+v do not partition the total %+v", got, want)
+	}
+}
+
+func TestShardedScheduleRejectsCrashes(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	m := fabric.NewMachine(env, "server", hw.ConnectX3())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sharded schedule accepted a crash window")
+		}
+	}()
+	InstallShardedSchedule(1, []Stage{
+		{Plan: Plan{Crashes: []Window{{Machine: "server", Start: 0, End: 10}}}},
+	}, m)
+}

@@ -132,7 +132,9 @@ func NewServer(m *fabric.Machine, cfg Config) *Server {
 		}),
 		store: kv.NewBucketStore(cfg.Buckets),
 		cache: kv.NewKeyCache(cfg.KeyCacheSize),
-		lock:  sim.NewResource(m.Env(), 1),
+		// Homed to m's lane: server procs hold this lock, and a wake
+		// from a foreign lane deadlocks the sharded kernel.
+		lock:  sim.NewResourceOn(m.Shard(), 1),
 		conns: make([][]*core.Conn, cfg.Threads),
 	}
 	// Threads count against cores, but only SharedEndpoints issuer slots

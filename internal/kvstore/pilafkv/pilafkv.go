@@ -118,10 +118,12 @@ func NewServer(m *fabric.Machine, cfg Config) *Server {
 			MaxRequest:  1 + workload.KeySize + cfg.MaxValue,
 			MaxResponse: 8,
 		}),
-		table:   cuckoo.New(slotMR.Buf),
-		slotMR:  slotMR,
-		dataMR:  dataMR,
-		lock:    sim.NewResource(m.Env(), 1),
+		table:  cuckoo.New(slotMR.Buf),
+		slotMR: slotMR,
+		dataMR: dataMR,
+		// Homed to m's lane: server procs hold this lock, and a wake
+		// from a foreign lane deadlocks the sharded kernel.
+		lock:    sim.NewResourceOn(m.Shard(), 1),
 		extents: make(map[string]int),
 		conns:   make([][]*core.Conn, cfg.Threads),
 	}

@@ -1,0 +1,276 @@
+package scenario
+
+// Backend builders: the systems a scenario can run against, mirroring the
+// experiment harness's store construction (internal/experiments.RunKV) but
+// built onto an externally assembled cluster so scenarios can use custom
+// topologies (multiple servers, straggler NICs, pooled endpoints).
+
+import (
+	"fmt"
+	"sort"
+
+	"rfp/internal/core"
+	"rfp/internal/fabric"
+	"rfp/internal/kvstore/jakiro"
+	"rfp/internal/kvstore/memckv"
+	"rfp/internal/kvstore/pilafkv"
+	"rfp/internal/shard"
+	"rfp/internal/sim"
+	"rfp/internal/telemetry"
+	"rfp/internal/workload"
+)
+
+// Backend names.
+const (
+	BackendJakiro      = "jakiro"       // RFP store (fetch + adaptive switch)
+	BackendServerReply = "server-reply" // same store, forced server-reply mode
+	BackendMemcKV      = "memckv"       // RDMA-Memcached model (two-sided)
+	BackendPilafKV     = "pilafkv"      // Pilaf model (client-bypass GETs)
+	BackendSharded     = "sharded"      // RFP store sharded over the topology's servers
+)
+
+var backendNames = map[string]bool{
+	BackendJakiro:      true,
+	BackendServerReply: true,
+	BackendMemcKV:      true,
+	BackendPilafKV:     true,
+	BackendSharded:     true,
+}
+
+// Backends returns the valid backend names, sorted.
+func Backends() []string {
+	out := make([]string, 0, len(backendNames))
+	for n := range backendNames {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func knownBackend(name string) bool { return backendNames[name] }
+
+// conn is one client thread's synchronous handle to the store under test.
+// All backends expose Get/Put with integrity-verifiable values; the driver
+// builds RMW from the pair.
+type conn interface {
+	Get(p *sim.Proc, key uint64, out []byte) (int, bool, error)
+	Put(p *sim.Proc, key uint64, value []byte) error
+}
+
+// backend is a constructed system under test: one conn per client thread,
+// an aggregate stats reader, and (on RFP-based systems) a telemetry hook.
+type backend struct {
+	conns  []conn
+	stats  func() core.ClientStats       // summed across threads, recovery block included
+	attach func(rec *telemetry.Recorder) // nil when the system is not instrumented
+}
+
+// shardConn adapts a shard fan-out client to the conn interface by routing
+// to the owning server's per-server client.
+type shardConn struct{ c *shard.Client }
+
+func (s shardConn) Get(p *sim.Proc, key uint64, out []byte) (int, bool, error) {
+	return s.c.Server(s.c.ServerFor(key)).Get(p, key, out)
+}
+
+func (s shardConn) Put(p *sim.Proc, key uint64, value []byte) error {
+	return s.c.Server(s.c.ServerFor(key)).Put(p, key, value)
+}
+
+// preloadValueSize is the warm-up value length (the paper's 32-byte
+// Facebook-median value).
+const preloadValueSize = 32
+
+// scenarioBuckets sizes the store's hash table like the experiment harness
+// does (~2x headroom over 8-slot buckets).
+func scenarioBuckets(keys, threads int) int {
+	if threads < 1 {
+		threads = 1
+	}
+	b := keys / threads / 4
+	if b < 1024 {
+		b = 1024
+	}
+	return b
+}
+
+// scenarioParams is the transport configuration scenarios run under: paper
+// defaults, plus the recovery envelope when faults are injected (the chaos
+// harness's proven settings — tight deadline, fast backoff, demotion after
+// 8 consecutive transport errors).
+func scenarioParams(faulty bool) core.Params {
+	params := core.DefaultParams()
+	if faulty {
+		params.DeadlineNs = 2_000_000
+		params.BackoffNs = 2000
+		params.DemoteAfter = 8
+	}
+	return params
+}
+
+// buildBackend constructs the named system on the assembled cluster:
+// servers[0] is cl.Server; the sharded backend spreads over all servers.
+// Clients are created before Start (connection setup precedes serving),
+// one per placement.
+func buildBackend(name string, topo Topology, servers []*fabric.Machine,
+	placements []fabric.Placement, maxVal int, faulty bool) (*backend, error) {
+
+	params := scenarioParams(faulty)
+	keys := workload.Preload(workload.Config{Keys: topo.Keys})
+	b := &backend{conns: make([]conn, len(placements))}
+
+	switch name {
+	case BackendJakiro, BackendServerReply:
+		cfg := jakiro.Config{
+			Threads:             4,
+			BucketsPerPartition: scenarioBuckets(topo.Keys, 4),
+			MaxValue:            maxVal,
+			Params:              params,
+		}
+		if name == BackendServerReply {
+			cfg.Params.ForceReply = true
+			cfg.Params.ReplyPollNs = 300
+		}
+		if topo.Pooled {
+			cfg.Pool = core.PoolConfig{QPs: 2, SlabBytes: 256 << 10}
+		}
+		srv := jakiro.NewServer(servers[0], cfg)
+		srv.Preload(keys, preloadValueSize)
+		js := make([]*jakiro.Client, len(placements))
+		for i, pl := range placements {
+			js[i] = srv.NewClient(pl.Machine)
+			b.conns[i] = js[i]
+		}
+		srv.Start()
+		b.stats = func() core.ClientStats {
+			var agg core.ClientStats
+			for _, c := range js {
+				sumStats(&agg, c.Stats())
+			}
+			return agg
+		}
+		b.attach = func(rec *telemetry.Recorder) {
+			for _, c := range js {
+				c.SetRecorder(rec)
+			}
+		}
+
+	case BackendSharded:
+		cfg := jakiro.Config{
+			Threads:             2,
+			BucketsPerPartition: scenarioBuckets(topo.Keys, 2),
+			MaxValue:            maxVal,
+			Params:              params,
+		}
+		if topo.Pooled {
+			cfg.Pool = core.PoolConfig{QPs: 2, SlabBytes: 256 << 10}
+		}
+		srvs := make([]*jakiro.Server, len(servers))
+		for s, m := range servers {
+			srvs[s] = jakiro.NewServer(m, cfg)
+			// Every server preloads the full key space; routing only ever
+			// reads a key from its owning shard, so the extra copies are
+			// inert.
+			srvs[s].Preload(keys, preloadValueSize)
+		}
+		ss := make([]*shard.Client, len(placements))
+		for i, pl := range placements {
+			sc, err := shard.New(pl.Machine, srvs, false)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: shard client: %w", err)
+			}
+			ss[i] = sc
+			b.conns[i] = shardConn{sc}
+		}
+		for _, srv := range srvs {
+			srv.Start()
+		}
+		b.stats = func() core.ClientStats {
+			var agg core.ClientStats
+			for _, c := range ss {
+				sumStats(&agg, c.Stats())
+			}
+			return agg
+		}
+		b.attach = func(rec *telemetry.Recorder) {
+			for _, c := range ss {
+				c.SetRecorder(rec)
+			}
+		}
+
+	case BackendMemcKV:
+		cfg := memckv.Config{Threads: 8, Buckets: scenarioBuckets(topo.Keys, 1), MaxValue: maxVal}
+		srv := memckv.NewServer(servers[0], cfg)
+		srv.Preload(keys, preloadValueSize)
+		ms := make([]*memckv.Client, len(placements))
+		for i, pl := range placements {
+			ms[i] = srv.NewClient(pl.Machine)
+			b.conns[i] = ms[i]
+		}
+		srv.Start()
+		b.stats = func() core.ClientStats {
+			var agg core.ClientStats
+			for _, c := range ms {
+				sumStats(&agg, c.Stats())
+			}
+			return agg
+		}
+
+	case BackendPilafKV:
+		cfg := pilafkv.Config{Capacity: topo.Keys + 64, MaxValue: maxVal, Threads: 2}
+		srv := pilafkv.NewServer(servers[0], cfg)
+		if err := srv.Preload(keys, preloadValueSize); err != nil {
+			return nil, fmt.Errorf("scenario: pilaf preload: %w", err)
+		}
+		ps := make([]*pilafkv.Client, len(placements))
+		for i, pl := range placements {
+			ps[i] = srv.NewClient(pl.Machine)
+			b.conns[i] = ps[i]
+		}
+		srv.Start()
+		b.stats = func() core.ClientStats { return core.ClientStats{} }
+
+	default:
+		return nil, fmt.Errorf("scenario: unknown backend %q (have %v)", name, Backends())
+	}
+	return b, nil
+}
+
+// sumStats aggregates one thread's transport stats, recovery block
+// included (the experiment harness's addStats predates the recovery path
+// and skips it; scenarios assert on it).
+func sumStats(dst *core.ClientStats, s core.ClientStats) {
+	dst.Calls += s.Calls
+	dst.FetchReads += s.FetchReads
+	dst.SecondReads += s.SecondReads
+	dst.ReplyDeliveries += s.ReplyDeliveries
+	dst.Retries += s.Retries
+	dst.SwitchToReply += s.SwitchToReply
+	dst.SwitchToFetch += s.SwitchToFetch
+	dst.IdleNs += s.IdleNs
+	dst.SendNs += s.SendNs
+	dst.FetchNs += s.FetchNs
+	dst.ReplyWaitNs += s.ReplyWaitNs
+	dst.FaultRetries += s.FaultRetries
+	dst.Resends += s.Resends
+	dst.Reconnects += s.Reconnects
+	dst.Demotions += s.Demotions
+	dst.Deadlines += s.Deadlines
+	if s.MaxRetries > dst.MaxRetries {
+		dst.MaxRetries = s.MaxRetries
+	}
+	for i, v := range s.RetryHist {
+		dst.RetryHist[i] += v
+	}
+}
+
+// recoveryOf projects the recovery block out of aggregated client stats.
+func recoveryOf(s core.ClientStats) RecoveryStats {
+	return RecoveryStats{
+		FaultRetries: s.FaultRetries,
+		Resends:      s.Resends,
+		Reconnects:   s.Reconnects,
+		Demotions:    s.Demotions,
+		Deadlines:    s.Deadlines,
+	}
+}

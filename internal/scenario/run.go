@@ -1,0 +1,465 @@
+package scenario
+
+// The scenario runner: assemble the declared topology, build the backend,
+// install the per-phase fault schedule, drive the workload phases and
+// evaluate invariants from the observations.
+//
+// Determinism contract (what "deterministic-replay" asserts):
+//   - Per-thread op accounting is charged to the phase that issued the op
+//     and read only after every driver has reached its final barrier (the
+//     grace loop below), so ops that overshoot a phase boundary are never
+//     racily split between phases.
+//   - Telemetry and recovery-stat deltas are sampled at phase boundaries,
+//     between Run calls — the kernel (serial or sharded) has quiesced every
+//     lane there, so the reads are ordered after all window writes.
+//   - The report renders only order-independent quantities (atomic counter
+//     sums, single-writer per-thread histograms, the fault-trace digest),
+//     and Mode renders as "serial"/"sharded" without the worker count, so
+//     a sharded run replays byte-identically for ANY worker count. A
+//     serial run and a sharded run are each self-consistent but differ
+//     from each other: sharding re-homes per-machine PRNG streams
+//     (DESIGN.md §14), which legitimately reorders fault draws.
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"rfp/internal/core"
+	"rfp/internal/fabric"
+	"rfp/internal/faults"
+	"rfp/internal/hw"
+	"rfp/internal/sim"
+	"rfp/internal/telemetry"
+	"rfp/internal/workload"
+)
+
+// Options selects the execution mode of one scenario run.
+type Options struct {
+	// Seed is the master seed; 0 means 1. Everything — workload streams,
+	// fault draws, server jitter — derives from it.
+	Seed int64
+	// Parallel > 0 runs on the sharded kernel with that many workers.
+	// Scenarios with crash windows or invalidations fall back to the
+	// serial kernel (the sharded kernel cannot order machine-global
+	// failures; DESIGN.md §14).
+	Parallel int
+}
+
+// PhaseReport is one phase's observations plus its evaluated invariants.
+type PhaseReport struct {
+	Obs      PhaseObs
+	Verdicts []Verdict
+}
+
+// Report is one run's full result.
+type Report struct {
+	Scenario string
+	Backend  string
+	Mode     string // "serial" or "sharded"
+	Seed     int64
+	Phases   []PhaseReport
+
+	// FaultEvents / FaultDigest witness the injected-fault trace when the
+	// scenario has a fault plan (zero otherwise).
+	FaultEvents int
+	FaultDigest uint64
+
+	// Replay is the run-level replay verdict, set by Verify.
+	Replay *Verdict
+}
+
+// OK reports whether every verdict (including replay, if evaluated)
+// passed.
+func (r *Report) OK() bool {
+	for _, ph := range r.Phases {
+		for _, v := range ph.Verdicts {
+			if !v.OK {
+				return false
+			}
+		}
+	}
+	return r.Replay == nil || r.Replay.OK
+}
+
+// Render returns the deterministic phase-by-phase invariant report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	r.render(&b, true)
+	return b.String()
+}
+
+// Digest returns the FNV-1a hash of the report body (the replay verdict
+// line excluded — it is an assertion *about* this digest).
+func (r *Report) Digest() uint64 {
+	var b strings.Builder
+	r.render(&b, false)
+	h := fnv.New64a()
+	h.Write([]byte(b.String()))
+	return h.Sum64()
+}
+
+func (r *Report) render(b *strings.Builder, withReplay bool) {
+	fmt.Fprintf(b, "scenario %s [%s] seed=%d mode=%s\n", r.Scenario, r.Backend, r.Seed, r.Mode)
+	for i := range r.Phases {
+		ph := &r.Phases[i]
+		o := &ph.Obs
+		fmt.Fprintf(b, "  phase %s: %.0fus\n", o.Phase, float64(o.DurationNs)/1e3)
+		fmt.Fprintf(b, "    ops: issued=%d done=%d failed=%d corrupt=%d unfinished=%d rate=%.1f/ms\n",
+			o.Issued, o.Done, o.Failed, o.Corrupted, o.Unfinished, o.opsPerMs())
+		if o.Lat.Count > 0 {
+			fmt.Fprintf(b, "    lat: n=%d p50=%.2fus p99=%.2fus max=%.2fus\n",
+				o.Lat.Count, float64(o.Lat.Percentile(0.50))/1e3, o.p99us(), float64(o.Lat.Max)/1e3)
+		}
+		if o.Tel.Calls > 0 {
+			fmt.Fprintf(b, "    tel: calls=%d rt/call=%.3f retries=%d fallbacks=%d\n",
+				o.Tel.Calls, o.Tel.RoundTripsPerCall(), o.Tel.Retries, o.Tel.Fallbacks)
+		}
+		if rec := o.Recovery; rec != (RecoveryStats{}) {
+			fmt.Fprintf(b, "    recovery: retries=%d resends=%d reconnects=%d demotions=%d deadlines=%d\n",
+				rec.FaultRetries, rec.Resends, rec.Reconnects, rec.Demotions, rec.Deadlines)
+		}
+		if fc := o.Faults; fc != (faults.Counts{}) {
+			fmt.Fprintf(b, "    faults: drops=%d delays=%d corruptions=%d qperrs=%d crashes=%d restarts=%d invalidations=%d\n",
+				fc.Drops, fc.Delays, fc.Corruptions, fc.QPErrors, fc.Crashes, fc.Restarts, fc.Invalidations)
+		}
+		for _, v := range ph.Verdicts {
+			fmt.Fprintf(b, "    %s\n", v)
+		}
+	}
+	if r.FaultEvents > 0 {
+		fmt.Fprintf(b, "  fault trace: events=%d digest=%016x\n", r.FaultEvents, r.FaultDigest)
+	}
+	if withReplay && r.Replay != nil {
+		fmt.Fprintf(b, "  %s\n", *r.Replay)
+	}
+	status := "PASS"
+	if !r.OK() {
+		status = "FAIL"
+	}
+	fmt.Fprintf(b, "  result: %s\n", status)
+}
+
+// scheduleTracer is what both fault-schedule shapes (serial and sharded)
+// expose to the runner.
+type scheduleTracer interface {
+	faults.Tracer
+	StageCounts(int) faults.Counts
+}
+
+// phaseCell is one (thread, phase) accounting cell. Written only by its
+// driver proc; read by the runner after the driver's finished flag is set
+// (ordered by the kernel's quiescence barrier).
+type phaseCell struct {
+	issued    uint64
+	done      uint64
+	failed    uint64
+	corrupted uint64
+	finished  bool
+	lat       telemetry.Hist
+}
+
+// phaseSeed derives the workload seed for (phase, thread) from the master
+// seed. Phases are re-seeded at their boundary, so a phase's stream never
+// depends on how far the previous phase got.
+func phaseSeed(seed int64, phase, thread int) int64 {
+	return seed*1_000_003 + int64(phase)*8191 + int64(thread) + 1
+}
+
+// graceStep/graceMax bound the drain loop that lets in-flight ops resolve
+// after the final phase (a synchronous call can overshoot its phase end by
+// up to the recovery deadline).
+const (
+	graceStep = 100 * sim.Microsecond
+	graceMax  = 200
+)
+
+// Run executes one scenario on one backend and returns its report. The
+// run-level replay invariant is not evaluated here — use Verify.
+func Run(sc Scenario, backendName string, opt Options) (*Report, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	if !knownBackend(backendName) {
+		return nil, fmt.Errorf("scenario: unknown backend %q (have %v)", backendName, Backends())
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	topo := sc.Topology.withDefaults()
+	sharded := opt.Parallel > 0 && !sc.hasCrashFaults()
+
+	env := sim.NewEnv(seed)
+	defer env.Close()
+	if sharded {
+		env.SetSharded(opt.Parallel)
+	}
+
+	// Topology: server machines, then client machines (one straggler if
+	// declared).
+	prof := topo.Profile()
+	servers := make([]*fabric.Machine, topo.Servers)
+	for s := range servers {
+		name := "server"
+		if topo.Servers > 1 {
+			name = fmt.Sprintf("server%d", s)
+		}
+		servers[s] = fabric.NewMachine(env, name, prof)
+	}
+	clients := make([]*fabric.Machine, topo.ClientMachines)
+	for i := range clients {
+		p := prof
+		if sl := topo.Slow; sl != nil && sl.Client == i {
+			p = slowProfile(p, sl)
+		}
+		clients[i] = fabric.NewMachine(env, fmt.Sprintf("client%d", i), p)
+	}
+	machines := append(append([]*fabric.Machine{}, servers...), clients...)
+	cl := &fabric.Cluster{Env: env, Server: servers[0], Clients: clients}
+
+	// Phase timeline and normalized per-phase workloads.
+	phases := make([]Phase, len(sc.Phases))
+	starts := make([]sim.Time, len(sc.Phases))
+	ends := make([]sim.Time, len(sc.Phases))
+	var t sim.Time
+	maxVal := preloadValueSize
+	for i, ph := range sc.Phases {
+		ph.Workload.Keys = topo.Keys
+		phases[i] = ph
+		starts[i] = t
+		t = t.Add(ph.Duration)
+		ends[i] = t
+		if ph.Workload.ValueSize != nil && ph.Workload.ValueSize.Max() > maxVal {
+			maxVal = ph.Workload.ValueSize.Max()
+		}
+	}
+
+	// Backend, then client-thread placement, then the fault schedule (the
+	// schedule needs every NIC to exist; crash events are absolute-time
+	// callbacks registered before the clock starts).
+	placements := cl.ClientThreads(topo.Threads)
+	b, err := buildBackend(backendName, topo, servers, placements, maxVal, sc.hasFaults())
+	if err != nil {
+		return nil, err
+	}
+	var tracer scheduleTracer
+	if sc.hasFaults() {
+		stages := make([]faults.Stage, len(phases))
+		for i := range phases {
+			stages[i] = faults.Stage{Start: starts[i], Plan: phases[i].Faults}
+		}
+		if sharded {
+			tracer = faults.InstallShardedSchedule(seed+1, stages, machines...)
+		} else {
+			si := faults.NewSchedule(seed+1, stages)
+			faults.InstallSchedule(env, si, machines...)
+			tracer = si
+		}
+	}
+	var rec *telemetry.Recorder
+	if b.attach != nil {
+		rec = telemetry.New(telemetry.Config{})
+		b.attach(rec)
+	}
+
+	// Drivers: one proc per client thread, running every phase in order
+	// against its conn, charging accounting to the issuing phase's cell.
+	threads := len(placements)
+	cells := make([]phaseCell, threads*len(phases))
+	cellAt := func(thread, phase int) *phaseCell { return &cells[thread*len(phases)+phase] }
+	for i, pl := range placements {
+		i, c := i, b.conns[i]
+		pl.Machine.Spawn(fmt.Sprintf("driver%d", i), func(p *sim.Proc) {
+			scratch := make([]byte, maxVal+64)
+			check := make([]byte, maxVal+64)
+			gen := workload.NewGenerator(phases[0].Workload, phaseSeed(seed, 0, i))
+			for pi := range phases {
+				ph := &phases[pi]
+				cell := cellAt(i, pi)
+				active := ph.Active
+				if active <= 0 || active > threads {
+					active = threads
+				}
+				if i >= active {
+					cell.finished = true
+					p.SleepUntil(ends[pi])
+					continue
+				}
+				if off := workload.RampOffset(i, active, ph.RampNs); off > 0 {
+					p.SleepUntil(starts[pi].Add(sim.Duration(off)))
+				}
+				gen.Reset(ph.Workload, phaseSeed(seed, pi, i))
+				for p.Now() < ends[pi] {
+					op := gen.Next()
+					cell.issued++
+					t0 := p.Now()
+					corrupt, err := driveOp(p, c, op, scratch, check)
+					switch {
+					case err != nil:
+						cell.failed++
+						p.Sleep(2 * sim.Microsecond) // breathe during an outage
+						continue
+					case corrupt:
+						cell.corrupted++
+					default:
+						cell.done++
+					}
+					cell.lat.Add(int64(p.Now().Sub(t0)))
+				}
+				cell.finished = true
+			}
+		})
+	}
+
+	// Phase loop: boundary-sample the window-delta sources, then drain
+	// in-flight ops past the final phase so issue-charged accounting is
+	// complete before it is read.
+	statsAt := make([]core.ClientStats, len(phases)+1)
+	telAt := make([]telemetry.Snapshot, len(phases)+1)
+	statsAt[0] = b.stats()
+	for pi := range phases {
+		env.Run(ends[pi])
+		statsAt[pi+1] = b.stats()
+		if rec != nil {
+			telAt[pi+1] = rec.Snapshot()
+		}
+	}
+	deadline := ends[len(phases)-1]
+	for g := 0; g < graceMax; g++ {
+		done := true
+		for i := 0; i < threads && done; i++ {
+			done = cellAt(i, len(phases)-1).finished
+		}
+		if done {
+			break
+		}
+		deadline = deadline.Add(graceStep)
+		env.Run(deadline)
+	}
+
+	// Assemble and evaluate.
+	rep := &Report{
+		Scenario: sc.Name,
+		Backend:  backendName,
+		Mode:     "serial",
+		Seed:     seed,
+		Phases:   make([]PhaseReport, len(phases)),
+	}
+	if sharded {
+		rep.Mode = "sharded"
+	}
+	for pi := range phases {
+		o := PhaseObs{
+			Phase:      phases[pi].Name,
+			DurationNs: int64(phases[pi].Duration),
+			Tel:        telAt[pi+1].Delta(telAt[pi]),
+			Recovery:   recoveryOf(statsAt[pi+1]).sub(recoveryOf(statsAt[pi])),
+		}
+		for i := 0; i < threads; i++ {
+			cell := cellAt(i, pi)
+			o.Issued += cell.issued
+			o.Done += cell.done
+			o.Failed += cell.failed
+			o.Corrupted += cell.corrupted
+			if !cell.finished {
+				o.Unfinished++
+			}
+			snap := cell.lat.Snap()
+			o.Lat.Merge(&snap)
+		}
+		if tracer != nil {
+			o.Faults = tracer.StageCounts(pi)
+		}
+		rep.Phases[pi] = PhaseReport{Obs: o, Verdicts: evalPhase(&sc, &phases[pi], &o)}
+	}
+	if tracer != nil {
+		rep.FaultEvents = tracer.Events()
+		rep.FaultDigest = tracer.Digest()
+	}
+	return rep, nil
+}
+
+// Verify runs the scenario and, when it declares the replay invariant,
+// re-runs it with the same options and asserts the reports are
+// byte-identical (same render, same digest). The returned report is the
+// first run's, with the replay verdict attached.
+func Verify(sc Scenario, backendName string, opt Options) (*Report, error) {
+	rep, err := Run(sc, backendName, opt)
+	if err != nil {
+		return nil, err
+	}
+	if !sc.wantsReplay() {
+		return rep, nil
+	}
+	again, err := Run(sc, backendName, opt)
+	if err != nil {
+		return nil, err
+	}
+	v := Verdict{Invariant: Invariant{Kind: Replay}}
+	if rep.Render() == again.Render() && rep.Digest() == again.Digest() {
+		v.OK = true
+		v.Detail = fmt.Sprintf("re-run byte-identical, digest %016x", rep.Digest())
+	} else {
+		v.Detail = fmt.Sprintf("re-run diverged: digest %016x vs %016x", rep.Digest(), again.Digest())
+	}
+	rep.Replay = &v
+	return rep, nil
+}
+
+// slowProfile applies a straggler override to a machine's hardware
+// profile.
+func slowProfile(p hw.Profile, sl *SlowNIC) hw.Profile {
+	scale := sl.EngineScale
+	if scale < 1 {
+		scale = 1
+	}
+	p.OutEngineNs = int64(float64(p.OutEngineNs) * scale)
+	p.InEngineNs = int64(float64(p.InEngineNs) * scale)
+	p.PostNs = int64(float64(p.PostNs) * scale)
+	p.PollNs = int64(float64(p.PollNs) * scale)
+	p.PropagationNs += sl.ExtraPropagationNs
+	return p
+}
+
+// driveOp executes one workload op on a conn, verifying GET results
+// against the deterministic fill pattern (version 0 = preload/PUT,
+// version 1 = RMW; FillValue is prefix-stable, so any stored length
+// verifies). Returns corrupt=true when a returned value matches neither.
+func driveOp(p *sim.Proc, c conn, op workload.Op, scratch, check []byte) (corrupt bool, err error) {
+	switch op.Kind {
+	case workload.Get:
+		n, found, err := c.Get(p, op.Key, scratch)
+		if err != nil {
+			return false, err
+		}
+		return found && !valueOK(scratch[:n], check, op.Key), nil
+	case workload.Put:
+		v := scratch[:op.ValueSize]
+		workload.FillValue(v, op.Key, 0)
+		return false, c.Put(p, op.Key, v)
+	default: // ReadModifyWrite
+		n, found, err := c.Get(p, op.Key, scratch)
+		if err != nil {
+			return false, err
+		}
+		if found && !valueOK(scratch[:n], check, op.Key) {
+			return true, nil
+		}
+		v := scratch[:op.ValueSize]
+		workload.FillValue(v, op.Key, 1)
+		return false, c.Put(p, op.Key, v)
+	}
+}
+
+// valueOK verifies a GET result against the two writable versions.
+func valueOK(got, check []byte, key uint64) bool {
+	w := check[:len(got)]
+	workload.FillValue(w, key, 0)
+	if bytes.Equal(got, w) {
+		return true
+	}
+	workload.FillValue(w, key, 1)
+	return bytes.Equal(got, w)
+}

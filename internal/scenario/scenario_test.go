@@ -1,0 +1,204 @@
+package scenario
+
+// Registry and end-to-end matrix tests: every seed scenario runs on every
+// declared backend as a plain `go test`, with the same-seed replay
+// invariant evaluated (Verify runs each pair twice), plus the determinism
+// regression across kernel modes: parallel-1 and parallel-4 sharded runs
+// must render byte-identical reports and trace digests.
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"rfp/internal/sim"
+	"rfp/internal/workload"
+)
+
+func TestRegistrySeeds(t *testing.T) {
+	names := Names()
+	want := []string{
+		"flash-crowd",
+		"rolling-restart",
+		"slow-nic-straggler",
+		"tenant-mix-shift",
+		"zipf-hotkey-migration",
+	}
+	if len(names) != len(want) || !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() = %v, want sorted %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+	for _, n := range names {
+		sc, ok := Get(n)
+		if !ok {
+			t.Fatalf("Get(%q) missing", n)
+		}
+		if len(sc.Backends) < 2 {
+			t.Errorf("%s declares %d backends, want >= 2", n, len(sc.Backends))
+		}
+		for _, be := range sc.Backends {
+			if !knownBackend(be) {
+				t.Errorf("%s declares unknown backend %q", n, be)
+			}
+		}
+		if !sc.wantsReplay() {
+			t.Errorf("%s does not declare the replay invariant", n)
+		}
+	}
+	if _, ok := Get("no-such-scenario"); ok {
+		t.Error("Get of unknown scenario reported ok")
+	}
+}
+
+func TestRegisterRejects(t *testing.T) {
+	valid := Scenario{
+		Name:     "x",
+		Topology: Topology{},
+		Backends: []string{BackendJakiro},
+		Phases: []Phase{
+			{Name: "p", Duration: 10 * sim.Microsecond, Workload: workload.Config{GetFraction: 1}},
+		},
+	}
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+	}{
+		{"duplicate name", func(sc *Scenario) { sc.Name = "flash-crowd" }},
+		{"no phases", func(sc *Scenario) { sc.Phases = nil }},
+		{"no backends", func(sc *Scenario) { sc.Backends = nil }},
+		{"unknown backend", func(sc *Scenario) { sc.Backends = []string{"bogus"} }},
+		{"zero duration", func(sc *Scenario) { sc.Phases[0].Duration = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := valid
+			sc.Phases = append([]Phase(nil), valid.Phases...)
+			tc.mut(&sc)
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Register accepted %s", tc.name)
+				}
+			}()
+			Register(sc)
+		})
+	}
+}
+
+// TestMatrixSerial is the acceptance matrix: every scenario x declared
+// backend on the serial kernel, with the replay invariant evaluated.
+func TestMatrixSerial(t *testing.T) {
+	for _, name := range Names() {
+		sc, _ := Get(name)
+		for _, be := range sc.Backends {
+			be := be
+			t.Run(name+"/"+be, func(t *testing.T) {
+				rep, err := Verify(sc, be, Options{Seed: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Mode != "serial" {
+					t.Fatalf("mode = %q, want serial", rep.Mode)
+				}
+				if rep.Replay == nil {
+					t.Fatal("Verify did not evaluate the replay invariant")
+				}
+				if !rep.OK() {
+					t.Fatalf("scenario failed:\n%s", rep.Render())
+				}
+			})
+		}
+	}
+}
+
+// TestDeterminismParallel pins the sharded-kernel contract: the report and
+// trace digest are byte-identical for any worker count (parallel-1 vs
+// parallel-4), and scenarios with crash windows fall back to the serial
+// kernel in both.
+func TestDeterminismParallel(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, _ := Get(name)
+			be := sc.Backends[0]
+			r1, err := Run(sc, be, Options{Seed: 1, Parallel: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r4, err := Run(sc, be, Options{Seed: 1, Parallel: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantMode := "sharded"
+			if sc.hasCrashFaults() {
+				wantMode = "serial"
+			}
+			if r1.Mode != wantMode || r4.Mode != wantMode {
+				t.Fatalf("modes = %q/%q, want %q", r1.Mode, r4.Mode, wantMode)
+			}
+			if r1.Render() != r4.Render() {
+				t.Fatalf("parallel-1 and parallel-4 reports differ:\n--- p1 ---\n%s--- p4 ---\n%s",
+					r1.Render(), r4.Render())
+			}
+			if r1.Digest() != r4.Digest() {
+				t.Fatalf("digests differ: %016x vs %016x", r1.Digest(), r4.Digest())
+			}
+			if !r1.OK() {
+				t.Fatalf("sharded run failed:\n%s", r1.Render())
+			}
+		})
+	}
+}
+
+// Different seeds must actually change the run (the digest is a replay
+// witness, not a constant).
+func TestSeedChangesDigest(t *testing.T) {
+	sc, _ := Get("flash-crowd")
+	r1, err := Run(sc, sc.Backends[0], Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(sc, sc.Backends[0], Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Digest() == r2.Digest() {
+		t.Fatal("seed 1 and seed 2 produced identical digests")
+	}
+}
+
+func TestRunRejectsUnknownBackend(t *testing.T) {
+	sc, _ := Get("flash-crowd")
+	if _, err := Run(sc, "bogus", Options{Seed: 1}); err == nil {
+		t.Fatal("Run accepted an unknown backend")
+	}
+}
+
+// The report must carry a fault-trace witness exactly when the scenario
+// injects faults.
+func TestFaultTraceWitness(t *testing.T) {
+	sc, _ := Get("rolling-restart")
+	rep, err := Run(sc, sc.Backends[0], Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FaultEvents == 0 || rep.FaultDigest == 0 {
+		t.Fatalf("rolling-restart trace witness empty: events=%d digest=%016x",
+			rep.FaultEvents, rep.FaultDigest)
+	}
+	if !strings.Contains(rep.Render(), "fault trace:") {
+		t.Fatal("report does not render the fault trace line")
+	}
+
+	clean, _ := Get("flash-crowd")
+	crep, err := Run(clean, clean.Backends[0], Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crep.FaultEvents != 0 {
+		t.Fatalf("fault-free scenario recorded %d fault events", crep.FaultEvents)
+	}
+}

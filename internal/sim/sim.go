@@ -185,6 +185,13 @@ func (e *Env) Rand() *rand.Rand { return e.def.rng }
 
 //rfp:hotpath
 func (l *lane) schedule(t Time, p *proc, fn func()) {
+	// A proc may only ever be woken on its home lane: the park/resume
+	// handshake assumes one active proc per lane, so a cross-lane wake
+	// (e.g. a Resource bound to the wrong lane) deadlocks the sharded
+	// kernel. Catch it at the scheduling point, where the blame is clear.
+	if p != nil && p.lane != l {
+		panicForeignLane(p, l)
+	}
 	if t < l.now {
 		t = l.now
 	}
@@ -482,4 +489,8 @@ func fnvMix64(h, v uint64) uint64 {
 		v >>= 8
 	}
 	return h
+}
+
+func panicForeignLane(p *proc, l *lane) {
+	panic("sim: schedule of proc " + p.name + " (lane " + p.lane.name + ") onto foreign lane " + l.name)
 }

@@ -40,6 +40,15 @@ func (h *Hist) Add(v int64) {
 	h.buckets[bucketOf(v)].Add(1)
 }
 
+// Snap returns the histogram's plain-value snapshot, for callers that use
+// a bare Hist outside a Recorder (e.g. per-phase latency accounting in the
+// scenario harness).
+func (h *Hist) Snap() HistSnap {
+	var out HistSnap
+	h.snapshot(&out)
+	return out
+}
+
 // snapshot copies the histogram into its plain-value snapshot form.
 func (h *Hist) snapshot(out *HistSnap) {
 	out.Count = h.count.Load()
@@ -104,6 +113,43 @@ func (h *HistSnap) Percentile(q float64) int64 {
 	return h.Max
 }
 
+// Delta returns the samples h accumulated since prev, where prev is an
+// earlier snapshot of the same histogram (its counts are a prefix of h's).
+// Count, Sum and the buckets subtract exactly; Min and Max of just the new
+// samples are not recoverable from counters, so they are tightened to the
+// occupied delta-bucket range (clamped into [prev-unseen lower bound,
+// h.Max]) — Percentile stays within one sub-bucket (12.5%) of exact, and
+// is exact when all delta samples share a value.
+func (h HistSnap) Delta(prev HistSnap) HistSnap {
+	var d HistSnap
+	if h.Count <= prev.Count {
+		return d
+	}
+	d.Count = h.Count - prev.Count
+	d.Sum = h.Sum - prev.Sum
+	lo, hi := -1, -1
+	for i := range h.Buckets {
+		d.Buckets[i] = h.Buckets[i] - prev.Buckets[i]
+		if d.Buckets[i] > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	if lo >= 0 {
+		d.Min = bucketLow(lo)
+		if h.Min > d.Min {
+			d.Min = h.Min
+		}
+		d.Max = bucketHigh(hi)
+		if d.Max > h.Max {
+			d.Max = h.Max
+		}
+	}
+	return d
+}
+
 // Merge accumulates another snapshot into h.
 func (h *HistSnap) Merge(o *HistSnap) {
 	if o.Count == 0 {
@@ -154,8 +200,32 @@ func bucketMid(idx int) int64 {
 	if idx < 2*histSub {
 		return int64(idx)
 	}
+	low, width := bucketBounds(idx)
+	return low + width/2
+}
+
+// bucketLow returns the smallest value a bucket can hold.
+func bucketLow(idx int) int64 {
+	if idx < 2*histSub {
+		return int64(idx)
+	}
+	low, _ := bucketBounds(idx)
+	return low
+}
+
+// bucketHigh returns the largest value a bucket can hold.
+func bucketHigh(idx int) int64 {
+	if idx < 2*histSub {
+		return int64(idx)
+	}
+	low, width := bucketBounds(idx)
+	return low + width - 1
+}
+
+// bucketBounds returns a log-linear bucket's lower edge and width.
+func bucketBounds(idx int) (low, width int64) {
 	msb := (idx-histSub)/histSub + histSubBits
 	sub := int64((idx - histSub) % histSub)
-	low := int64(1)<<uint(msb) | sub<<uint(msb-histSubBits)
-	return low + (int64(1)<<uint(msb-histSubBits))/2
+	low = int64(1)<<uint(msb) | sub<<uint(msb-histSubBits)
+	return low, int64(1) << uint(msb-histSubBits)
 }

@@ -84,6 +84,35 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.Resources.merge(o.Resources)
 }
 
+// Delta returns the activity recorded between prev and s, where prev is an
+// earlier snapshot of the same recorder set: counters and histograms
+// subtract, occupancy samples subtract, and the decision log is reduced to
+// its count delta (the retained Decision entries are a bounded window, so
+// individual entries cannot be attributed to one interval — per-phase
+// reporting wants the volumes, not the log). Resources are point-in-time
+// gauges and keep s's values.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Calls:          s.Calls - prev.Calls,
+		FetchCalls:     s.FetchCalls - prev.FetchCalls,
+		ReplyCalls:     s.ReplyCalls - prev.ReplyCalls,
+		Writes:         s.Writes - prev.Writes,
+		Reads:          s.Reads - prev.Reads,
+		Retries:        s.Retries - prev.Retries,
+		Fallbacks:      s.Fallbacks - prev.Fallbacks,
+		Total:          s.Total.Delta(prev.Total),
+		Send:           s.Send.Delta(prev.Send),
+		FetchLeg:       s.FetchLeg.Delta(prev.FetchLeg),
+		ReplyLeg:       s.ReplyLeg.Delta(prev.ReplyLeg),
+		DecisionsTotal: s.DecisionsTotal - prev.DecisionsTotal,
+		Resources:      s.Resources,
+	}
+	for i := range s.Occupancy {
+		d.Occupancy[i] = s.Occupancy[i] - prev.Occupancy[i]
+	}
+	return d
+}
+
 // RoundTripsPerCall is the paper's amplification metric: one-sided verbs
 // issued per completed call (the paper reports 2.005 for RFP: one request
 // write plus 1.005 fetch reads on average).

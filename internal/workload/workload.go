@@ -59,6 +59,12 @@ type Config struct {
 	// ZipfTheta > 0 selects skewed popularity with the given theta
 	// (0.99 in the paper); 0 selects uniform.
 	ZipfTheta float64
+	// KeyOffset rotates the drawn key index by this much (mod Keys). The
+	// popularity distribution ranks keys from most to least popular, so a
+	// nonzero offset relocates the hot set without changing its shape —
+	// the knob behind hot-key-migration phases: two phases with the same
+	// ZipfTheta but different offsets hammer disjoint hot keys.
+	KeyOffset uint64
 	// ValueSize draws PUT payload sizes. Defaults to fixed 32 bytes.
 	ValueSize dist.IntDist
 }
@@ -128,16 +134,31 @@ type Generator struct {
 // NewGenerator builds a generator with its own seeded source, so parallel
 // client threads generate independent, reproducible streams.
 func NewGenerator(cfg Config, seed int64) *Generator {
-	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(seed))
-	var keys dist.IntDist
-	if cfg.ZipfTheta > 0 {
-		keys = dist.NewZipf(cfg.ZipfTheta, cfg.Keys)
-	} else {
-		keys = dist.Uniform{Lo: 0, Hi: cfg.Keys - 1}
-	}
-	return &Generator{cfg: cfg, rng: rng, keys: keys}
+	g := &Generator{}
+	g.Reset(cfg, seed)
+	return g
 }
+
+// Reset re-arms the generator for a new workload phase: the configuration
+// is replaced and the random source is rebuilt from seed. The stream after
+// Reset is exactly the stream a fresh NewGenerator(cfg, seed) would
+// produce — no PRNG state leaks across a phase boundary, regardless of how
+// many operations the previous phase drew. (A long-lived per-thread
+// generator can therefore be re-seeded at every phase boundary and stay
+// reproducible phase by phase.)
+func (g *Generator) Reset(cfg Config, seed int64) {
+	cfg = cfg.withDefaults()
+	g.cfg = cfg
+	g.rng = rand.New(rand.NewSource(seed))
+	if cfg.ZipfTheta > 0 {
+		g.keys = dist.NewZipf(cfg.ZipfTheta, cfg.Keys)
+	} else {
+		g.keys = dist.Uniform{Lo: 0, Hi: cfg.Keys - 1}
+	}
+}
+
+// Reseed is Reset with the configuration kept.
+func (g *Generator) Reseed(seed int64) { g.Reset(g.cfg, seed) }
 
 // Config returns the effective configuration.
 func (g *Generator) Config() Config { return g.cfg }
@@ -148,7 +169,11 @@ func (g *Generator) Rand() *rand.Rand { return g.rng }
 
 // Next draws the next operation.
 func (g *Generator) Next() Op {
-	op := Op{Key: uint64(g.keys.Next(g.rng))}
+	key := uint64(g.keys.Next(g.rng))
+	if g.cfg.KeyOffset > 0 {
+		key = (key + g.cfg.KeyOffset) % uint64(g.cfg.Keys)
+	}
+	op := Op{Key: key}
 	u := g.rng.Float64()
 	switch {
 	case u < g.cfg.GetFraction:
@@ -198,6 +223,18 @@ func CheckValue(buf []byte, key uint64, version uint32) bool {
 		}
 	}
 	return true
+}
+
+// RampOffset staggers thread activation across a ramp window: thread i of
+// threads becomes active rampNs*i/threads after the window opens, so a
+// phase's client population grows linearly instead of arriving as one
+// thundering herd. Thread 0 starts immediately; offsets are deterministic
+// in (i, threads, rampNs) only.
+func RampOffset(i, threads int, rampNs int64) int64 {
+	if threads <= 1 || rampNs <= 0 || i <= 0 {
+		return 0
+	}
+	return rampNs * int64(i) / int64(threads)
 }
 
 // Preload returns every key index once, for store warm-up.
