@@ -1,10 +1,12 @@
-// replicated: a primary-backup replicated key-value service over RFP.
+// replicated: a lease-based quorum-replicated key-value service over RFP.
 //
-// The primary serves clients over RFP and is itself an RFP *client* of its
-// two backups: every PUT is applied locally, forwarded synchronously to
-// both backups over ordinary RFP connections, and only then acknowledged —
-// so a client's successful Put means three machines hold the value. This is
-// the server-to-server composition the paper's related work (DARE-style
+// Three nodes form a replication group: the leader serves writes over RFP
+// and is itself an RFP *client* of its followers — every PUT is appended to
+// the replicated log, fanned out as prepares over ordinary RFP connections,
+// and acknowledged only once every active follower holds it. Followers hold
+// leader leases and serve reads from their local stores, so GETs scale with
+// the follower count while staying linearizable. This is the
+// server-to-server composition the paper's related work (DARE-style
 // replication over RDMA) motivates, and it needs nothing beyond the same
 // client/server primitives every other example uses.
 //
@@ -15,6 +17,7 @@ import (
 	"fmt"
 
 	"rfp"
+	"rfp/internal/core"
 	"rfp/internal/replica"
 	"rfp/internal/workload"
 )
@@ -24,18 +27,19 @@ func main() {
 	defer env.Close()
 
 	cluster := rfp.NewCluster(env, rfp.ConnectX3(), 2)
-	backups := []*rfp.Machine{
-		rfp.NewMachine(env, "backup0", rfp.ConnectX3()),
-		rfp.NewMachine(env, "backup1", rfp.ConnectX3()),
+	nodes := []*rfp.Machine{
+		cluster.Server,
+		rfp.NewMachine(env, "follower0", rfp.ConnectX3()),
+		rfp.NewMachine(env, "follower1", rfp.ConnectX3()),
 	}
-	svc, err := replica.NewService(cluster.Server, backups, replica.Config{Backups: 2})
+	svc, err := replica.NewService(nodes, replica.Config{})
 	if err != nil {
 		fmt.Println("service:", err)
 		return
 	}
 	clients := []*replica.Client{
-		svc.NewClient(cluster.Clients[0]),
-		svc.NewClient(cluster.Clients[1]),
+		svc.NewClient(cluster.Clients[0], core.DefaultParams(), true),
+		svc.NewClient(cluster.Clients[1], core.DefaultParams(), true),
 	}
 	svc.Start()
 
@@ -57,7 +61,7 @@ func main() {
 					fmt.Printf("client %d: first replicated PUT acked in %.2f us\n",
 						i, float64(p.Now().Sub(start))/1e3)
 				}
-				// Read-your-write through the primary.
+				// Read-your-write through a follower's local store.
 				n, ok, err := cli.Get(p, key, out)
 				if err != nil || !ok || !workload.CheckValue(out[:n], key, 0) {
 					fmt.Printf("client %d: read-your-write violated for key %d\n", i, key)
@@ -69,20 +73,23 @@ func main() {
 
 	env.Run(rfp.Time(50 * rfp.Millisecond))
 
-	// Verify that every acknowledged write reached both backups.
+	// Verify that every acknowledged write reached both followers.
 	kbuf := make([]byte, workload.KeySize)
 	missing := 0
 	for i := 0; i < 2; i++ {
 		for k := 0; k < perClient; k++ {
 			key := uint64(i*10_000 + k)
-			for b := 0; b < 2; b++ {
-				if _, ok := svc.BackupStore(b).Get(workload.EncodeKey(kbuf, key)); !ok {
+			for node := 1; node < 3; node++ {
+				if _, ok := svc.Store(node).Get(workload.EncodeKey(kbuf, key)); !ok {
 					missing++
 				}
 			}
 		}
 	}
-	fmt.Printf("replicated %d writes; backup copies missing: %d\n", svc.Replicated, missing)
-	fmt.Printf("primary store %d keys; backups %d / %d keys\n",
-		svc.PrimaryStore().Len(), svc.BackupStore(0).Len(), svc.BackupStore(1).Len())
+	st := svc.Stats()
+	fmt.Printf("committed %d writes; follower copies missing: %d\n", st.Commits, missing)
+	fmt.Printf("local reads %d, leader reads %d, max serve age %.2f us\n",
+		st.LocalReads, st.LeaderReads, float64(st.MaxServeAgeNs)/1e3)
+	fmt.Printf("stores: %d / %d / %d keys\n",
+		svc.Store(0).Len(), svc.Store(1).Len(), svc.Store(2).Len())
 }

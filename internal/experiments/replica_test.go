@@ -1,0 +1,82 @@
+package experiments
+
+// Regression anchors for ext-replica: the archived BENCH_replica.json must
+// be reproduced byte for byte (the run is deterministic per seed), and the
+// read-scaling claim — follower local reads scale while leader-only reads
+// stay flat — is asserted with margin so a serve-path or lease regression
+// that collapses reads onto the leader fails loudly.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestBenchReplicaArchiveByteIdentical re-runs the archived configuration
+// (rfpbench -quick -stable -json ext-replica) in-process and compares the
+// JSON bytes against BENCH_replica.json.
+func TestBenchReplicaArchiveByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full archived runs in -short mode")
+	}
+	want, err := os.ReadFile("../../BENCH_replica.json")
+	if err != nil {
+		t.Fatalf("reading archive: %v", err)
+	}
+	o := DefaultOptions()
+	o.Quick = true
+	res, err := Run("ext-replica", o)
+	if err != nil {
+		t.Fatalf("Run(ext-replica): %v", err)
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(ToJSON(res, o, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("fresh run diverged from BENCH_replica.json\ngot:\n%s\nwant:\n%s",
+			buf.String(), string(want))
+	}
+}
+
+// TestReplicaReadScaling pins the experiment's headline claims: local reads
+// scale at least 2.5x from 1 to 4 followers, local reads at the largest
+// group beat leader-only reads by at least 2x, and leader-only reads stay
+// flat (within 10%) as followers are added.
+func TestReplicaReadScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full measurement runs in -short mode")
+	}
+	o := DefaultOptions()
+	o.Quick = true
+	res, err := Run("ext-replica", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series count = %d", len(res.Series))
+	}
+	local, leader := res.Series[0], res.Series[1]
+	last := len(local.Y) - 1
+	if scale := local.Y[last] / local.Y[0]; scale < 2.5 {
+		t.Errorf("local-read scaling 1 -> %g followers = %.2fx, want >= 2.5x",
+			local.X[last], scale)
+	}
+	if adv := local.Y[last] / leader.Y[last]; adv < 2.0 {
+		t.Errorf("local vs leader reads at %g followers = %.2fx, want >= 2x",
+			local.X[last], adv)
+	}
+	lo, hi := leader.Y[0], leader.Y[0]
+	for _, y := range leader.Y {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	if hi/lo > 1.1 {
+		t.Errorf("leader-only reads not flat: min %.2f max %.2f MOPS", lo, hi)
+	}
+}

@@ -1,0 +1,352 @@
+package linz
+
+// The WGL (Wing-Gong/Lowe) search. The model is a per-key atomic register
+// holding (value, present): a Write is always legal and sets the state; a
+// Read is legal iff it observed exactly the current state. Because the
+// model is per-key and operations on different keys commute, the history is
+// partitioned by key and each partition is checked independently — the
+// whole history is linearizable iff every partition is (Herlihy & Wing's
+// locality theorem).
+//
+// Per partition the search works over an entry list: each op contributes a
+// call entry and a return entry, sorted by time (calls before returns at
+// equal instants, so ops that touch at a point still count as concurrent —
+// the permissive tie-break can only admit more legal orders, never reject a
+// linearizable history). The DFS repeatedly tries to linearize some op
+// whose call entry precedes the first pending return: if the op is legal
+// from the current state and the resulting (linearized-set, state)
+// configuration is new, the op is committed and its entries lifted out of
+// the list; on reaching a return entry with nothing left to try, the search
+// backtracks. The cache of visited configurations is what makes the
+// exponential search practical on real histories.
+
+import "sort"
+
+// Verdict is the checker's decision.
+type Verdict int
+
+// Verdicts.
+const (
+	// Linearizable: a legal total order exists.
+	Linearizable Verdict = iota
+	// Illegal: no legal total order exists; Result carries a counterexample.
+	Illegal
+	// Unknown: the node budget was exhausted before a decision.
+	Unknown
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Linearizable:
+		return "linearizable"
+	case Illegal:
+		return "illegal"
+	default:
+		return "unknown"
+	}
+}
+
+// Options tunes one check.
+type Options struct {
+	// NodeBudget bounds the total number of search nodes (configuration
+	// visits) across all partitions; 0 means DefaultNodeBudget. Exhausting
+	// it yields Unknown, never a wrong verdict.
+	NodeBudget int64
+	// Minimize shrinks the failing partition's history to a locally minimal
+	// counterexample (greedy removal to fixpoint) when the verdict is
+	// Illegal.
+	Minimize bool
+}
+
+// DefaultNodeBudget caps the search at a size far beyond any seeded
+// scenario history (which stays in the low thousands of nodes) while
+// keeping adversarial fuzz inputs bounded.
+const DefaultNodeBudget = int64(2_000_000)
+
+// Result is one check's outcome.
+type Result struct {
+	Verdict    Verdict
+	Ops        int   // history size checked
+	Partitions int   // number of per-key partitions
+	Nodes      int64 // search nodes visited, summed over partitions in key order
+
+	// BadKey and Counterexample identify the first failing partition (in
+	// ascending key order) when the verdict is Illegal. The counterexample
+	// is the partition's history, minimized when Options.Minimize was set.
+	BadKey         uint64
+	Counterexample History
+}
+
+// Init supplies the initial register state for a key: the value and whether
+// the key exists before the history starts. nil means every key starts
+// absent.
+type Init func(key uint64) (value uint32, present bool)
+
+// CheckKV checks a key-value history against the atomic-register-per-key
+// model. The verdict is deterministic in (history, init, options): the
+// partitions are visited in ascending key order and each partition's search
+// is a deterministic DFS, so the node count replays exactly.
+func CheckKV(h History, init Init, opt Options) Result {
+	budget := opt.NodeBudget
+	if budget <= 0 {
+		budget = DefaultNodeBudget
+	}
+	parts := map[uint64]History{}
+	for _, o := range h {
+		parts[o.Key] = append(parts[o.Key], o)
+	}
+	keys := make([]uint64, 0, len(parts))
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	res := Result{Verdict: Linearizable, Ops: len(h), Partitions: len(keys)}
+	for _, k := range keys {
+		var val uint32
+		var present bool
+		if init != nil {
+			val, present = init(k)
+		}
+		v, nodes := checkRegister(parts[k], val, present, budget-res.Nodes)
+		res.Nodes += nodes
+		if v == Linearizable {
+			continue
+		}
+		res.Verdict = v
+		if v == Illegal {
+			res.BadKey = k
+			ce := append(History(nil), parts[k]...)
+			if opt.Minimize {
+				ce = minimize(ce, val, present, budget)
+			}
+			ce.Sort()
+			res.Counterexample = ce
+		}
+		return res
+	}
+	return res
+}
+
+// regState is the per-key register model state.
+type regState struct {
+	val     uint32
+	present bool
+}
+
+// step applies op to the state, reporting legality. Writes are total;
+// a read is legal iff it observed the current state exactly.
+func (s regState) step(o *Op) (regState, bool) {
+	if o.Kind == Write {
+		return regState{val: o.Arg, present: true}, true
+	}
+	if o.Found != s.present {
+		return s, false
+	}
+	if o.Found && o.Out != s.val {
+		return s, false
+	}
+	return s, true
+}
+
+// entry is one node of the per-partition entry list. A call entry points at
+// its return entry via match; a return entry has match == nil. id is the
+// op's bit position in the linearized set.
+type entry struct {
+	op         *Op
+	match      *entry
+	id         int
+	prev, next *entry
+}
+
+// lift removes a call entry and its return from the list.
+func (e *entry) lift() {
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	m := e.match
+	m.prev.next = m.next
+	if m.next != nil {
+		m.next.prev = m.prev
+	}
+}
+
+// unlift reinserts a lifted call entry and its return.
+func (e *entry) unlift() {
+	m := e.match
+	m.prev.next = m
+	if m.next != nil {
+		m.next.prev = m
+	}
+	e.prev.next = e
+	if e.next != nil {
+		e.next.prev = e
+	}
+}
+
+// makeEntries builds the sorted, linked entry list for one partition.
+func makeEntries(ops History) *entry {
+	type event struct {
+		t      int64
+		ret    bool
+		opIdx  int
+		retIdx int // tie-break: return events order after call events at t
+	}
+	evs := make([]event, 0, 2*len(ops))
+	for i := range ops {
+		evs = append(evs, event{t: ops[i].Call, opIdx: i})
+		evs = append(evs, event{t: ops[i].Return, ret: true, opIdx: i, retIdx: 1})
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].t != evs[b].t {
+			return evs[a].t < evs[b].t
+		}
+		if evs[a].retIdx != evs[b].retIdx {
+			return evs[a].retIdx < evs[b].retIdx
+		}
+		return evs[a].opIdx < evs[b].opIdx
+	})
+	head := &entry{id: -1}
+	tail := head
+	calls := make(map[int]*entry, len(ops))
+	for _, ev := range evs {
+		e := &entry{op: &ops[ev.opIdx], id: ev.opIdx}
+		if ev.ret {
+			e.op = nil
+			calls[ev.opIdx].match = e
+		} else {
+			calls[ev.opIdx] = e
+		}
+		tail.next = e
+		e.prev = tail
+		tail = e
+	}
+	return head
+}
+
+// bitset is a small fixed-free linearized-op set with an FNV-style hash for
+// the configuration cache.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)     { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i int)   { b[i>>6] &^= 1 << (uint(i) & 63) }
+func (b bitset) clone() bitset { return append(bitset(nil), b...) }
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) hash(s regState) uint64 {
+	h := uint64(1469598103934665603)
+	for _, w := range b {
+		h ^= w
+		h *= 1099511628211
+	}
+	h ^= uint64(s.val)
+	h *= 1099511628211
+	if s.present {
+		h ^= 1
+		h *= 1099511628211
+	}
+	return h
+}
+
+type cacheEnt struct {
+	bits  bitset
+	state regState
+}
+
+type frame struct {
+	e     *entry
+	state regState
+}
+
+// checkRegister runs the WGL DFS over one partition. It returns the verdict
+// and the number of search nodes visited (call-entry linearization
+// attempts), which is deterministic for a given (ops, init) input.
+func checkRegister(ops History, initVal uint32, initPresent bool, budget int64) (Verdict, int64) {
+	if len(ops) == 0 {
+		return Linearizable, 0
+	}
+	// The ops slice backing the entries must be stable; copy and sort so
+	// the entry order (and hence the node count) is canonical regardless of
+	// the caller's ordering.
+	ops = append(History(nil), ops...)
+	ops.Sort()
+
+	head := makeEntries(ops)
+	state := regState{val: initVal, present: initPresent}
+	linearized := newBitset(len(ops))
+	cache := map[uint64][]cacheEnt{}
+	seen := func(b bitset, s regState) bool {
+		h := b.hash(s)
+		for _, c := range cache[h] {
+			if c.state == s && c.bits.equal(b) {
+				return true
+			}
+		}
+		cache[h] = append(cache[h], cacheEnt{bits: b.clone(), state: s})
+		return false
+	}
+	var stack []frame
+	var nodes int64
+
+	e := head.next
+	for head.next != nil {
+		if e == nil {
+			// Ran off the end without linearizing anything new and without
+			// hitting a return entry: every remaining op is blocked, so
+			// backtrack (only reachable when all remaining returns are at
+			// InfTime and none of the pending ops is legal).
+			if len(stack) == 0 {
+				return Illegal, nodes
+			}
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			state = f.state
+			linearized.clear(f.e.id)
+			f.e.unlift()
+			e = f.e.next
+			continue
+		}
+		if e.match != nil {
+			// Call entry: try to linearize this op here.
+			nodes++
+			if nodes > budget {
+				return Unknown, nodes
+			}
+			if next, ok := state.step(e.op); ok {
+				linearized.set(e.id)
+				if !seen(linearized, next) {
+					stack = append(stack, frame{e: e, state: state})
+					state = next
+					e.lift()
+					e = head.next
+					continue
+				}
+				linearized.clear(e.id)
+			}
+			e = e.next
+			continue
+		}
+		// Return entry: the op whose return this is was not linearized in
+		// time — undo the most recent choice, or fail if there is none.
+		if len(stack) == 0 {
+			return Illegal, nodes
+		}
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		state = f.state
+		linearized.clear(f.e.id)
+		f.e.unlift()
+		e = f.e.next
+	}
+	return Linearizable, nodes
+}

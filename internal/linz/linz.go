@@ -1,0 +1,172 @@
+// Package linz is a porcupine-style linearizability checker for key-value
+// operation histories (extension, DESIGN.md §16). A history is a set of
+// timed operations — each with an invocation (Call) and response (Return)
+// instant — and the checker decides whether some total order of the
+// operations (a) respects real time (an op that returned before another was
+// invoked must come first) and (b) is legal under a per-key atomic-register
+// model. The search is the Wing-Gong/Lowe (WGL) algorithm: partition by
+// key, then per key a depth-first enumeration over the entry list with a
+// linearized-set bitset and a memoization cache of (set, state)
+// configurations, which keeps seeded chaos histories tractable.
+//
+// The scenario harness records one ClientLog per driver thread and merges
+// them into a History after the run has drained; the checker then certifies
+// the run linearizable or pins a minimized counterexample.
+package linz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind distinguishes reads from writes.
+type Kind uint8
+
+// Operation kinds.
+const (
+	Read Kind = iota
+	Write
+)
+
+func (k Kind) String() string {
+	if k == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// InfTime is the Return of an operation that never completed at the client
+// (a failed or ambiguous write). Such an op may take effect at any instant
+// after its Call — the checker is free to linearize it anywhere in that
+// open interval, which is exactly the semantics of a write the client gave
+// up on: it may or may not have executed.
+const InfTime = int64(1) << 62
+
+// Op is one timed operation against one key. For writes, Arg is the value
+// written; for reads, Out/Found report the observed value. Values are
+// opaque uint32 versions (the workload's FillVersioned scheme).
+type Op struct {
+	Client int
+	Kind   Kind
+	Key    uint64
+	Arg    uint32 // written value (Write)
+	Out    uint32 // observed value (Read, when Found)
+	Found  bool   // Read observed a value (vs. not-found)
+	Call   int64
+	Return int64
+}
+
+func (o Op) String() string {
+	ret := fmt.Sprintf("%d", o.Return)
+	if o.Return >= InfTime {
+		ret = "inf"
+	}
+	if o.Kind == Write {
+		return fmt.Sprintf("c%d W(k%d=v%d) [%d,%s]", o.Client, o.Key, o.Arg, o.Call, ret)
+	}
+	if !o.Found {
+		return fmt.Sprintf("c%d R(k%d)=miss [%d,%s]", o.Client, o.Key, o.Call, ret)
+	}
+	return fmt.Sprintf("c%d R(k%d)=v%d [%d,%s]", o.Client, o.Key, o.Out, o.Call, ret)
+}
+
+// History is a set of operations, one entry per op (not per event).
+type History []Op
+
+// Sort orders the history deterministically: by Call, then Return, then
+// client, key and payload. Merge sorts; checker internals re-sort per
+// partition, so Sort is a canonicalization for rendering and hashing.
+func (h History) Sort() {
+	sort.Slice(h, func(i, j int) bool { return opLess(h[i], h[j]) })
+}
+
+func opLess(a, b Op) bool {
+	if a.Call != b.Call {
+		return a.Call < b.Call
+	}
+	if a.Return != b.Return {
+		return a.Return < b.Return
+	}
+	if a.Client != b.Client {
+		return a.Client < b.Client
+	}
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Arg != b.Arg {
+		return a.Arg < b.Arg
+	}
+	return a.Out < b.Out
+}
+
+// Render returns the history one op per line, in canonical order.
+func (h History) Render() string {
+	c := append(History(nil), h...)
+	c.Sort()
+	var b strings.Builder
+	for _, o := range c {
+		b.WriteString(o.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ClientLog records one client thread's operations. It is written by
+// exactly one driver proc (single-writer, like the harness's phase cells)
+// and read only after the run has quiesced.
+type ClientLog struct {
+	client int
+	ops    []Op
+}
+
+// NewClientLog creates the recorder for one client thread.
+func NewClientLog(client int) *ClientLog { return &ClientLog{client: client} }
+
+// Read records a completed read: the value observed (or a miss) over
+// [call, ret].
+func (l *ClientLog) Read(key uint64, out uint32, found bool, call, ret int64) {
+	l.ops = append(l.ops, Op{
+		Client: l.client, Kind: Read, Key: key,
+		Out: out, Found: found, Call: call, Return: ret,
+	})
+}
+
+// Write records an acknowledged write of value over [call, ret].
+func (l *ClientLog) Write(key uint64, arg uint32, call, ret int64) {
+	l.ops = append(l.ops, Op{
+		Client: l.client, Kind: Write, Key: key,
+		Arg: arg, Call: call, Return: ret,
+	})
+}
+
+// FailedWrite records a write whose outcome is unknown to the client (an
+// error after Call): it is kept in the history with Return = InfTime, so
+// the checker may place its effect anywhere after the invocation — the
+// sound treatment of resend-across-ambiguity. Failed reads, by contrast,
+// are simply dropped by the recorder's caller: a read with no observed
+// value constrains nothing.
+func (l *ClientLog) FailedWrite(key uint64, arg uint32, call int64) {
+	l.ops = append(l.ops, Op{
+		Client: l.client, Kind: Write, Key: key,
+		Arg: arg, Call: call, Return: InfTime,
+	})
+}
+
+// Len returns the number of recorded ops.
+func (l *ClientLog) Len() int { return len(l.ops) }
+
+// Merge combines per-thread logs into one canonical history.
+func Merge(logs ...*ClientLog) History {
+	var h History
+	for _, l := range logs {
+		if l != nil {
+			h = append(h, l.ops...)
+		}
+	}
+	h.Sort()
+	return h
+}

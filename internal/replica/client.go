@@ -1,0 +1,162 @@
+package replica
+
+import (
+	"rfp/internal/core"
+	"rfp/internal/fabric"
+	"rfp/internal/kvstore/kv"
+	"rfp/internal/sim"
+	"rfp/internal/workload"
+)
+
+// Client is an application client of the replicated service, holding one
+// RFP connection per node. Writes are routed to the leader (with hint-based
+// retargeting when the guess is stale); reads go to followers round-robin
+// when LocalReads is set — the RFP fetch path then serves them from the
+// follower's local store — and fall back to the leader when a follower
+// cannot serve safely.
+type Client struct {
+	svc        *Service
+	conns      []*core.Client
+	leader     int // current leader guess
+	rr         int // round-robin follower cursor
+	localReads bool
+	reqBuf     []byte
+	respBuf    []byte
+
+	// Retries counts statusRetry bounces; Redirects counts leader-hint
+	// retargets; Fallbacks counts follower reads that fell back.
+	Retries   uint64
+	Redirects uint64
+	Fallbacks uint64
+}
+
+// clientAttempts bounds one operation's node visits; combined with the
+// per-call deadline it bounds operation latency even mid-failover.
+const clientAttempts = 10
+
+// clientRetryNs is the pause before retrying after a statusRetry bounce.
+const clientRetryNs = 2_000
+
+// NewClient connects an application client on cm to every node. LocalReads
+// routes GETs to followers.
+func (s *Service) NewClient(cm *fabric.Machine, params core.Params, localReads bool) *Client {
+	if s.started {
+		panic("replica: NewClient after Start")
+	}
+	c := &Client{
+		svc:        s,
+		leader:     0,
+		localReads: localReads && len(s.nodes) > 1,
+		reqBuf:     make([]byte, 1+workload.KeySize+s.cfg.MaxValue),
+		respBuf:    make([]byte, 1+s.cfg.MaxValue),
+	}
+	for _, n := range s.nodes {
+		cli, conn := n.srv.Accept(cm, params)
+		n.conns = append(n.conns, conn)
+		c.conns = append(c.conns, cli)
+	}
+	return c
+}
+
+// nextFollower picks the next non-leader node round-robin.
+func (c *Client) nextFollower() int {
+	n := len(c.conns)
+	for i := 0; i < n; i++ {
+		c.rr = (c.rr + 1) % n
+		if c.rr != c.leader {
+			return c.rr
+		}
+	}
+	return c.leader
+}
+
+// Get reads key, following the read-routing policy. A served read reflects
+// every acknowledged write of the key, wherever it was served.
+func (c *Client) Get(p *sim.Proc, key uint64, out []byte) (int, bool, error) {
+	target := c.leader
+	if c.localReads {
+		target = c.nextFollower()
+	}
+	req := kv.EncodeGet(c.reqBuf, key)
+	for attempt := 0; attempt < clientAttempts; attempt++ {
+		nr, err := c.conns[target].Call(p, req, c.respBuf)
+		if err != nil {
+			target = (target + 1) % len(c.conns)
+			continue
+		}
+		status, payload, derr := kv.DecodeResponse(c.respBuf[:nr])
+		if derr != nil {
+			return 0, false, ErrBadResponse
+		}
+		switch status {
+		case kv.StatusOK:
+			return copy(out, payload), true, nil
+		case kv.StatusNotFound:
+			return 0, false, nil
+		case statusRetry:
+			c.Retries++
+			if target != c.leader {
+				// The follower cannot serve safely right now; the leader
+				// always can while it leads.
+				c.Fallbacks++
+				target = c.leader
+			} else {
+				p.Sleep(sim.Duration(clientRetryNs))
+				target = (target + 1) % len(c.conns)
+			}
+		case statusNotLeader:
+			c.redirect(payload, &target)
+		default:
+			return 0, false, ErrBadResponse
+		}
+	}
+	return 0, false, ErrUnavailable
+}
+
+// Put writes key via the leader. A nil return means the write is committed
+// on every active replica; ErrUnavailable leaves it ambiguous.
+func (c *Client) Put(p *sim.Proc, key uint64, value []byte) error {
+	req := kv.EncodePut(c.reqBuf, key, value)
+	target := c.leader
+	for attempt := 0; attempt < clientAttempts; attempt++ {
+		nr, err := c.conns[target].Call(p, req, c.respBuf)
+		if err != nil {
+			target = (target + 1) % len(c.conns)
+			continue
+		}
+		status, payload, derr := kv.DecodeResponse(c.respBuf[:nr])
+		if derr != nil {
+			return ErrBadResponse
+		}
+		switch status {
+		case kv.StatusOK:
+			c.leader = target
+			return nil
+		case statusRetry:
+			c.Retries++
+			p.Sleep(sim.Duration(clientRetryNs))
+		case statusNotLeader:
+			c.redirect(payload, &target)
+		default:
+			return ErrBadResponse
+		}
+	}
+	return ErrUnavailable
+}
+
+// redirect follows a statusNotLeader hint (the decoded payload's first byte
+// names the responder's leader guess), or rotates when the responder does not
+// know the leader either.
+func (c *Client) redirect(payload []byte, target *int) {
+	c.Redirects++
+	hint := -1
+	if len(payload) >= 1 && payload[0] != 0xff {
+		hint = int(payload[0])
+	}
+	if hint >= 0 && hint < len(c.conns) && hint != *target {
+		*target = hint
+	} else {
+		*target = (*target + 1) % len(c.conns)
+	}
+	c.leader = *target
+}

@@ -1,0 +1,390 @@
+package replica
+
+import (
+	"errors"
+	"testing"
+
+	"rfp/internal/kvstore/kv"
+	"rfp/internal/sim"
+	"rfp/internal/workload"
+)
+
+// TestFailoverElectsNewLeader crashes the leader long enough for a
+// follower's lease to expire and the rank-staggered promotion to run, then
+// restarts it. The group must elect exactly one new leader, serve writes in
+// the new epoch, and step the stale leader down when it comes back.
+func TestFailoverElectsNewLeader(t *testing.T) {
+	r := newRig(t, 3, Config{})
+	cli := r.svc.NewClient(r.cl.Clients[0], cliParams(), false)
+	r.svc.Start()
+
+	// Crash the initial leader between 100µs and 600µs: far longer than
+	// lease (20µs) + node 1's promotion delay (40µs).
+	r.env.At(sim.Time(100*sim.Microsecond), r.cl.Server.Fail)
+	r.env.At(sim.Time(600*sim.Microsecond), r.cl.Server.Restart)
+
+	acked := 0
+	var failedAt []int // write numbers with ambiguous outcome
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		val := make([]byte, 32)
+		for v := uint32(1); v <= 200; v++ {
+			workload.FillVersioned(val, 3, v)
+			if err := cli.Put(p, 3, val); err != nil {
+				if !errors.Is(err, ErrUnavailable) {
+					t.Errorf("put %d: %v", v, err)
+					return
+				}
+				failedAt = append(failedAt, int(v))
+				continue
+			}
+			acked++
+		}
+	})
+	r.env.Run(sim.Time(20 * sim.Millisecond))
+
+	st := r.svc.Stats()
+	if st.Promotions < 1 {
+		t.Fatalf("no promotion happened: %+v", st)
+	}
+	if lead := r.svc.Leader(); lead == -1 {
+		t.Fatalf("no leader after failover")
+	}
+	if st.StepDowns < 1 {
+		t.Fatalf("restarted stale leader never stepped down: %+v", st)
+	}
+	if r.svc.Epoch() < 2 {
+		t.Fatalf("epoch did not advance: %d", r.svc.Epoch())
+	}
+	// The vast majority of writes must survive the failover window.
+	if acked < 150 {
+		t.Fatalf("only %d/200 writes acked (failed: %v)", acked, failedAt)
+	}
+	// Every node that is leader or actively following agrees on the last
+	// acked version once quiesced (ambiguous trailing writes may add one).
+	key := workload.EncodeKey(make([]byte, workload.KeySize), 3)
+	lead := r.svc.Leader()
+	lv, ok := r.svc.Store(lead).Get(key)
+	if !ok {
+		t.Fatalf("leader store missing the key")
+	}
+	if v, okv := workload.ParseVersioned(lv, 3); !okv || int(v) < acked {
+		t.Fatalf("leader at version %d (ok=%v), %d acked", v, okv, acked)
+	}
+}
+
+// TestLeaseStraddlesShortCrash crashes the leader for less than the
+// promotion delay: no follower may seize leadership (their rank delays are
+// still running when the leader returns and refreshes leases), and the
+// group keeps the original leader and epoch throughout.
+func TestLeaseStraddlesShortCrash(t *testing.T) {
+	r := newRig(t, 3, Config{})
+	cli := r.svc.NewClient(r.cl.Clients[0], cliParams(), false)
+	r.svc.Start()
+
+	// Down for 30µs: longer than the lease (20µs), shorter than node 1's
+	// lease-expiry + promotion delay (20 + 40µs).
+	r.env.At(sim.Time(100*sim.Microsecond), r.cl.Server.Fail)
+	r.env.At(sim.Time(130*sim.Microsecond), r.cl.Server.Restart)
+
+	acked := 0
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		val := make([]byte, 32)
+		for v := uint32(1); v <= 100; v++ {
+			workload.FillVersioned(val, 5, v)
+			if err := cli.Put(p, 5, val); err == nil {
+				acked++
+			}
+		}
+	})
+	r.env.Run(sim.Time(10 * sim.Millisecond))
+
+	st := r.svc.Stats()
+	if st.Promotions != 0 {
+		t.Fatalf("short crash triggered a promotion: %+v", st)
+	}
+	if lead := r.svc.Leader(); lead != 0 {
+		t.Fatalf("leadership moved to %d across a short crash", lead)
+	}
+	if r.svc.Epoch() != 1 {
+		t.Fatalf("epoch advanced to %d across a short crash", r.svc.Epoch())
+	}
+	if acked < 90 {
+		t.Fatalf("only %d/100 writes acked around a 30µs crash", acked)
+	}
+}
+
+// TestHandoffReadsNeverStale drives a single client issuing alternating
+// writes and local reads across a leader failover. Because the client is
+// sequential, every read must observe at least the last version it was
+// acked — anything older is a stale read served by a node outside the
+// commit set, exactly what the lease interlock must prevent.
+func TestHandoffReadsNeverStale(t *testing.T) {
+	r := newRig(t, 3, Config{})
+	r.svc.Preload(8, 32)
+	cli := r.svc.NewClient(r.cl.Clients[0], cliParams(), true)
+	r.svc.Start()
+
+	r.env.At(sim.Time(150*sim.Microsecond), r.cl.Server.Fail)
+	r.env.At(sim.Time(700*sim.Microsecond), r.cl.Server.Restart)
+
+	stale := 0
+	reads := 0
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		val := make([]byte, 32)
+		out := make([]byte, 64)
+		ackedVer := uint32(0)
+		maxIssued := uint32(0)
+		for i := 0; i < 300; i++ {
+			v := uint32(i + 1)
+			workload.FillVersioned(val, 2, v)
+			maxIssued = v
+			if err := cli.Put(p, 2, val); err == nil {
+				ackedVer = v
+			}
+			n, ok, err := cli.Get(p, 2, out)
+			if err != nil {
+				continue // unavailable mid-failover: constrains nothing
+			}
+			if !ok {
+				stale++ // the key is preloaded; a miss is a lost write
+				continue
+			}
+			reads++
+			got, okv := workload.ParseVersioned(out[:n], 2)
+			if !okv || got < ackedVer || got > maxIssued {
+				stale++
+			}
+		}
+	})
+	r.env.Run(sim.Time(30 * sim.Millisecond))
+	if reads < 200 {
+		t.Fatalf("only %d/300 reads served", reads)
+	}
+	if stale != 0 {
+		t.Fatalf("%d stale reads across the handoff", stale)
+	}
+	if st := r.svc.Stats(); st.Promotions < 1 {
+		t.Fatalf("failover never happened: %+v", st)
+	}
+}
+
+// TestQuorumLossBlocksOps takes a 2-node group and crashes the only
+// follower: the leader must stop acking writes (it cannot cover the
+// follower's possible lease) and stop serving reads once its freshness
+// anchor expires, then resume both after the follower rejoins.
+func TestQuorumLossBlocksOps(t *testing.T) {
+	r := newRig(t, 2, Config{})
+	r.svc.Preload(4, 32)
+	cli := r.svc.NewClient(r.cl.Clients[0], cliParams(), false)
+	r.svc.Start()
+
+	follower := r.peers[0]
+	r.env.At(sim.Time(100*sim.Microsecond), follower.Fail)
+	r.env.At(sim.Time(2*sim.Millisecond), follower.Restart)
+
+	type probe struct {
+		at    int64
+		wrOK  bool
+		rdOK  bool
+		rdErr bool
+	}
+	var probes []probe
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		val := make([]byte, 32)
+		out := make([]byte, 64)
+		for i := 0; i < 40; i++ {
+			workload.FillVersioned(val, 1, uint32(i+1))
+			werr := cli.Put(p, 1, val)
+			_, rok, rerr := cli.Get(p, 1, out)
+			probes = append(probes, probe{
+				at:   int64(p.Now()),
+				wrOK: werr == nil, rdOK: rok, rdErr: rerr != nil,
+			})
+			p.Sleep(100 * sim.Microsecond)
+		}
+	})
+	r.env.Run(sim.Time(30 * sim.Millisecond))
+
+	var blockedWrites, blockedReads, lateWrites int
+	for _, pr := range probes {
+		// Well inside the outage, past the drain window (~45µs after the
+		// crash at 100µs), both paths must refuse.
+		if pr.at > int64(300*sim.Microsecond) && pr.at < int64(1900*sim.Microsecond) {
+			if !pr.wrOK {
+				blockedWrites++
+			}
+			if !pr.rdOK || pr.rdErr {
+				blockedReads++
+			}
+		}
+		// Well after the restart, both must work again.
+		if pr.at > int64(5*sim.Millisecond) && pr.wrOK {
+			lateWrites++
+		}
+	}
+	if blockedWrites == 0 || blockedReads == 0 {
+		t.Fatalf("quorum loss did not block ops (writes blocked %d, reads blocked %d)",
+			blockedWrites, blockedReads)
+	}
+	if lateWrites == 0 {
+		t.Fatalf("writes never resumed after the follower rejoined")
+	}
+}
+
+// TestFollowerRejoinReplaysLog crashes a follower, keeps writing through
+// the remaining quorum, and verifies the restarted follower is streamed the
+// missed suffix and converges to the leader's state.
+func TestFollowerRejoinReplaysLog(t *testing.T) {
+	r := newRig(t, 3, Config{})
+	cli := r.svc.NewClient(r.cl.Clients[0], cliParams(), false)
+	r.svc.Start()
+
+	follower := r.peers[0] // node 1
+	r.env.At(sim.Time(100*sim.Microsecond), follower.Fail)
+	r.env.At(sim.Time(1*sim.Millisecond), follower.Restart)
+
+	acked := 0
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		val := make([]byte, 32)
+		for i := 0; i < 150; i++ {
+			key := uint64(i % 16)
+			workload.FillVersioned(val, key, uint32(i+1))
+			if err := cli.Put(p, key, val); err == nil {
+				acked++
+			}
+			p.Sleep(20 * sim.Microsecond)
+		}
+	})
+	r.env.Run(sim.Time(30 * sim.Millisecond))
+
+	if acked < 140 {
+		t.Fatalf("only %d/150 writes acked with a 2/3 quorum", acked)
+	}
+	if st := r.svc.Stats(); st.Promotions != 0 {
+		t.Fatalf("a follower crash must not change leaders: %+v", st)
+	}
+	// The rejoined follower's log matches the leader's applied prefix, and
+	// its store agrees key by key.
+	lead, rej := r.svc.nodes[0], r.svc.nodes[1]
+	if rej.applied != lead.applied {
+		t.Fatalf("rejoined follower applied %d, leader %d", rej.applied, lead.applied)
+	}
+	kb := make([]byte, workload.KeySize)
+	for k := uint64(0); k < 16; k++ {
+		workload.EncodeKey(kb, k)
+		lv, lok := lead.store.Get(kb)
+		fv, fok := rej.store.Get(kb)
+		if lok != fok || (lok && string(lv) != string(fv)) {
+			t.Fatalf("key %d diverged after rejoin: leader ok=%v follower ok=%v", k, lok, fok)
+		}
+	}
+}
+
+// TestPrepareIdempotent drives the prepare handler directly with duplicate
+// and out-of-order messages: replays must not double-apply, and gaps must
+// be rejected with the follower's log end.
+func TestPrepareIdempotent(t *testing.T) {
+	r := newRig(t, 2, Config{})
+	n := r.svc.nodes[1]
+	ran := false
+	r.cl.Clients[0].Spawn("driver", func(p *sim.Proc) {
+		buf := make([]byte, prepareHdr+64)
+		resp := make([]byte, 16)
+		val := []byte("value-1")
+		// Entry 1, then its exact duplicate.
+		msg := encodePrepare(buf, 1, 1, 0, 0, 7, val)
+		if nr := n.handlePrepare(p, msg, resp); resp[0] != kv.StatusOK || nr < 5 {
+			t.Errorf("first prepare: status 0x%02x", resp[0])
+		}
+		msg = encodePrepare(buf, 1, 1, 0, 0, 7, val)
+		if n.handlePrepare(p, msg, resp); resp[0] != kv.StatusOK {
+			t.Errorf("dup prepare: status 0x%02x", resp[0])
+		}
+		if len(n.log) != 1 || n.pending[7] != 1 {
+			t.Errorf("dup changed the log: len=%d pending=%d", len(n.log), n.pending[7])
+		}
+		if n.dupPrepares == 0 {
+			t.Errorf("duplicate not counted")
+		}
+		// A gap: index 5 with log end 1.
+		msg = encodePrepare(buf, 1, 5, 0, 0, 9, val)
+		if n.handlePrepare(p, msg, resp); resp[0] != statusGap {
+			t.Errorf("gap prepare: status 0x%02x", resp[0])
+		}
+		if end := u32(resp[1:5]); end != 1 {
+			t.Errorf("gap log end = %d", end)
+		}
+		// Entry 2 with commit=2 applies both entries exactly once.
+		msg = encodePrepare(buf, 1, 2, 2, 0, 7, []byte("value-2"))
+		if n.handlePrepare(p, msg, resp); resp[0] != kv.StatusOK {
+			t.Errorf("entry 2: status 0x%02x", resp[0])
+		}
+		if n.applied != 2 || len(n.pending) != 0 {
+			t.Errorf("apply state: applied=%d pending=%v", n.applied, n.pending)
+		}
+		kb := workload.EncodeKey(make([]byte, workload.KeySize), 7)
+		if v, ok := n.store.Get(kb); !ok || string(v) != "value-2" {
+			t.Errorf("store after apply: ok=%v v=%q", ok, v)
+		}
+		// Replaying the now-applied entry 1 is still just an ack.
+		msg = encodePrepare(buf, 1, 1, 2, 0, 7, val)
+		if n.handlePrepare(p, msg, resp); resp[0] != kv.StatusOK {
+			t.Errorf("replay of applied entry: status 0x%02x", resp[0])
+		}
+		if v, ok := n.store.Get(kb); !ok || string(v) != "value-2" {
+			t.Errorf("replay rolled the store back: ok=%v v=%q", ok, v)
+		}
+		// A stale epoch is rejected with ours.
+		n.epoch = 3
+		msg = encodePrepare(buf, 2, 3, 0, 0, 7, val)
+		if n.handlePrepare(p, msg, resp); resp[0] != statusStaleEpoch {
+			t.Errorf("stale-epoch prepare: status 0x%02x", resp[0])
+		}
+		if e := u32(resp[1:5]); e != 3 {
+			t.Errorf("stale-epoch payload = %d", e)
+		}
+		ran = true
+	})
+	r.env.Run(sim.Time(1 * sim.Millisecond))
+	if !ran {
+		t.Fatal("driver never ran")
+	}
+}
+
+// TestEpochAdoptionTruncatesPendingTail feeds a follower an uncommitted
+// entry, then a higher-epoch prepare: the pending tail must be dropped (its
+// write was never acked) and replaced by the new epoch's entry.
+func TestEpochAdoptionTruncatesPendingTail(t *testing.T) {
+	r := newRig(t, 2, Config{})
+	n := r.svc.nodes[1]
+	ran := false
+	r.cl.Clients[0].Spawn("driver", func(p *sim.Proc) {
+		buf := make([]byte, prepareHdr+64)
+		resp := make([]byte, 16)
+		// Committed entry 1, pending entry 2 at epoch 1.
+		n.handlePrepare(p, encodePrepare(buf, 1, 1, 1, 0, 4, []byte("committed")), resp)
+		n.handlePrepare(p, encodePrepare(buf, 1, 2, 1, 0, 5, []byte("pending")), resp)
+		if n.applied != 1 || len(n.log) != 2 || n.pending[5] != 1 {
+			t.Errorf("setup: applied=%d log=%d pending=%v", n.applied, len(n.log), n.pending)
+		}
+		// New leader at epoch 2 re-prepares index 2 with a different write.
+		n.handlePrepare(p, encodePrepare(buf, 2, 2, 1, 1, 6, []byte("epoch2")), resp)
+		if resp[0] != kv.StatusOK {
+			t.Errorf("epoch-2 prepare: status 0x%02x", resp[0])
+		}
+		if n.epoch != 2 || n.truncations != 1 {
+			t.Errorf("adoption: epoch=%d truncations=%d", n.epoch, n.truncations)
+		}
+		if n.pending[5] != 0 || n.pending[6] != 1 || len(n.log) != 2 {
+			t.Errorf("tail not replaced: pending=%v log=%d", n.pending, len(n.log))
+		}
+		if n.leaderID != 1 {
+			t.Errorf("leader not adopted: %d", n.leaderID)
+		}
+		ran = true
+	})
+	r.env.Run(sim.Time(1 * sim.Millisecond))
+	if !ran {
+		t.Fatal("driver never ran")
+	}
+}

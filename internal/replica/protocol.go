@@ -1,0 +1,142 @@
+package replica
+
+import "encoding/binary"
+
+// Wire protocol for the replication plane (DESIGN.md §16). Client-facing
+// GET/PUT reuse the kv codec; the ops and statuses below extend it for
+// server-to-server traffic and leader routing. Opcodes and statuses start at
+// 0x10 so they can never collide with the kv package's (0x01–0x04 ops,
+// 0x00–0x02 statuses).
+const (
+	// opPrepare appends one log entry at a follower:
+	// [op][epoch u32][index u32][commit u32][leader u8][key u64][value].
+	opPrepare = 0x11
+	// opHeartbeat refreshes a follower's lease and advertises the commit
+	// index: [op][epoch u32][commit u32][logEnd u32][leader u8]. With an
+	// epoch above the receiver's it doubles as a promotion probe: the
+	// receiver grants (adopts the epoch, truncating its uncommitted tail)
+	// only if its own lease has expired and its log is no longer than the
+	// sender's.
+	opHeartbeat = 0x12
+	// opProbe asks any node who leads: [op]. Response carries
+	// [role u8][leader u8][epoch u32]. Used by clients for discovery.
+	opProbe = 0x13
+
+	// statusRetry: the node cannot serve this request right now (follower
+	// lease expired or key has a pending write; leader without a quorum).
+	// The client should back off and retry, possibly elsewhere.
+	statusRetry = 0x10
+	// statusNotLeader: PUT sent to a non-leader. Payload [leader u8] is the
+	// responder's best guess at the current leader.
+	statusNotLeader = 0x11
+	// statusStaleEpoch: the sender's epoch is behind. Payload [epoch u32] is
+	// the receiver's epoch; the sender must step down and adopt it.
+	statusStaleEpoch = 0x12
+	// statusGap: a prepare skipped indices the follower does not hold.
+	// Payload [logEnd u32] tells the leader where to backfill from.
+	statusGap = 0x13
+	// statusLeaseHeld: a promotion probe was rejected because the receiver
+	// still holds a valid lease from the current leader.
+	statusLeaseHeld = 0x14
+	// statusBehind: a promotion probe was rejected because the receiver's
+	// log is longer than the candidate's — the candidate is missing
+	// committed writes and must not win.
+	statusBehind = 0x15
+)
+
+// Node roles.
+type role uint8
+
+const (
+	roleFollower role = iota
+	roleLeader
+	rolePromoting
+)
+
+func (r role) String() string {
+	switch r {
+	case roleLeader:
+		return "leader"
+	case rolePromoting:
+		return "promoting"
+	default:
+		return "follower"
+	}
+}
+
+const (
+	prepareHdr   = 1 + 4 + 4 + 4 + 1 + 8
+	heartbeatLen = 1 + 4 + 4 + 4 + 1
+)
+
+func encodePrepare(buf []byte, epoch, index, commit uint32, leader int, key uint64, value []byte) []byte {
+	buf[0] = opPrepare
+	binary.LittleEndian.PutUint32(buf[1:5], epoch)
+	binary.LittleEndian.PutUint32(buf[5:9], index)
+	binary.LittleEndian.PutUint32(buf[9:13], commit)
+	buf[13] = byte(leader)
+	binary.LittleEndian.PutUint64(buf[14:22], key)
+	n := copy(buf[prepareHdr:], value)
+	return buf[:prepareHdr+n]
+}
+
+type prepareMsg struct {
+	epoch, index, commit uint32
+	leader               int
+	key                  uint64
+	value                []byte
+}
+
+func decodePrepare(msg []byte) (prepareMsg, bool) {
+	if len(msg) < prepareHdr {
+		return prepareMsg{}, false
+	}
+	return prepareMsg{
+		epoch:  binary.LittleEndian.Uint32(msg[1:5]),
+		index:  binary.LittleEndian.Uint32(msg[5:9]),
+		commit: binary.LittleEndian.Uint32(msg[9:13]),
+		leader: int(msg[13]),
+		key:    binary.LittleEndian.Uint64(msg[14:22]),
+		value:  msg[prepareHdr:],
+	}, true
+}
+
+func encodeHeartbeat(buf []byte, epoch, commit, logEnd uint32, leader int) []byte {
+	buf[0] = opHeartbeat
+	binary.LittleEndian.PutUint32(buf[1:5], epoch)
+	binary.LittleEndian.PutUint32(buf[5:9], commit)
+	binary.LittleEndian.PutUint32(buf[9:13], logEnd)
+	buf[13] = byte(leader)
+	return buf[:heartbeatLen]
+}
+
+type heartbeatMsg struct {
+	epoch, commit, logEnd uint32
+	leader                int
+}
+
+func decodeHeartbeat(msg []byte) (heartbeatMsg, bool) {
+	if len(msg) < heartbeatLen {
+		return heartbeatMsg{}, false
+	}
+	return heartbeatMsg{
+		epoch:  binary.LittleEndian.Uint32(msg[1:5]),
+		commit: binary.LittleEndian.Uint32(msg[5:9]),
+		logEnd: binary.LittleEndian.Uint32(msg[9:13]),
+		leader: int(msg[13]),
+	}, true
+}
+
+// respU32 encodes [status][v u32] into resp, returning the length.
+func respU32(resp []byte, status byte, v uint32) int {
+	resp[0] = status
+	binary.LittleEndian.PutUint32(resp[1:5], v)
+	return 5
+}
+
+// respByte encodes [status][b u8] into resp.
+func respByte(resp []byte, status, b byte) int {
+	resp[0] = status
+	resp[1] = b
+	return 2
+}

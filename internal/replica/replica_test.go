@@ -3,6 +3,7 @@ package replica
 import (
 	"testing"
 
+	"rfp/internal/core"
 	"rfp/internal/fabric"
 	"rfp/internal/hw"
 	"rfp/internal/sim"
@@ -10,30 +11,42 @@ import (
 )
 
 type rig struct {
-	env *sim.Env
-	cl  *fabric.Cluster
-	svc *Service
+	env   *sim.Env
+	cl    *fabric.Cluster
+	peers []*fabric.Machine // non-initial-leader node machines
+	svc   *Service
 }
 
-func newRig(t *testing.T, backups int) *rig {
+// newRig builds an n-node replication group (the cluster's server machine
+// plus n-1 peers) with two client machines.
+func newRig(t *testing.T, n int, cfg Config) *rig {
 	t.Helper()
 	env := sim.NewEnv(61)
 	t.Cleanup(env.Close)
 	cl := fabric.NewCluster(env, hw.ConnectX3(), 2)
-	bms := make([]*fabric.Machine, backups)
-	for i := range bms {
-		bms[i] = fabric.NewMachine(env, "backup", hw.ConnectX3())
+	machines := []*fabric.Machine{cl.Server}
+	var peers []*fabric.Machine
+	for i := 1; i < n; i++ {
+		m := fabric.NewMachine(env, "peer", hw.ConnectX3())
+		peers = append(peers, m)
+		machines = append(machines, m)
 	}
-	svc, err := NewService(cl.Server, bms, Config{Backups: backups})
+	svc, err := NewService(machines, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &rig{env: env, cl: cl, svc: svc}
+	return &rig{env: env, cl: cl, peers: peers, svc: svc}
+}
+
+// cliParams enables the recovery path so calls to crashed nodes fail over
+// instead of hanging.
+func cliParams() core.Params {
+	return core.Params{DeadlineNs: 200_000, BackoffNs: 2_000}
 }
 
 func TestReplicatedPutVisibleEverywhere(t *testing.T) {
-	r := newRig(t, 2)
-	cli := r.svc.NewClient(r.cl.Clients[0])
+	r := newRig(t, 3, Config{})
+	cli := r.svc.NewClient(r.cl.Clients[0], cliParams(), false)
 	r.svc.Start()
 	var got []byte
 	var found bool
@@ -53,55 +66,103 @@ func TestReplicatedPutVisibleEverywhere(t *testing.T) {
 	})
 	r.env.Run(sim.Time(5 * sim.Millisecond))
 	if !found || string(got) != "replicated-value" {
-		t.Fatalf("primary read: found=%v got=%q", found, got)
+		t.Fatalf("leader read: found=%v got=%q", found, got)
 	}
-	// The ack implies both backups already hold the value.
+	// The ack implies both followers already hold the value.
 	key := workload.EncodeKey(make([]byte, workload.KeySize), 42)
-	for i := 0; i < 2; i++ {
-		v, ok := r.svc.BackupStore(i).Get(key)
+	for i := 1; i < 3; i++ {
+		v, ok := r.svc.Store(i).Get(key)
 		if !ok || string(v) != "replicated-value" {
-			t.Fatalf("backup %d: ok=%v v=%q", i, ok, v)
+			t.Fatalf("follower %d: ok=%v v=%q", i, ok, v)
 		}
 	}
-	if r.svc.Replicated != 1 {
-		t.Fatalf("Replicated = %d", r.svc.Replicated)
+	if st := r.svc.Stats(); st.Commits != 1 {
+		t.Fatalf("Commits = %d", st.Commits)
 	}
 }
 
 func TestAckImpliesDurabilityOrdering(t *testing.T) {
-	// Every acknowledged write must already be on the backup at ack time:
-	// interleave writes and backup-side checks.
-	r := newRig(t, 1)
-	cli := r.svc.NewClient(r.cl.Clients[0])
+	// Every acknowledged write is already in the follower's log at ack time;
+	// its store apply lags at most one entry (the commit index piggybacks on
+	// the next prepare or heartbeat). Interleave writes and follower-side
+	// checks to pin both halves of that contract.
+	r := newRig(t, 2, Config{})
+	cli := r.svc.NewClient(r.cl.Clients[0], cliParams(), false)
 	r.svc.Start()
 	key := workload.EncodeKey(make([]byte, workload.KeySize), 7)
 	violations := 0
 	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
 		val := make([]byte, 32)
 		for v := uint32(1); v <= 50; v++ {
-			workload.FillValue(val, 7, v)
+			workload.FillVersioned(val, 7, v)
 			if err := cli.Put(p, 7, val); err != nil {
 				t.Errorf("Put: %v", err)
 				return
 			}
-			// At ack time the backup must hold exactly this version (no
-			// concurrent writers in this test).
-			bv, ok := r.svc.BackupStore(0).Get(key)
-			if !ok || !workload.CheckValue(bv, 7, v) {
-				violations++
+			if got := len(r.svc.nodes[1].log); got < int(v) {
+				t.Errorf("ack for write %d with follower log at %d", v, got)
+			}
+			// The store may trail by one version, never more.
+			if v > 1 {
+				bv, ok := r.svc.Store(1).Get(key)
+				if !ok {
+					violations++
+					continue
+				}
+				if got, okv := workload.ParseVersioned(bv, 7); !okv || got < v-1 {
+					violations++
+				}
 			}
 		}
 	})
 	r.env.Run(sim.Time(10 * sim.Millisecond))
 	if violations != 0 {
-		t.Fatalf("%d acked writes missing from the backup", violations)
+		t.Fatalf("%d acked writes missing from the follower store", violations)
+	}
+	// After quiescing (heartbeats advertise the final commit), the store
+	// holds the last version.
+	bv, ok := r.svc.Store(1).Get(key)
+	if v, okv := workload.ParseVersioned(bv, 7); !ok || !okv || v != 50 {
+		t.Fatalf("final follower version: ok=%v v=%d", ok && okv, v)
+	}
+}
+
+func TestLocalReadsServeAtFollowers(t *testing.T) {
+	r := newRig(t, 3, Config{})
+	r.svc.Preload(64, 32)
+	cli := r.svc.NewClient(r.cl.Clients[0], cliParams(), true)
+	r.svc.Start()
+	bad := 0
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		out := make([]byte, 64)
+		for k := uint64(0); k < 64; k++ {
+			n, ok, err := cli.Get(p, k, out)
+			if err != nil || !ok {
+				t.Errorf("get %d: ok=%v err=%v", k, ok, err)
+				return
+			}
+			if v, okv := workload.ParseVersioned(out[:n], k); !okv || v != 0 {
+				bad++
+			}
+		}
+	})
+	r.env.Run(sim.Time(5 * sim.Millisecond))
+	if bad != 0 {
+		t.Fatalf("%d preloaded reads returned wrong values", bad)
+	}
+	st := r.svc.Stats()
+	if st.LocalReads == 0 {
+		t.Fatalf("no reads served locally at followers: %+v", st)
+	}
+	if st.MaxServeAgeNs <= 0 || st.MaxServeAgeNs > r.svc.cfg.LeaseNs {
+		t.Fatalf("serve age %d outside (0, lease %d]", st.MaxServeAgeNs, r.svc.cfg.LeaseNs)
 	}
 }
 
 func TestMultipleClients(t *testing.T) {
-	r := newRig(t, 1)
-	cliA := r.svc.NewClient(r.cl.Clients[0])
-	cliB := r.svc.NewClient(r.cl.Clients[1])
+	r := newRig(t, 2, Config{})
+	cliA := r.svc.NewClient(r.cl.Clients[0], cliParams(), false)
+	cliB := r.svc.NewClient(r.cl.Clients[1], cliParams(), true)
 	r.svc.Start()
 	done := 0
 	for i, cli := range []*Client{cliA, cliB} {
@@ -129,14 +190,14 @@ func TestMultipleClients(t *testing.T) {
 	if done != 2 {
 		t.Fatalf("%d/2 clients completed", done)
 	}
-	if r.svc.Replicated != 60 {
-		t.Fatalf("Replicated = %d", r.svc.Replicated)
+	if st := r.svc.Stats(); st.Commits != 60 {
+		t.Fatalf("Commits = %d", st.Commits)
 	}
 }
 
 func TestGetMiss(t *testing.T) {
-	r := newRig(t, 1)
-	cli := r.svc.NewClient(r.cl.Clients[0])
+	r := newRig(t, 2, Config{})
+	cli := r.svc.NewClient(r.cl.Clients[0], cliParams(), false)
 	r.svc.Start()
 	var found, ran bool
 	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
@@ -149,20 +210,54 @@ func TestGetMiss(t *testing.T) {
 	}
 }
 
-func TestBackupCountMismatch(t *testing.T) {
+func TestSingleNodeDegenerates(t *testing.T) {
+	// One machine: no peers, no ctrl proc, every op served locally.
+	r := newRig(t, 1, Config{})
+	cli := r.svc.NewClient(r.cl.Clients[0], cliParams(), true)
+	r.svc.Start()
+	okRun := false
+	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
+		out := make([]byte, 32)
+		if err := cli.Put(p, 9, []byte("solo")); err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		n, ok, err := cli.Get(p, 9, out)
+		if err != nil || !ok || string(out[:n]) != "solo" {
+			t.Errorf("get: %q ok=%v err=%v", out[:n], ok, err)
+			return
+		}
+		okRun = true
+	})
+	r.env.Run(sim.Time(2 * sim.Millisecond))
+	if !okRun {
+		t.Fatal("single-node ops did not complete")
+	}
+	if st := r.svc.Stats(); st.Commits != 1 || st.LeaderReads != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestServiceValidation(t *testing.T) {
 	env := sim.NewEnv(1)
 	defer env.Close()
-	cl := fabric.NewCluster(env, hw.ConnectX3(), 1)
-	if _, err := NewService(cl.Server, nil, Config{Backups: 2}); err == nil {
-		t.Fatal("mismatched backup machines accepted")
+	if _, err := NewService(nil, Config{}); err == nil {
+		t.Fatal("empty machine list accepted")
+	}
+	var many []*fabric.Machine
+	for i := 0; i < 65; i++ {
+		many = append(many, fabric.NewMachine(env, "m", hw.ConnectX3()))
+	}
+	if _, err := NewService(many, Config{}); err == nil {
+		t.Fatal("65 machines accepted")
 	}
 }
 
 func TestReplicationCostVisible(t *testing.T) {
-	// A replicated PUT must take longer than a local GET: it carries two
-	// extra RFP round trips (primary -> backup).
-	r := newRig(t, 1)
-	cli := r.svc.NewClient(r.cl.Clients[0])
+	// A replicated PUT must take longer than a leader GET: it carries extra
+	// RFP round trips (leader -> follower).
+	r := newRig(t, 2, Config{})
+	cli := r.svc.NewClient(r.cl.Clients[0], cliParams(), false)
 	r.svc.Start()
 	var putLat, getLat sim.Duration
 	r.cl.Clients[0].Spawn("cli", func(p *sim.Proc) {
@@ -183,17 +278,17 @@ func TestReplicationCostVisible(t *testing.T) {
 }
 
 // BenchmarkReplicatedPut measures the host-side cost of simulating one
-// fully replicated write (client -> primary -> backup -> ack chain).
+// fully replicated write (client -> leader -> follower -> ack chain).
 func BenchmarkReplicatedPut(b *testing.B) {
 	env := sim.NewEnv(3)
 	defer env.Close()
 	cl := fabric.NewCluster(env, hw.ConnectX3(), 1)
-	bm := fabric.NewMachine(env, "backup", hw.ConnectX3())
-	svc, err := NewService(cl.Server, []*fabric.Machine{bm}, Config{Backups: 1})
+	fm := fabric.NewMachine(env, "peer", hw.ConnectX3())
+	svc, err := NewService([]*fabric.Machine{cl.Server, fm}, Config{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	cli := svc.NewClient(cl.Clients[0])
+	cli := svc.NewClient(cl.Clients[0], cliParams(), false)
 	svc.Start()
 	done := 0
 	cl.Clients[0].Spawn("writer", func(p *sim.Proc) {

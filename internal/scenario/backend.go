@@ -14,6 +14,7 @@ import (
 	"rfp/internal/kvstore/jakiro"
 	"rfp/internal/kvstore/memckv"
 	"rfp/internal/kvstore/pilafkv"
+	"rfp/internal/replica"
 	"rfp/internal/shard"
 	"rfp/internal/sim"
 	"rfp/internal/telemetry"
@@ -22,19 +23,31 @@ import (
 
 // Backend names.
 const (
-	BackendJakiro      = "jakiro"       // RFP store (fetch + adaptive switch)
-	BackendServerReply = "server-reply" // same store, forced server-reply mode
-	BackendMemcKV      = "memckv"       // RDMA-Memcached model (two-sided)
-	BackendPilafKV     = "pilafkv"      // Pilaf model (client-bypass GETs)
-	BackendSharded     = "sharded"      // RFP store sharded over the topology's servers
+	BackendJakiro        = "jakiro"         // RFP store (fetch + adaptive switch)
+	BackendServerReply   = "server-reply"   // same store, forced server-reply mode
+	BackendMemcKV        = "memckv"         // RDMA-Memcached model (two-sided)
+	BackendPilafKV       = "pilafkv"        // Pilaf model (client-bypass GETs)
+	BackendSharded       = "sharded"        // RFP store sharded over the topology's servers
+	BackendReplica       = "replica"        // quorum-replicated store, follower local reads
+	BackendReplicaLeader = "replica-leader" // same group, all reads at the leader
 )
 
 var backendNames = map[string]bool{
-	BackendJakiro:      true,
-	BackendServerReply: true,
-	BackendMemcKV:      true,
-	BackendPilafKV:     true,
-	BackendSharded:     true,
+	BackendJakiro:        true,
+	BackendServerReply:   true,
+	BackendMemcKV:        true,
+	BackendPilafKV:       true,
+	BackendSharded:       true,
+	BackendReplica:       true,
+	BackendReplicaLeader: true,
+}
+
+// replicaBackend reports whether name is one of the replicated-store
+// backends. They preload versioned values (workload.FillVersioned) and are
+// driven by the history-recording driver, so they pair only with scenarios
+// that declare the Linearizable invariant (validate enforces both ways).
+func replicaBackend(name string) bool {
+	return name == BackendReplica || name == BackendReplicaLeader
 }
 
 // Backends returns the valid backend names, sorted.
@@ -215,6 +228,37 @@ func buildBackend(name string, topo Topology, servers []*fabric.Machine,
 			}
 			return agg
 		}
+
+	case BackendReplica, BackendReplicaLeader:
+		cfg := replica.Config{
+			Buckets:  scenarioBuckets(topo.Keys, 1),
+			MaxValue: maxVal,
+		}
+		if topo.Pooled {
+			cfg.Pool = core.PoolConfig{QPs: 2, SlabBytes: 256 << 10}
+		}
+		svc, err := replica.NewService(servers, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: replica service: %w", err)
+		}
+		// Preload every key at version 0 so reads of never-written keys
+		// verify under the versioned scheme.
+		svc.Preload(uint64(topo.Keys), preloadValueSize)
+		// Tighter per-call deadline than the chaos envelope: a call into a
+		// crashed replica should fail fast so the client re-routes to the
+		// survivors well inside the failover window.
+		rparams := params
+		if faulty {
+			rparams.DeadlineNs = 150_000
+			rparams.BackoffNs = 2_000
+			rparams.DemoteAfter = 0
+		}
+		local := name == BackendReplica
+		for i, pl := range placements {
+			b.conns[i] = svc.NewClient(pl.Machine, rparams, local)
+		}
+		svc.Start()
+		b.stats = func() core.ClientStats { return core.ClientStats{} }
 
 	case BackendPilafKV:
 		cfg := pilafkv.Config{Capacity: topo.Keys + 64, MaxValue: maxVal, Threads: 2}

@@ -43,6 +43,12 @@ const (
 	// same seed must produce a byte-identical report and trace digest.
 	// Evaluated by Verify; Eval rejects it.
 	Replay Kind = "deterministic-replay"
+	// Linearizable is run-level, not per-phase: the run records every
+	// client thread's versioned operation history and the linz checker
+	// (internal/linz) must certify a legal per-key total order, or the
+	// report carries the minimized counterexample. Only the replica
+	// backends record histories; Eval rejects it per phase.
+	Linearizable Kind = "linearizable"
 )
 
 // Invariant is one declarative assertion: a kind plus its numeric bound
@@ -54,7 +60,7 @@ type Invariant struct {
 
 func (iv Invariant) String() string {
 	switch iv.Kind {
-	case NoLost, NoCorruption, AllResolved, Replay:
+	case NoLost, NoCorruption, AllResolved, Replay, Linearizable:
 		return string(iv.Kind)
 	case P99Below:
 		return fmt.Sprintf("%s %.0f", iv.Kind, iv.Bound)
@@ -190,6 +196,9 @@ func Eval(iv Invariant, o *PhaseObs) Verdict {
 	case Replay:
 		v.OK = false
 		v.Detail = "replay is a run-level invariant (use Verify)"
+	case Linearizable:
+		v.OK = false
+		v.Detail = "linearizability is a run-level invariant (evaluated by Run)"
 	default:
 		v.OK = false
 		v.Detail = fmt.Sprintf("unknown invariant kind %q", iv.Kind)
@@ -202,7 +211,7 @@ func Eval(iv Invariant, o *PhaseObs) Verdict {
 func evalPhase(sc *Scenario, ph *Phase, o *PhaseObs) []Verdict {
 	var out []Verdict
 	for _, iv := range sc.Invariants {
-		if iv.Kind == Replay {
+		if iv.Kind == Replay || iv.Kind == Linearizable {
 			continue
 		}
 		out = append(out, Eval(iv, o))
@@ -218,6 +227,17 @@ func evalPhase(sc *Scenario, ph *Phase, o *PhaseObs) []Verdict {
 func (sc Scenario) wantsReplay() bool {
 	for _, iv := range sc.Invariants {
 		if iv.Kind == Replay {
+			return true
+		}
+	}
+	return false
+}
+
+// wantsLinz reports whether the scenario declares the run-level
+// linearizability invariant.
+func (sc Scenario) wantsLinz() bool {
+	for _, iv := range sc.Invariants {
+		if iv.Kind == Linearizable {
 			return true
 		}
 	}

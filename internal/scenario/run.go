@@ -30,6 +30,7 @@ import (
 	"rfp/internal/fabric"
 	"rfp/internal/faults"
 	"rfp/internal/hw"
+	"rfp/internal/linz"
 	"rfp/internal/sim"
 	"rfp/internal/telemetry"
 	"rfp/internal/workload"
@@ -66,12 +67,18 @@ type Report struct {
 	FaultEvents int
 	FaultDigest uint64
 
+	// Linz is the run-level linearizability verdict, set by Run when the
+	// scenario declares the Linearizable invariant. It renders inside the
+	// digest body, so the replay invariant also asserts the checker's
+	// verdict and node count replay exactly.
+	Linz *Verdict
+
 	// Replay is the run-level replay verdict, set by Verify.
 	Replay *Verdict
 }
 
-// OK reports whether every verdict (including replay, if evaluated)
-// passed.
+// OK reports whether every verdict (including the run-level ones, if
+// evaluated) passed.
 func (r *Report) OK() bool {
 	for _, ph := range r.Phases {
 		for _, v := range ph.Verdicts {
@@ -79,6 +86,9 @@ func (r *Report) OK() bool {
 				return false
 			}
 		}
+	}
+	if r.Linz != nil && !r.Linz.OK {
+		return false
 	}
 	return r.Replay == nil || r.Replay.OK
 }
@@ -130,6 +140,9 @@ func (r *Report) render(b *strings.Builder, withReplay bool) {
 	}
 	if r.FaultEvents > 0 {
 		fmt.Fprintf(b, "  fault trace: events=%d digest=%016x\n", r.FaultEvents, r.FaultDigest)
+	}
+	if r.Linz != nil {
+		fmt.Fprintf(b, "  %s\n", *r.Linz)
 	}
 	if withReplay && r.Replay != nil {
 		fmt.Fprintf(b, "  %s\n", *r.Replay)
@@ -266,7 +279,18 @@ func Run(sc Scenario, backendName string, opt Options) (*Report, error) {
 
 	// Drivers: one proc per client thread, running every phase in order
 	// against its conn, charging accounting to the issuing phase's cell.
+	// When the scenario declares the linearizability invariant, each driver
+	// additionally records its versioned operation history into a
+	// single-writer ClientLog, merged and checked after the drain.
 	threads := len(placements)
+	wantsLinz := sc.wantsLinz()
+	var logs []*linz.ClientLog
+	if wantsLinz {
+		logs = make([]*linz.ClientLog, threads)
+		for i := range logs {
+			logs[i] = linz.NewClientLog(i)
+		}
+	}
 	cells := make([]phaseCell, threads*len(phases))
 	cellAt := func(thread, phase int) *phaseCell { return &cells[thread*len(phases)+phase] }
 	for i, pl := range placements {
@@ -274,6 +298,7 @@ func Run(sc Scenario, backendName string, opt Options) (*Report, error) {
 		pl.Machine.Spawn(fmt.Sprintf("driver%d", i), func(p *sim.Proc) {
 			scratch := make([]byte, maxVal+64)
 			check := make([]byte, maxVal+64)
+			var seq uint32
 			gen := workload.NewGenerator(phases[0].Workload, phaseSeed(seed, 0, i))
 			for pi := range phases {
 				ph := &phases[pi]
@@ -295,7 +320,13 @@ func Run(sc Scenario, backendName string, opt Options) (*Report, error) {
 					op := gen.Next()
 					cell.issued++
 					t0 := p.Now()
-					corrupt, err := driveOp(p, c, op, scratch, check)
+					var corrupt bool
+					var err error
+					if wantsLinz {
+						corrupt, err = driveLinz(p, c, op, scratch, logs[i], i, &seq)
+					} else {
+						corrupt, err = driveOp(p, c, op, scratch, check)
+					}
 					switch {
 					case err != nil:
 						cell.failed++
@@ -378,7 +409,27 @@ func Run(sc Scenario, backendName string, opt Options) (*Report, error) {
 		rep.FaultEvents = tracer.Events()
 		rep.FaultDigest = tracer.Digest()
 	}
+	if wantsLinz {
+		rep.Linz = checkHistory(logs)
+	}
 	return rep, nil
+}
+
+// checkHistory merges the drained per-thread logs and runs the
+// linearizability checker. Every key is preloaded at version 0, so the
+// initial register state is (0, present) for all keys. The verdict detail
+// carries the deterministic search statistics — and, on failure, the
+// minimized counterexample — so it replays byte-identically.
+func checkHistory(logs []*linz.ClientLog) *Verdict {
+	h := linz.Merge(logs...)
+	res := linz.CheckKV(h, func(uint64) (uint32, bool) { return 0, true }, linz.Options{Minimize: true})
+	v := Verdict{Invariant: Invariant{Kind: Linearizable}}
+	v.OK = res.Verdict == linz.Linearizable
+	v.Detail = fmt.Sprintf("%s: ops=%d partitions=%d nodes=%d", res.Verdict, res.Ops, res.Partitions, res.Nodes)
+	if res.Verdict == linz.Illegal {
+		v.Detail += fmt.Sprintf("; key %d counterexample:\n%s", res.BadKey, res.Counterexample.Render())
+	}
+	return &v
 }
 
 // Verify runs the scenario and, when it declares the replay invariant,
@@ -451,6 +502,70 @@ func driveOp(p *sim.Proc, c conn, op workload.Op, scratch, check []byte) (corrup
 		workload.FillValue(v, op.Key, 1)
 		return false, c.Put(p, op.Key, v)
 	}
+}
+
+// driveLinz executes one workload op while recording its timed history for
+// the linearizability checker. Values carry unique versions
+// ((thread+1)<<20 | seq, never colliding with the version-0 preload), so a
+// read pins exactly which write it observed. Failed reads are dropped (they
+// constrain nothing); failed writes are recorded with an open-ended return
+// (the write may or may not have taken effect — the checker may linearize
+// it anywhere after its invocation). A read whose value fails versioned
+// verification is counted corrupt and kept out of the history.
+func driveLinz(p *sim.Proc, c conn, op workload.Op, scratch []byte,
+	log *linz.ClientLog, thread int, seq *uint32) (corrupt bool, err error) {
+
+	switch op.Kind {
+	case workload.Get:
+		return linzGet(p, c, op.Key, scratch, log)
+	case workload.Put:
+		return false, linzPut(p, c, op, scratch, log, thread, seq)
+	default: // ReadModifyWrite
+		corrupt, err = linzGet(p, c, op.Key, scratch, log)
+		if err != nil || corrupt {
+			return corrupt, err
+		}
+		return false, linzPut(p, c, op, scratch, log, thread, seq)
+	}
+}
+
+func linzGet(p *sim.Proc, c conn, key uint64, scratch []byte, log *linz.ClientLog) (bool, error) {
+	t0 := int64(p.Now())
+	n, found, err := c.Get(p, key, scratch)
+	if err != nil {
+		return false, err
+	}
+	t1 := int64(p.Now())
+	if !found {
+		log.Read(key, 0, false, t0, t1)
+		return false, nil
+	}
+	ver, ok := workload.ParseVersioned(scratch[:n], key)
+	if !ok {
+		return true, nil
+	}
+	log.Read(key, ver, true, t0, t1)
+	return false, nil
+}
+
+func linzPut(p *sim.Proc, c conn, op workload.Op, scratch []byte,
+	log *linz.ClientLog, thread int, seq *uint32) error {
+
+	*seq++
+	ver := uint32(thread+1)<<20 | *seq
+	size := op.ValueSize
+	if size < workload.VersionedMin {
+		size = workload.VersionedMin
+	}
+	v := scratch[:size]
+	workload.FillVersioned(v, op.Key, ver)
+	t0 := int64(p.Now())
+	if err := c.Put(p, op.Key, v); err != nil {
+		log.FailedWrite(op.Key, ver, t0)
+		return err
+	}
+	log.Write(op.Key, ver, t0, int64(p.Now()))
+	return nil
 }
 
 // valueOK verifies a GET result against the two writable versions.

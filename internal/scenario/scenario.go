@@ -128,6 +128,19 @@ func (sc Scenario) validate() error {
 			return fmt.Errorf("scenario %s: unknown backend %q (have %v)", sc.Name, b, Backends())
 		}
 	}
+	// The replicated backends preload versioned values and are driven by
+	// the history recorder; the linearizability checker is what gives those
+	// histories meaning. Couple them both ways so a declaration cannot
+	// silently run unchecked (or check an uninstrumented store).
+	linz := sc.wantsLinz()
+	for _, b := range sc.Backends {
+		if replicaBackend(b) != linz {
+			if linz {
+				return fmt.Errorf("scenario %s: linearizable invariant requires replica backends, got %q", sc.Name, b)
+			}
+			return fmt.Errorf("scenario %s: backend %q requires the linearizable invariant", sc.Name, b)
+		}
+	}
 	return nil
 }
 

@@ -19,6 +19,7 @@ func TestRegistrySeeds(t *testing.T) {
 	names := Names()
 	want := []string{
 		"flash-crowd",
+		"replica-failover",
 		"rolling-restart",
 		"slow-nic-straggler",
 		"tenant-mix-shift",
@@ -72,6 +73,10 @@ func TestRegisterRejects(t *testing.T) {
 		{"no backends", func(sc *Scenario) { sc.Backends = nil }},
 		{"unknown backend", func(sc *Scenario) { sc.Backends = []string{"bogus"} }},
 		{"zero duration", func(sc *Scenario) { sc.Phases[0].Duration = 0 }},
+		{"replica backend without linearizable invariant",
+			func(sc *Scenario) { sc.Backends = []string{BackendReplica} }},
+		{"linearizable invariant without replica backend",
+			func(sc *Scenario) { sc.Invariants = []Invariant{{Kind: Linearizable}} }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -212,6 +212,58 @@ func init() {
 		Invariants: base(),
 	})
 
+	// replica-failover: the quorum-replicated store loses its leader
+	// mid-run. A follower must wait out the lease, win the epoch election
+	// and take over writes while follower local reads keep serving; the
+	// recorded operation history must certify linearizable across the
+	// crash, the election and the old leader's rejoin. Crash windows force
+	// the serial kernel (-parallel falls back).
+	Register(Scenario{
+		Name: "replica-failover",
+		Desc: "leader crash in a 3-node quorum group; election + rejoin under a linearizability check",
+		Topology: Topology{
+			ClientMachines: 2,
+			Threads:        4,
+			Servers:        3,
+			Keys:           48,
+		},
+		Backends: []string{BackendReplica, BackendReplicaLeader},
+		Phases: []Phase{
+			{
+				Name:     "steady",
+				Duration: 150 * sim.Microsecond,
+				Workload: workload.Config{GetFraction: 0.7},
+				Invariants: []Invariant{
+					{Kind: MaxFailedFrac, Bound: 0},
+					{Kind: ThroughputFloor, Bound: 40},
+				},
+			},
+			{
+				Name:     "failover",
+				Duration: 500 * sim.Microsecond,
+				Workload: workload.Config{GetFraction: 0.7},
+				Faults: faults.Plan{
+					Crashes: []faults.Window{
+						{Machine: "server0", Start: 100_000, End: 260_000},
+					},
+				},
+				Invariants: []Invariant{
+					{Kind: MaxFailedFrac, Bound: 0.9},
+				},
+			},
+			{
+				Name:     "recovered",
+				Duration: 250 * sim.Microsecond,
+				Workload: workload.Config{GetFraction: 0.7},
+				Invariants: []Invariant{
+					{Kind: MaxFailedFrac, Bound: 0.1},
+					{Kind: ThroughputFloor, Bound: 30},
+				},
+			},
+		},
+		Invariants: append(base(), Invariant{Kind: Linearizable}),
+	})
+
 	// slow-nic-straggler: one client machine's NIC runs 4x slower with
 	// extra wire latency. The straggler must not drag the cluster down —
 	// aggregate throughput holds — and every call still accounts and

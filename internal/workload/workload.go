@@ -225,6 +225,48 @@ func CheckValue(buf []byte, key uint64, version uint32) bool {
 	return true
 }
 
+// FillVersioned fills buf with a self-describing versioned value: the first
+// four bytes carry version little-endian, the rest is a deterministic
+// pattern derived from (key, version). Unlike FillValue, the version is
+// recoverable from the bytes alone — the linearizability harness needs to
+// know *which* write a GET observed, not just that some write's bytes are
+// intact. buf must be at least VersionedMin bytes.
+func FillVersioned(buf []byte, key uint64, version uint32) {
+	_ = buf[VersionedMin-1]
+	binary.LittleEndian.PutUint32(buf[0:4], version)
+	seed := key*0xD6E8FEB86659FD93 + uint64(version)*0xCA5A826395121157 + 1
+	for i := 4; i < len(buf); i++ {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		buf[i] = byte(seed)
+	}
+}
+
+// VersionedMin is the minimum length of a versioned value (the version
+// field itself).
+const VersionedMin = 4
+
+// ParseVersioned recovers the version from a FillVersioned value and
+// verifies the trailing pattern against (key, version). ok=false reports a
+// torn or corrupt value (or one produced by a different fill scheme).
+func ParseVersioned(buf []byte, key uint64) (version uint32, ok bool) {
+	if len(buf) < VersionedMin {
+		return 0, false
+	}
+	version = binary.LittleEndian.Uint32(buf[0:4])
+	seed := key*0xD6E8FEB86659FD93 + uint64(version)*0xCA5A826395121157 + 1
+	for i := 4; i < len(buf); i++ {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		if buf[i] != byte(seed) {
+			return version, false
+		}
+	}
+	return version, true
+}
+
 // RampOffset staggers thread activation across a ramp window: thread i of
 // threads becomes active rampNs*i/threads after the window opens, so a
 // phase's client population grows linearly instead of arriving as one
