@@ -21,6 +21,7 @@ type Machine struct {
 	shard   *sim.Shard
 	threads int
 	down    bool
+	crashes int
 
 	// BusyNs accumulates CPU time charged through Compute, for coarse
 	// utilization accounting.
@@ -71,6 +72,7 @@ func (m *Machine) Threads() int { return m.threads }
 // peers see in-flight and subsequent operations fail.
 func (m *Machine) Fail() {
 	m.down = true
+	m.crashes++
 	m.nic.SetDown(true)
 	m.nic.InvalidateRegions()
 }
@@ -85,6 +87,11 @@ func (m *Machine) Restart() {
 
 // Down reports whether the machine is currently crashed.
 func (m *Machine) Down() bool { return m.down }
+
+// Crashes counts Fail calls so far. Long-lived state holders (the replica
+// layer) compare it against a remembered value to notice a crash/restart
+// cycle they slept through and discard state that must not survive one.
+func (m *Machine) Crashes() int { return m.crashes }
 
 // CPUFactor returns the time dilation applied to CPU bursts: 1 while the
 // machine has at least as many cores as threads, threads/cores beyond that.

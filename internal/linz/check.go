@@ -118,7 +118,18 @@ func CheckKV(h History, init Init, opt Options) Result {
 			res.BadKey = k
 			ce := append(History(nil), parts[k]...)
 			if opt.Minimize {
-				ce = minimize(ce, val, present, budget)
+				// Each single-removal probe checks a strictly smaller history,
+				// so it needs the same order of search work as the original
+				// failing check — give it a small multiple of that (with a
+				// floor for tiny histories) rather than the whole budget.
+				// Probes that exhaust it come back Unknown and the op is
+				// kept, so minimization costs O(n²·nodes) search nodes, not
+				// O(n²·budget), on adversarial histories.
+				per := nodes*4 + 256
+				if per > budget {
+					per = budget
+				}
+				ce = minimize(ce, val, present, per)
 			}
 			ce.Sort()
 			res.Counterexample = ce

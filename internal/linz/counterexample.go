@@ -13,7 +13,10 @@ package linz
 
 // minimize shrinks ops (one partition, known Illegal) to a minimal Illegal
 // sub-history under the same initial state. Deterministic: removal
-// candidates are probed in the partition's canonical order.
+// candidates are probed in the partition's canonical order. budget bounds
+// each single-removal probe individually (the caller derives it from the
+// original failing check's node count); a probe that exhausts it returns
+// Unknown, which keeps the op — minimality may be lost, never soundness.
 func minimize(ops History, initVal uint32, initPresent bool, budget int64) History {
 	cur := append(History(nil), ops...)
 	cur.Sort()

@@ -135,6 +135,7 @@ type node struct {
 	role     role
 	epoch    uint32
 	leaderID int // -1 when unknown
+	crashes  int // Machine.Crashes at the last step; a jump means we crashed
 	log      []entryRec
 	applied  int            // entries 1..applied are in the store
 	maxAdv   int            // highest commit index ever advertised to us
@@ -341,6 +342,7 @@ func (s *Service) Start() {
 // ---- request dispatch ----
 
 func (n *node) handle(p *sim.Proc, conn *core.Conn, req, resp []byte) int {
+	n.checkRestart(p)
 	if len(req) == 0 {
 		return kv.EncodeResponse(resp, kv.StatusError, nil)
 	}
@@ -357,6 +359,40 @@ func (n *node) handle(p *sim.Proc, conn *core.Conn, req, resp []byte) int {
 		return n.handleProbe(resp)
 	default:
 		return kv.EncodeResponse(resp, kv.StatusError, nil)
+	}
+}
+
+// checkRestart detects that the machine crashed since the last time this
+// node ran and clears the state that does not survive one. It runs at the
+// top of every request dispatch and control tick, so no request can be
+// served against pre-crash volatile state.
+func (n *node) checkRestart(p *sim.Proc) {
+	if c := n.m.Crashes(); c != n.crashes {
+		n.crashes = c
+		n.crashReset(int64(p.Now()))
+	}
+}
+
+// crashReset models crash-stop-with-recovery: the replicated log is durable
+// but lease timers and the leader role are not. A node that crashed holding
+// a serve lease must not resume serving on it — the cluster may have
+// elected past it while it was down (its probe just errored out of the
+// election) — and a crashed leader must not resume the role on its stale
+// freshness anchors: it re-enters as a follower and re-earns leadership
+// through promotion, or rejoins the winner.
+func (n *node) crashReset(now int64) {
+	if n.role == roleLeader {
+		n.stepDowns++
+	}
+	n.role = roleFollower
+	n.leaseUntil = 0
+	n.lastContactNs = 0
+	n.quietUntil = now + n.svc.cfg.LeaseNs
+	for j := range n.svc.nodes {
+		n.active[j] = false
+		n.anchor[j] = 0
+		n.lastAlive[j] = 0
+		n.drainUntil[j] = 0
 	}
 }
 
@@ -493,17 +529,27 @@ func (n *node) replicate(p *sim.Proc, idx int, e0 uint32) bool {
 		sends = append(sends, sendT)
 	}
 	n.hs, n.hsPeer, n.hsSend = hs[:0], peers[:0], sends[:0]
+	// Every posted handle must be Polled even if a step-down is detected
+	// mid-fan-out: Poll is the only path that releases a ring slot, and an
+	// abandoned slot stays outstanding on that data client forever —
+	// re-election on this node would leak toward ErrRingFull and condemn
+	// healthy followers. Past a step-down the results are merely discarded.
 	for k, h := range hs {
 		j := peers[k]
+		stepped := n.role != roleLeader || n.epoch != e0
 		nr, err := n.data[j].Poll(p, h, n.ackBuf)
 		if err != nil {
-			n.drainPeer(p, j)
+			if !stepped {
+				n.drainPeer(p, j)
+			}
 			continue
 		}
-		n.prepareAck(p, j, sends[k], n.ackBuf[:nr], idx, e0)
-		if n.role != roleLeader || n.epoch != e0 {
-			return false
+		if !stepped {
+			n.prepareAck(p, j, sends[k], n.ackBuf[:nr], idx, e0)
 		}
+	}
+	if n.role != roleLeader || n.epoch != e0 {
+		return false
 	}
 	// Wait out any peer condemned during this fan-out.
 	for j := range n.svc.nodes {
@@ -713,6 +759,12 @@ func (n *node) handlePrepare(p *sim.Proc, req, resp []byte) int {
 		// Same-epoch prepare at a leader: protocol violation, reject.
 		return kv.EncodeResponse(resp, kv.StatusError, nil)
 	}
+	if n.leaderID >= 0 && pm.leader != n.leaderID {
+		// Same-epoch prepare from a node that is not this epoch's leader (we
+		// granted the epoch to someone else): refuse with our epoch so the
+		// sender steps back and retries higher.
+		return respU32(resp, statusStaleEpoch, n.epoch)
+	}
 	now := int64(p.Now())
 	n.leaderID = pm.leader
 	n.leaseUntil = now + n.svc.cfg.LeaseNs
@@ -783,9 +835,26 @@ func (n *node) handleHeartbeat(p *sim.Proc, req, resp []byte) int {
 			return 1
 		}
 		n.adoptEpoch(hm.epoch, leader)
+		// Granting is not a lease: the candidate may yet abort (rejected by a
+		// later peer), and a grantee serving under that ghost epoch would
+		// miss writes the old-epoch leader keeps committing via its own
+		// granters. The serve lease arrives only with the winner's
+		// post-election leased heartbeat; meanwhile hold our own promotion
+		// back long enough for the winner to finish its lease wait-out and
+		// lease us.
+		leased = false
+		c := n.svc.cfg
+		if q := now + 2*c.LeaseNs + c.PeerDeadlineNs + c.GraceNs; q > n.quietUntil {
+			n.quietUntil = q
+		}
 	} else if n.role == roleLeader {
 		// Same-epoch heartbeat at the leader: protocol violation.
 		return kv.EncodeResponse(resp, kv.StatusError, nil)
+	} else if n.leaderID >= 0 && leader != n.leaderID {
+		// Same-epoch heartbeat from a node that is not this epoch's leader: a
+		// rival candidate probing an epoch we already granted away. Refuse
+		// with our epoch so it backs off and retries strictly higher.
+		return respU32(resp, statusStaleEpoch, n.epoch)
 	}
 	n.leaderID = leader
 	if leased {
@@ -799,7 +868,9 @@ func (n *node) handleHeartbeat(p *sim.Proc, req, resp []byte) int {
 
 // leasedBit in the heartbeat leader byte marks the receiver as active: only
 // leased heartbeats extend the serve lease. Rejoin probes to deactivated
-// peers clear it, so a node outside the commit set can never serve reads.
+// peers and promotion probes clear it (and the receiver ignores it on any
+// epoch-adopting message), so a node outside the current commit set can
+// never serve reads.
 const leasedBit = 0x80
 
 func (n *node) handleProbe(resp []byte) int {
@@ -815,14 +886,16 @@ func (n *node) handleProbe(resp []byte) int {
 // ctrlLoop is the per-node control proc: as leader it refreshes leases and
 // reintegrates peers; as follower it watches for lease expiry and runs the
 // rank-staggered promotion. It idles while the machine is crashed, like the
-// serve loop, and resumes with stale state after restart — the protocol's
-// epoch and lease checks make that safe.
+// serve loop; the first tick after a restart (like the first request
+// dispatch) runs crashReset, so no pre-crash lease or role survives into
+// the new incarnation.
 func (n *node) ctrlLoop(p *sim.Proc) {
 	for {
 		if n.m.Down() {
 			p.Sleep(10 * sim.Microsecond)
 			continue
 		}
+		n.checkRestart(p)
 		switch n.role {
 		case roleLeader:
 			n.leaderTick(p)
@@ -984,14 +1057,21 @@ func (n *node) followerTick(p *sim.Proc) {
 
 // promote runs one promotion attempt: probe every peer with epoch+1; any
 // rejection (a live leader's quorum, a peer's valid lease, or a peer with a
-// longer log) aborts. Winning requires at least one grant — the candidate
-// then leads exactly the granters, streams them its log, and commits it.
+// longer log) aborts. Winning requires at least one grant — and, when any
+// peer was unreachable, waiting out the longest serve lease such a peer
+// could still hold (it may have crashed leased, missing the election
+// entirely), exactly mirroring the leader-side condemn/drain window. The
+// winner then leads exactly the granters: each is streamed the log tail it
+// misses and only then granted its serve lease by a post-election leased
+// heartbeat — the probe itself never leases, so a granter of an aborted
+// candidate cannot serve under a ghost epoch.
 func (n *node) promote(p *sim.Proc) {
 	promoEpoch := n.epoch + 1
 	n.role = rolePromoting
 	granted := make([]bool, len(n.svc.nodes))
 	grants := 0
 	reject := false
+	unreachable := false
 	for j := range n.svc.nodes {
 		if j == n.id {
 			continue
@@ -1001,13 +1081,10 @@ func (n *node) promote(p *sim.Proc) {
 			reject = true
 			break
 		}
-		sendT := int64(p.Now())
-		msg := encodeHeartbeat(n.hbBuf, promoEpoch, uint32(n.applied), uint32(len(n.log)), int(byte(n.id)|leasedBit))
+		msg := encodeHeartbeat(n.hbBuf, promoEpoch, uint32(n.applied), uint32(len(n.log)), n.id)
 		nr, err := n.ctrl[j].Call(p, msg, n.ackBuf)
-		if err != nil {
-			continue // unreachable peers just don't join
-		}
-		if nr < 1 {
+		if err != nil || nr < 1 {
+			unreachable = true // does not join; its lease is waited out below
 			continue
 		}
 		switch n.ackBuf[0] {
@@ -1016,7 +1093,6 @@ func (n *node) promote(p *sim.Proc) {
 				granted[j] = true
 				grants++
 				n.peerEnd[j] = int(u32(n.ackBuf[1:5]))
-				n.anchor[j] = sendT
 				n.lastAlive[j] = int64(p.Now())
 			}
 		case statusStaleEpoch:
@@ -1031,7 +1107,18 @@ func (n *node) promote(p *sim.Proc) {
 			break
 		}
 	}
-	if reject || grants == 0 || n.role != rolePromoting {
+	if !reject && grants > 0 && unreachable && n.role == rolePromoting {
+		// Wait out the unreachable peers before assuming the role: any serve
+		// lease one of them holds was granted by a message sent before this
+		// probe round ended (every old-epoch sender has by now died, granted
+		// us, or stepped down — a live rejecting leader would have aborted
+		// the attempt), so it can run at most one delivery window plus one
+		// lease term past this instant. Committing before that would let a
+		// crashed-leased peer restart and serve reads that miss our writes.
+		c := n.svc.cfg
+		p.SleepUntil(sim.Time(int64(p.Now()) + c.PeerDeadlineNs + c.LeaseNs + c.GraceNs))
+	}
+	if reject || grants == 0 || n.role != rolePromoting || n.epoch >= promoEpoch {
 		if n.role == rolePromoting {
 			n.role = roleFollower
 		}
@@ -1051,23 +1138,21 @@ func (n *node) promote(p *sim.Proc) {
 		if j == n.id {
 			continue
 		}
-		n.active[j] = granted[j]
+		n.active[j] = false
+		n.anchor[j] = 0
 		n.drainUntil[j] = 0
 	}
-	// Stream the granters whatever tail they miss, then commit the whole
-	// log: every entry is now held by every active node.
+	// Reintegrate each granter: activate it, stream it whatever tail it
+	// misses, then grant its serve lease with a leased heartbeat (which also
+	// plants the freshness anchor — the probe round planted none).
 	for j := range n.svc.nodes {
 		if j == n.id || !granted[j] {
 			continue
 		}
-		for i := n.peerEnd[j] + 1; i <= len(n.log); i++ {
-			if n.role != roleLeader || n.epoch != promoEpoch {
-				return
-			}
-			if !n.syncPrepareCtrl(p, j, i, promoEpoch) {
-				break
-			}
+		if n.role != roleLeader || n.epoch != promoEpoch {
+			return
 		}
+		n.rejoin(p, j, promoEpoch)
 	}
 	n.tryCommitTail()
 }
